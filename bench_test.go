@@ -1,0 +1,409 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation (§5). Each benchmark runs the corresponding
+// experiment driver on a deterministic slice of the synthetic dataset
+// and reports the figure's headline statistics as custom metrics, so
+// `go test -bench . -benchmem` reproduces the paper end to end. The
+// full-dataset series (exact CDF rows) are printed by cmd/nexitsim; the
+// recorded output lives in EXPERIMENTS.md.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/nexit"
+	"repro/internal/pairsim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// benchDataset caches the generated dataset across benchmarks.
+var (
+	benchOnce sync.Once
+	benchDS   *experiments.Dataset
+)
+
+func dataset(b *testing.B) *experiments.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := gen.DefaultConfig()
+		cfg.NumISPs = 30 // a representative slice; cmd/nexitsim runs all 65
+		ds, err := experiments.Load(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDS = ds
+	})
+	return benchDS
+}
+
+// distanceOpts bounds the distance experiments for benchmarking.
+var distanceOpts = experiments.Options{MaxPairs: 25, Seed: 1}
+
+// bandwidthOpts bounds the failure experiments for benchmarking.
+var bandwidthOpts = experiments.BandwidthOptions{
+	Options:     experiments.Options{MaxPairs: 8, Seed: 1},
+	Workload:    traffic.Gravity,
+	MaxFailures: 30,
+}
+
+func median(xs []float64) float64 {
+	c := stats.NewCDF(xs)
+	if c.N() == 0 {
+		return 0
+	}
+	return c.Median()
+}
+
+// BenchmarkFig4DistanceGain regenerates Figure 4: total and individual
+// distance gains of negotiated vs globally optimal routing.
+func BenchmarkFig4DistanceGain(b *testing.B) {
+	ds := dataset(b)
+	var res *experiments.DistanceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Distance(ds, distanceOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(median(res.PairGainNeg), "negotiated-median-%gain")
+	b.ReportMetric(median(res.PairGainOpt), "optimal-median-%gain")
+	b.ReportMetric(stats.NewCDF(res.IndGainNeg).Min(), "negotiated-worst-ISP-%gain")
+	losers := 0
+	for _, g := range res.IndGainOpt {
+		if g < 0 {
+			losers++
+		}
+	}
+	b.ReportMetric(100*float64(losers)/float64(len(res.IndGainOpt)), "optimal-%ISPs-losing")
+}
+
+// BenchmarkFig5FlowLocalStrategies regenerates Figure 5: the flow-local
+// strategies that discard bad alternatives per flow.
+func BenchmarkFig5FlowLocalStrategies(b *testing.B) {
+	ds := dataset(b)
+	var res *experiments.DistanceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Distance(ds, distanceOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(median(res.PairGainPareto), "flow-pareto-median-%gain")
+	b.ReportMetric(median(res.PairGainBothBetter), "flow-both-better-median-%gain")
+	b.ReportMetric(median(res.PairGainNeg), "negotiated-median-%gain")
+}
+
+// BenchmarkFig6FlowLevel regenerates Figure 6: per-flow gains pooled
+// across pairs (7% of flows gain >20%, 1% gain >50% in the paper).
+func BenchmarkFig6FlowLevel(b *testing.B) {
+	ds := dataset(b)
+	var res *experiments.DistanceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Distance(ds, distanceOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	neg := stats.NewCDF(res.FlowGainNeg)
+	b.ReportMetric(100*neg.FractionAbove(20), "%flows-gaining-over-20%")
+	b.ReportMetric(100*neg.FractionAbove(50), "%flows-gaining-over-50%")
+}
+
+// BenchmarkFig7BandwidthMEL regenerates Figure 7: post-failure maximum
+// excess load relative to the fractional LP optimum.
+func BenchmarkFig7BandwidthMEL(b *testing.B) {
+	ds := dataset(b)
+	var res *experiments.BandwidthResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Bandwidth(ds, bandwidthOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(median(res.UpDef), "upstream-default-median-ratio")
+	b.ReportMetric(median(res.UpNeg), "upstream-negotiated-median-ratio")
+	b.ReportMetric(median(res.DownDef), "downstream-default-median-ratio")
+	b.ReportMetric(median(res.DownNeg), "downstream-negotiated-median-ratio")
+}
+
+// BenchmarkFig8Unilateral regenerates Figure 8: the downstream's MEL
+// when the upstream optimizes unilaterally.
+func BenchmarkFig8Unilateral(b *testing.B) {
+	ds := dataset(b)
+	var res *experiments.BandwidthResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Bandwidth(ds, bandwidthOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := stats.NewCDF(res.UnilateralDownRatio)
+	b.ReportMetric(c.Median(), "downstream-ratio-median")
+	b.ReportMetric(100*c.FractionAbove(2), "%cases-downstream-doubles")
+}
+
+// BenchmarkFig9DiverseCriteria regenerates Figure 9: upstream bandwidth
+// vs downstream distance objectives.
+func BenchmarkFig9DiverseCriteria(b *testing.B) {
+	ds := dataset(b)
+	var res *experiments.BandwidthResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Bandwidth(ds, bandwidthOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(median(res.DiverseUpNeg), "upstream-negotiated-median-ratio")
+	b.ReportMetric(median(res.DiverseUpDef), "upstream-default-median-ratio")
+	b.ReportMetric(median(res.DiverseDownGain), "downstream-median-%gain")
+}
+
+// BenchmarkFig10CheatDistance regenerates Figure 10: the impact of one
+// ISP lying about its distance preferences.
+func BenchmarkFig10CheatDistance(b *testing.B) {
+	ds := dataset(b)
+	var res *experiments.DistanceCheatResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.DistanceCheat(ds, distanceOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(median(res.TotalTruthful), "truthful-total-median-%gain")
+	b.ReportMetric(median(res.TotalCheat), "cheater-total-median-%gain")
+	b.ReportMetric(median(res.IndCheater), "cheater-individual-median-%gain")
+	b.ReportMetric(median(res.IndVictim), "victim-individual-median-%gain")
+}
+
+// BenchmarkFig11CheatBandwidth regenerates Figure 11: the upstream
+// cheats in the bandwidth experiment.
+func BenchmarkFig11CheatBandwidth(b *testing.B) {
+	ds := dataset(b)
+	var res *experiments.BandwidthResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Bandwidth(ds, bandwidthOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(median(res.UpNeg), "truthful-upstream-median-ratio")
+	b.ReportMetric(median(res.CheatUpNeg), "cheater-upstream-median-ratio")
+	b.ReportMetric(median(res.DownNeg), "truthful-downstream-median-ratio")
+	b.ReportMetric(median(res.CheatDownNeg), "cheated-downstream-median-ratio")
+}
+
+// BenchmarkExtraGainVsInterconnections regenerates the §5.1 textual
+// analysis: ISPs with more interconnections gain more.
+func BenchmarkExtraGainVsInterconnections(b *testing.B) {
+	ds := dataset(b)
+	var res *experiments.DistanceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Distance(ds, distanceOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var few, many []float64
+	for k, gains := range res.GainVsInterconnections {
+		if k <= 3 {
+			few = append(few, gains...)
+		} else {
+			many = append(many, gains...)
+		}
+	}
+	b.ReportMetric(median(few), "median-%gain-(<=3-ix)")
+	b.ReportMetric(median(many), "median-%gain-(>3-ix)")
+}
+
+// BenchmarkExtraFlowFraction regenerates the §5.1/§5.2 textual claim
+// that only ~20% of flows need non-default routing.
+func BenchmarkExtraFlowFraction(b *testing.B) {
+	ds := dataset(b)
+	var res *experiments.DistanceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Distance(ds, distanceOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*median(res.NonDefaultFraction), "%flows-moved-median")
+}
+
+// BenchmarkExtraGroupNegotiation regenerates the §5.1 group ablation:
+// negotiating within separate groups loses part of the benefit.
+func BenchmarkExtraGroupNegotiation(b *testing.B) {
+	ds := dataset(b)
+	var res *experiments.DistanceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Distance(ds, distanceOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(median(res.PairGainNeg), "whole-table-median-%gain")
+	b.ReportMetric(median(res.GroupGain4), "4-groups-median-%gain")
+}
+
+// BenchmarkExtraPreferenceRange regenerates the §5 textual claim that
+// increasing the class range beyond [-10, 10] does not help.
+func BenchmarkExtraPreferenceRange(b *testing.B) {
+	ds := dataset(b)
+	opt := distanceOpts
+	opt.MaxPairs = 10
+	var abl map[int]float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		if abl, err = experiments.PreferenceRangeAblation(ds, opt, []int{1, 3, 10, 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(abl[1], "P=1-median-%gain")
+	b.ReportMetric(abl[3], "P=3-median-%gain")
+	b.ReportMetric(abl[10], "P=10-median-%gain")
+	b.ReportMetric(abl[50], "P=50-median-%gain")
+}
+
+// BenchmarkAblationScaleMode compares the cardinal-mapping scale modes
+// called out in DESIGN.md: global (quantile) vs per-flow normalization.
+func BenchmarkAblationScaleMode(b *testing.B) {
+	ds := dataset(b)
+	pairs := ds.DistancePairs()
+	if len(pairs) > 10 {
+		pairs = pairs[:10]
+	}
+	for _, mode := range []struct {
+		name  string
+		scale nexit.Scale
+	}{{"global", nexit.ScaleGlobal}, {"per-flow", nexit.ScalePerFlow}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, pair := range pairs {
+					g := negotiatedGainWithScale(b, ds, pair, mode.scale)
+					total += g
+				}
+			}
+			b.ReportMetric(total/float64(len(pairs)), "mean-%gain")
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures the raw negotiation engine on one
+// large pair (flows negotiated per second).
+func BenchmarkEngineThroughput(b *testing.B) {
+	ds := dataset(b)
+	pairs := ds.DistancePairs()
+	// Pick the pair with the most flows.
+	best := pairs[0]
+	bestFlows := 0
+	for _, p := range pairs {
+		if f := p.A.NumPoPs() * p.B.NumPoPs() * 2; f > bestFlows {
+			best, bestFlows = p, f
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		negotiatedGainWithScale(b, ds, best, nexit.ScaleGlobal)
+	}
+	b.ReportMetric(float64(bestFlows), "flows-per-op")
+}
+
+// negotiatedGainWithScale runs one distance negotiation over a pair with
+// the given cardinal scale mode and returns the total gain percentage.
+func negotiatedGainWithScale(b *testing.B, ds *experiments.Dataset, pair *topology.Pair, scale nexit.Scale) float64 {
+	b.Helper()
+	s := pairsim.New(pair, ds.Cache)
+	rev := s.Reverse()
+	wAB := traffic.New(pair.A, pair.B, traffic.Identical, nil)
+	wBA := traffic.New(pair.B, pair.A, traffic.Identical, nil)
+	items := nexit.Items(wAB.Flows, wBA.Flows)
+	defaults := make([]int, len(items))
+	for i, it := range items {
+		if it.Dir == nexit.AtoB {
+			defaults[i] = s.EarlyExit(it.Flow)
+		} else {
+			defaults[i] = rev.EarlyExit(it.Flow)
+		}
+	}
+	evalA := nexit.NewDistanceEvaluator(s, nexit.SideA, 10)
+	evalA.Scale = scale
+	evalB := nexit.NewDistanceEvaluator(s, nexit.SideB, 10)
+	evalB.Scale = scale
+	res, err := nexit.Negotiate(nexit.DefaultDistanceConfig(), evalA, evalB, items, defaults, s.NumAlternatives())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := func(assign []int) (t float64) {
+		for i, it := range items {
+			if it.Dir == nexit.AtoB {
+				t += s.TotalDistKm(it.Flow, assign[i])
+			} else {
+				t += rev.TotalDistKm(it.Flow, assign[i])
+			}
+		}
+		return t
+	}
+	return metrics.GainPercent(dist(defaults), dist(res.Assign))
+}
+
+// BenchmarkExtraScalability regenerates the §6 claim that negotiating
+// only the biggest flows retains most of the benefit.
+func BenchmarkExtraScalability(b *testing.B) {
+	ds := dataset(b)
+	opt := distanceOpts
+	opt.MaxPairs = 10
+	var res *experiments.ScalabilityResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Scalability(ds, opt, []float64{0.5, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.FlowShare[0], "%flows-for-half-the-traffic")
+	b.ReportMetric(100*res.GainShare[0], "%gain-retained-at-half-traffic")
+}
+
+// BenchmarkExtraDestinationBased regenerates footnote 2: negotiation
+// works under destination-based routing too.
+func BenchmarkExtraDestinationBased(b *testing.B) {
+	ds := dataset(b)
+	opt := distanceOpts
+	opt.MaxPairs = 10
+	var res *experiments.DestinationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.DestinationBased(ds, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(median(res.GainSrcDst), "src-dst-median-%gain")
+	b.ReportMetric(median(res.GainDstOnly), "dst-only-median-%gain")
+}
+
+// BenchmarkExtraStability regenerates the motivation-section analysis:
+// how often reactive unilateral routing enters a cycle of influence
+// after a failure, versus negotiation which terminates by construction.
+func BenchmarkExtraStability(b *testing.B) {
+	ds := dataset(b)
+	opt := experiments.BandwidthOptions{
+		Options:     experiments.Options{MaxPairs: 6, Seed: 1},
+		Workload:    traffic.Gravity,
+		MaxFailures: 24,
+	}
+	var res *experiments.StabilityResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Stability(ds, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*float64(res.Oscillated)/float64(res.FailureCases), "%cases-oscillating")
+	b.ReportMetric(median(res.ReactiveWorst), "reactive-worst-MEL-median")
+	b.ReportMetric(median(res.NegotiatedWorst), "negotiated-worst-MEL-median")
+}

@@ -1,0 +1,183 @@
+// Command nexitagent runs one ISP's negotiation agent (paper §6, Figure
+// 12): a process that sits next to the ISP's routing infrastructure,
+// maps routing alternatives to opaque preference classes, and negotiates
+// with the neighboring ISP's agent over TCP.
+//
+// Both agents must be configured with the same dataset seed and pair so
+// they agree on the negotiation universe (in deployment this agreement
+// comes from observing the same flows; see DESIGN.md). The responder
+// listens, the initiator dials:
+//
+//	nexitagent -role b -listen 127.0.0.1:4179 -pair 0,1
+//	nexitagent -role a -connect 127.0.0.1:4179 -pair 0,1
+//
+// Flags -metric distance|bandwidth select the evaluator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/capacity"
+	"repro/internal/gen"
+	"repro/internal/nexit"
+	"repro/internal/nexitwire"
+	"repro/internal/pairsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		role    = flag.String("role", "", "which ISP this agent represents: a (initiator) or b (responder)")
+		listen  = flag.String("listen", "", "listen address (role b)")
+		connect = flag.String("connect", "", "peer address to dial (role a)")
+		seed    = flag.Int64("seed", 1, "dataset seed (must match the peer)")
+		isps    = flag.Int("isps", 65, "dataset size (must match the peer)")
+		pairStr = flag.String("pair", "0,1", "ISP indices forming the pair, e.g. 3,7")
+		metric  = flag.String("metric", "distance", "optimization metric: distance or bandwidth")
+		pBound  = flag.Int("p", 10, "preference class bound P")
+	)
+	flag.Parse()
+
+	s, items, defaults, err := buildUniverse(*seed, *isps, *pairStr)
+	if err != nil {
+		fatal(err)
+	}
+	numAlts := s.NumAlternatives()
+	fmt.Printf("pair %v: %d flows, %d interconnections\n", s.Pair, len(items), numAlts)
+
+	mkEval := func(side nexit.Side) nexit.Evaluator {
+		if *metric == "bandwidth" {
+			w := traffic.New(s.Pair.A, s.Pair.B, traffic.Gravity, nil)
+			pre := baseline.EarlyExit(s, w.Flows)
+			loadUp, loadDown := s.Loads(w.Flows, pre)
+			capUp := capacity.Assign(loadUp, capacity.Options{})
+			capDown := capacity.Assign(loadDown, capacity.Options{})
+			if side == nexit.SideA {
+				return nexit.NewBandwidthEvaluator(s, side, *pBound, loadUp, capUp)
+			}
+			return nexit.NewBandwidthEvaluator(s, side, *pBound, loadDown, capDown)
+		}
+		return nexit.NewDistanceEvaluator(s, side, *pBound)
+	}
+
+	switch *role {
+	case "a":
+		if *connect == "" {
+			fatal(fmt.Errorf("role a requires -connect"))
+		}
+		conn, err := net.Dial("tcp", *connect)
+		if err != nil {
+			fatal(err)
+		}
+		defer conn.Close()
+		ini := &nexitwire.Initiator{
+			Name: "agent-a",
+			Cfg:  nexit.DefaultDistanceConfig(),
+			Eval: mkEval(nexit.SideA),
+		}
+		ini.Cfg.PrefBound = *pBound
+		res, err := ini.Run(conn, items, defaults, numAlts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("negotiated %d of %d flows in %d rounds (%v); gains A=%d B=%d\n",
+			res.Negotiated, len(items), res.Rounds, res.Stopped, res.GainA, res.GainB)
+		printMoves(res.Assign, defaults)
+	case "b":
+		if *listen == "" {
+			fatal(fmt.Errorf("role b requires -listen"))
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Printf("listening on %s\n", ln.Addr())
+		conn, err := ln.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		defer conn.Close()
+		resp := &nexitwire.Responder{
+			Name:     "agent-b",
+			Eval:     mkEval(nexit.SideB),
+			Items:    items,
+			Defaults: defaults,
+			NumAlts:  numAlts,
+		}
+		sess, err := resp.ServeConn(conn)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("session complete after %d rounds (%v); our gain %d, peer gain %d\n",
+			sess.Rounds, sess.StopReason, sess.GainB, sess.GainA)
+		printMoves(sess.Assign, defaults)
+	default:
+		fatal(fmt.Errorf("role must be a or b"))
+	}
+}
+
+// buildUniverse reconstructs the shared negotiation universe from the
+// dataset seed and pair indices.
+func buildUniverse(seed int64, numISPs int, pairStr string) (*pairsim.System, []nexit.Item, []int, error) {
+	parts := strings.Split(pairStr, ",")
+	if len(parts) != 2 {
+		return nil, nil, nil, fmt.Errorf("bad -pair %q, want i,j", pairStr)
+	}
+	i, err1 := strconv.Atoi(parts[0])
+	j, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return nil, nil, nil, fmt.Errorf("bad -pair %q", pairStr)
+	}
+	cfg := gen.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumISPs = numISPs
+	isps, err := gen.Generate(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if i < 0 || i >= len(isps) || j < 0 || j >= len(isps) || i == j {
+		return nil, nil, nil, fmt.Errorf("pair indices out of range")
+	}
+	pair := topology.NewPair(isps[i], isps[j])
+	if pair.NumInterconnections() < 2 {
+		return nil, nil, nil, fmt.Errorf("ISPs %d and %d share %d interconnections; need >=2",
+			i, j, pair.NumInterconnections())
+	}
+	s := pairsim.New(pair, nil)
+	rev := s.Reverse()
+	wAB := traffic.New(pair.A, pair.B, traffic.Identical, nil)
+	wBA := traffic.New(pair.B, pair.A, traffic.Identical, nil)
+	items := nexit.Items(wAB.Flows, wBA.Flows)
+	defaults := make([]int, len(items))
+	for k, it := range items {
+		if it.Dir == nexit.AtoB {
+			defaults[k] = s.EarlyExit(it.Flow)
+		} else {
+			defaults[k] = rev.EarlyExit(it.Flow)
+		}
+	}
+	return s, items, defaults, nil
+}
+
+func printMoves(assign, defaults []int) {
+	moved := 0
+	for i := range assign {
+		if assign[i] != defaults[i] {
+			moved++
+		}
+	}
+	fmt.Printf("%d of %d flows moved off their default interconnection\n", moved, len(assign))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nexitagent:", err)
+	os.Exit(1)
+}

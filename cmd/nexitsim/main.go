@@ -1,0 +1,310 @@
+// Command nexitsim reproduces the paper's evaluation (§5): it runs the
+// default, negotiated, and globally optimal routing over the synthetic
+// dataset and prints each figure's CDF series as an aligned text table.
+//
+// Usage:
+//
+//	nexitsim [-fig all|4|5|6|7|8|9|10|11|extras] [-max-pairs N]
+//	         [-max-failures N] [-seed N] [-points N] [-dataset FILE]
+//	         [-inventory]
+//
+// Each printed block corresponds to one figure panel of the paper; the
+// x-grid matches the paper's axes. EXPERIMENTS.md records a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		fig         = flag.String("fig", "all", "figure to reproduce: all, 4, 5, 6, 7, 8, 9, 10, 11, extras")
+		maxPairs    = flag.Int("max-pairs", 0, "limit ISP pairs (0 = all)")
+		maxFailures = flag.Int("max-failures", 0, "limit bandwidth failure cases (0 = all)")
+		seed        = flag.Int64("seed", 1, "experiment seed")
+		points      = flag.Int("points", 16, "points per CDF series")
+		dataset     = flag.String("dataset", "", "load .topo dataset instead of generating")
+		inventory   = flag.Bool("inventory", false, "print dataset inventory and exit")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	if *inventory {
+		fmt.Print(ds.Inventory())
+		return
+	}
+
+	opt := experiments.Options{MaxPairs: *maxPairs, Seed: *seed}
+	bopt := experiments.BandwidthOptions{
+		Options:     opt,
+		Workload:    traffic.Gravity,
+		MaxFailures: *maxFailures,
+	}
+
+	needDistance := has(*fig, "all", "4", "5", "6", "extras")
+	needBandwidth := has(*fig, "all", "7", "8", "9", "11")
+	needCheatDist := has(*fig, "all", "10")
+
+	var dres *experiments.DistanceResult
+	var bres *experiments.BandwidthResult
+	var cres *experiments.DistanceCheatResult
+
+	if needDistance {
+		if dres, err = experiments.Distance(ds, opt); err != nil {
+			fatal(err)
+		}
+	}
+	if needBandwidth {
+		if bres, err = experiments.Bandwidth(ds, bopt); err != nil {
+			fatal(err)
+		}
+	}
+	if needCheatDist {
+		if cres, err = experiments.DistanceCheat(ds, opt); err != nil {
+			fatal(err)
+		}
+	}
+
+	n := *points
+	if has(*fig, "all", "4") {
+		section("Figure 4a — distance: total gain over default routing (CDF of ISP pairs)")
+		fmt.Printf("pairs: %d\n", dres.Pairs)
+		printSeries("% gain", 0, 15, n, map[string]*stats.CDF{
+			"negotiated": stats.NewCDF(dres.PairGainNeg),
+			"optimal":    stats.NewCDF(dres.PairGainOpt),
+		}, []string{"negotiated", "optimal"})
+
+		section("Figure 4b — distance: individual ISP gain (CDF of ISPs)")
+		printSeries("% gain", -20, 40, n, map[string]*stats.CDF{
+			"negotiated": stats.NewCDF(dres.IndGainNeg),
+			"optimal":    stats.NewCDF(dres.IndGainOpt),
+		}, []string{"negotiated", "optimal"})
+		losers := 0
+		for _, g := range dres.IndGainOpt {
+			if g < 0 {
+				losers++
+			}
+		}
+		fmt.Printf("ISPs losing under global optimum: %d/%d (paper: roughly a third)\n",
+			losers, len(dres.IndGainOpt))
+	}
+	if has(*fig, "all", "5") {
+		section("Figure 5 — flow-local strategies: total gain (CDF of ISP pairs)")
+		printSeries("% gain", 0, 15, n, map[string]*stats.CDF{
+			"flow-both-better": stats.NewCDF(dres.PairGainBothBetter),
+			"flow-Pareto":      stats.NewCDF(dres.PairGainPareto),
+		}, []string{"flow-both-better", "flow-Pareto"})
+	}
+	if has(*fig, "all", "6") {
+		section("Figure 6 — distance: per-flow gain (CDF of flows, all pairs pooled)")
+		printSeries("% gain", 0, 60, n, map[string]*stats.CDF{
+			"negotiated": stats.NewCDF(dres.FlowGainNeg),
+			"optimal":    stats.NewCDF(dres.FlowGainOpt),
+		}, []string{"negotiated", "optimal"})
+		neg := stats.NewCDF(dres.FlowGainNeg)
+		fmt.Printf("flows gaining >20%%: %.1f%%   >50%%: %.1f%% (paper: 7%% and 1%%)\n",
+			100*neg.FractionAbove(20), 100*neg.FractionAbove(50))
+	}
+	if has(*fig, "all", "7") {
+		section("Figure 7 — bandwidth: MEL relative to optimal after a failure (CDF of failure cases)")
+		fmt.Printf("failure cases: %d\n", bres.FailureCases)
+		fmt.Println("upstream ISP:")
+		printSeries("load ratio", 0, 6, n, map[string]*stats.CDF{
+			"negotiated": stats.NewCDF(bres.UpNeg),
+			"default":    stats.NewCDF(bres.UpDef),
+		}, []string{"negotiated", "default"})
+		fmt.Println("downstream ISP:")
+		printSeries("load ratio", 0, 6, n, map[string]*stats.CDF{
+			"negotiated": stats.NewCDF(bres.DownNeg),
+			"default":    stats.NewCDF(bres.DownDef),
+		}, []string{"negotiated", "default"})
+	}
+	if has(*fig, "all", "8") {
+		section("Figure 8 — unilateral upstream optimization: downstream MEL vs default (CDF)")
+		printSeries("load ratio", 1, 6, n, map[string]*stats.CDF{
+			"upstream-optimized": stats.NewCDF(bres.UnilateralDownRatio),
+		}, []string{"upstream-optimized"})
+		hurt := stats.NewCDF(bres.UnilateralDownRatio).FractionAbove(2)
+		fmt.Printf("cases where downstream MEL more than doubles: %.1f%% (paper: ~10%%)\n", 100*hurt)
+	}
+	if has(*fig, "all", "9") {
+		section("Figure 9 — diverse criteria: upstream bandwidth vs downstream distance")
+		fmt.Println("upstream ISP (MEL ratio to optimal):")
+		printSeries("load ratio", 0, 6, n, map[string]*stats.CDF{
+			"negotiated": stats.NewCDF(bres.DiverseUpNeg),
+			"default":    stats.NewCDF(bres.DiverseUpDef),
+		}, []string{"negotiated", "default"})
+		fmt.Println("downstream ISP (distance gain over default):")
+		printSeries("% gain", 0, 80, n, map[string]*stats.CDF{
+			"negotiated": stats.NewCDF(bres.DiverseDownGain),
+		}, []string{"negotiated"})
+	}
+	if has(*fig, "all", "10") {
+		section("Figure 10a — cheating (distance): total gain (CDF of ISP pairs)")
+		fmt.Printf("pairs: %d\n", cres.Pairs)
+		printSeries("% gain", 0, 15, n, map[string]*stats.CDF{
+			"both truthful": stats.NewCDF(cres.TotalTruthful),
+			"one cheater":   stats.NewCDF(cres.TotalCheat),
+		}, []string{"both truthful", "one cheater"})
+		section("Figure 10b — cheating (distance): individual gain (CDF of ISPs)")
+		printSeries("% gain", 0, 15, n, map[string]*stats.CDF{
+			"both truthful": stats.NewCDF(cres.IndTruthful),
+			"cheater":       stats.NewCDF(cres.IndCheater),
+			"truthful":      stats.NewCDF(cres.IndVictim),
+		}, []string{"both truthful", "cheater", "truthful"})
+		delta := stats.NewCDF(cres.CheaterDelta)
+		fmt.Printf("paired effect of cheating on the cheater itself: mean %+.2f%%, hurts in %.0f%% of pairs\n",
+			delta.Mean(), 100*delta.At(-1e-9))
+	}
+	if has(*fig, "all", "11") {
+		section("Figure 11 — cheating (bandwidth): MEL ratio to optimal (CDF of failure cases)")
+		fmt.Println("upstream ISP (the cheater):")
+		printSeries("load ratio", 0, 6, n, map[string]*stats.CDF{
+			"both truthful": stats.NewCDF(bres.UpNeg),
+			"one cheater":   stats.NewCDF(bres.CheatUpNeg),
+			"default":       stats.NewCDF(bres.UpDef),
+		}, []string{"both truthful", "one cheater", "default"})
+		fmt.Println("downstream ISP (truthful):")
+		printSeries("load ratio", 0, 6, n, map[string]*stats.CDF{
+			"both truthful": stats.NewCDF(bres.DownNeg),
+			"one cheater":   stats.NewCDF(bres.CheatDownNeg),
+			"default":       stats.NewCDF(bres.DownDef),
+		}, []string{"both truthful", "one cheater", "default"})
+	}
+	if has(*fig, "all", "extras") {
+		printExtras(ds, dres, opt)
+	}
+}
+
+// printExtras reproduces the analyses the paper describes in text but
+// omits from figures for space.
+func printExtras(ds *experiments.Dataset, dres *experiments.DistanceResult, opt experiments.Options) {
+	section("Extra — negotiated gain vs number of interconnections (§5.1 text)")
+	var counts []int
+	for k := range dres.GainVsInterconnections {
+		counts = append(counts, k)
+	}
+	sort.Ints(counts)
+	for _, k := range counts {
+		c := stats.NewCDF(dres.GainVsInterconnections[k])
+		fmt.Printf("  %2d interconnections: %s\n", k, stats.Summary(c))
+	}
+
+	section("Extra — fraction of flows moved off the default (§5.1 text, ~20%)")
+	fmt.Printf("  %s\n", stats.Summary(stats.NewCDF(dres.NonDefaultFraction)))
+
+	section("Extra — negotiating in 4 separate groups (§5.1 text)")
+	fmt.Printf("  whole table: %s\n", stats.Summary(stats.NewCDF(dres.PairGainNeg)))
+	fmt.Printf("  4 groups:    %s\n", stats.Summary(stats.NewCDF(dres.GroupGain4)))
+
+	section("Extra — preference range ablation (§5 text: beyond [-10,10] no gain)")
+	bounds := []int{1, 2, 3, 5, 10, 20, 50}
+	abl, err := experiments.PreferenceRangeAblation(ds, opt, bounds)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range bounds {
+		fmt.Printf("  P=%-3d median total gain: %.2f%%\n", p, abl[p])
+	}
+
+	section("Extra — negotiating only the biggest flows (§6 scalability)")
+	fractions := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	sOpt := opt
+	if sOpt.MaxPairs == 0 || sOpt.MaxPairs > 60 {
+		sOpt.MaxPairs = 60 // the sweep renegotiates each pair 6 times
+	}
+	sc, err := experiments.Scalability(ds, sOpt, fractions)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  pairs: %d (gravity flow sizes)\n", sc.Pairs)
+	for i, f := range fractions {
+		fmt.Printf("  top flows covering %3.0f%% of traffic = %4.1f%% of flows -> %3.0f%% of the full gain\n",
+			100*f, 100*sc.FlowShare[i], 100*sc.GainShare[i])
+	}
+
+	section("Extra — destination-based routing (footnote 2)")
+	dOpt := opt
+	if dOpt.MaxPairs == 0 || dOpt.MaxPairs > 100 {
+		dOpt.MaxPairs = 100
+	}
+	db, err := experiments.DestinationBased(ds, dOpt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  pairs: %d; gains measured against each regime's own default\n", db.Pairs)
+	fmt.Printf("  source-destination routing: %s\n", stats.Summary(stats.NewCDF(db.GainSrcDst)))
+	fmt.Printf("  destination-based routing:  %s\n", stats.Summary(stats.NewCDF(db.GainDstOnly)))
+
+	section("Extra — cycles of influence under reactive unilateral routing (§1/§2.2)")
+	stOpt := experiments.BandwidthOptions{
+		Options:     opt,
+		Workload:    traffic.Gravity,
+		MaxFailures: 300,
+	}
+	if stOpt.MaxPairs == 0 || stOpt.MaxPairs > 40 {
+		stOpt.MaxPairs = 40
+	}
+	st, err := experiments.Stability(ds, stOpt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  failure cases: %d\n", st.FailureCases)
+	fmt.Printf("  reactive best-response dynamics: %d converged, %d oscillated, %d exhausted\n",
+		st.Converged, st.Oscillated, st.Exhausted)
+	fmt.Printf("  negotiation: always terminates (by construction)\n")
+	fmt.Printf("  reactive end-state worst MEL:   %s\n", stats.Summary(stats.NewCDF(st.ReactiveWorst)))
+	fmt.Printf("  negotiated worst MEL:           %s\n", stats.Summary(stats.NewCDF(st.NegotiatedWorst)))
+}
+
+func loadDataset(path string) (*experiments.Dataset, error) {
+	if path == "" {
+		return experiments.LoadDefault()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	isps, err := topology.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.FromISPs(isps), nil
+}
+
+func has(v string, options ...string) bool {
+	for _, o := range options {
+		if v == o {
+			return true
+		}
+	}
+	return false
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func printSeries(xLabel string, min, max float64, n int, curves map[string]*stats.CDF, order []string) {
+	fmt.Print(stats.FormatSeries(xLabel, min, max, n, curves, order))
+	for _, name := range order {
+		fmt.Printf("  %s: %s\n", name, stats.Summary(curves[name]))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nexitsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command topogen generates the synthetic ISP dataset that substitutes
+// for the paper's 65 measured Rocketfuel topologies (see DESIGN.md §4)
+// and writes it in the .topo text format.
+//
+// Usage:
+//
+//	topogen [-seed N] [-isps N] [-out FILE] [-inventory]
+//
+// With -inventory the dataset is summarized (ISP sizes, eligible pair
+// counts) instead of serialized.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "generator seed")
+		isps      = flag.Int("isps", 65, "number of ISPs to generate")
+		out       = flag.String("out", "", "output file (default stdout)")
+		inventory = flag.Bool("inventory", false, "print dataset inventory instead of topologies")
+	)
+	flag.Parse()
+
+	cfg := gen.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumISPs = *isps
+	generated, err := gen.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *inventory {
+		ds := experiments.FromISPs(generated)
+		fmt.Print(ds.Inventory())
+		for _, isp := range generated {
+			mesh := ""
+			if isp.IsMesh() {
+				mesh = " (mesh)"
+			}
+			fmt.Printf("  %-8s ASN %d: %2d PoPs, %2d links%s\n",
+				isp.Name, isp.ASN, isp.NumPoPs(), len(isp.Links), mesh)
+		}
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := topology.Write(w, generated); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Diversecriteria demonstrates paper §5.3: the two ISPs negotiate with
+// different optimization objectives — the upstream wants to control
+// overload after a failure (bandwidth metric), the downstream wants to
+// shorten the distance traffic travels in its network (distance metric).
+// Opaque preference classes make the two comparable without either ISP
+// revealing its objective.
+//
+// Run with: go run ./examples/diversecriteria
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/internal/capacity"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/nexit"
+	"repro/internal/pairsim"
+	"repro/internal/traffic"
+)
+
+func main() {
+	// Take a pair with several interconnections from the standard
+	// synthetic dataset.
+	cfg := gen.DefaultConfig()
+	cfg.NumISPs = 20
+	ds, err := experiments.Load(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := ds.BandwidthPairs()
+	if len(pairs) == 0 {
+		log.Fatal("no pairs with >=3 interconnections in dataset")
+	}
+	pair := pairs[0]
+	sys := pairsim.New(pair, ds.Cache)
+	fmt.Printf("%s\n", pair)
+
+	// Gravity-model traffic A -> B; capacities matched to pre-failure
+	// load; fail interconnection 0 and renegotiate the impacted flows.
+	w := traffic.New(pair.A, pair.B, traffic.Gravity, nil)
+	pre := baseline.EarlyExit(sys, w.Flows)
+	loadUp, loadDown := sys.Loads(w.Flows, pre)
+	capUp := capacity.Assign(loadUp, capacity.Options{})
+	_ = loadDown // the downstream negotiates on distance, not load
+
+	const failed = 0
+	fmt.Printf("failing interconnection %q\n\n", pair.Interconnections[failed].City)
+	s2 := pairsim.New(pair.WithoutInterconnection(failed), ds.Cache)
+	fixedUp := make([]float64, len(pair.A.Links))
+	fixedDown := make([]float64, len(pair.B.Links))
+	var impacted []traffic.Flow
+	for _, f := range w.Flows {
+		k := pre[f.ID]
+		if k == failed {
+			f.ID = len(impacted)
+			impacted = append(impacted, f)
+			continue
+		}
+		if k > failed {
+			k--
+		}
+		s2.AddFlowLoad(fixedUp, fixedDown, f, k)
+	}
+	fmt.Printf("%d flows impacted by the failure\n", len(impacted))
+
+	items := make([]nexit.Item, len(impacted))
+	defaults := make([]int, len(impacted))
+	for i, f := range impacted {
+		items[i] = nexit.Item{ID: i, Flow: f, Dir: nexit.AtoB}
+		defaults[i] = s2.EarlyExit(f)
+	}
+
+	// Upstream optimizes bandwidth headroom; downstream optimizes
+	// distance. Neither knows the other's objective.
+	evalUp := nexit.NewBandwidthEvaluator(s2, nexit.SideA, 10, fixedUp, capUp)
+	evalDown := nexit.NewDistanceEvaluator(s2, nexit.SideB, 10)
+	res, err := nexit.Negotiate(nexit.DefaultBandwidthConfig(), evalUp, evalDown, items, defaults, s2.NumAlternatives())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(name string, assign []int) {
+		lu := append([]float64(nil), fixedUp...)
+		ld := append([]float64(nil), fixedDown...)
+		var downDist float64
+		for _, f := range impacted {
+			s2.AddFlowLoad(lu, ld, f, assign[f.ID])
+			downDist += s2.DownDistKm(f, assign[f.ID])
+		}
+		fmt.Printf("  %-12s upstream MEL %.3f   downstream distance %8.0f km\n",
+			name, metrics.MEL(lu, capUp), downDist)
+	}
+	fmt.Println("\nupstream metric: maximum excess load; downstream metric: distance")
+	report("default:", defaults)
+	report("negotiated:", res.Assign)
+	fmt.Printf("\nnegotiation: %d rounds, stop %v, class gains up=%d down=%d\n",
+		res.Rounds, res.Stopped, res.GainA, res.GainB)
+	fmt.Println("both ISPs improved their own metric without sharing objectives.")
+}

@@ -1,0 +1,189 @@
+// Failover reproduces the paper's motivating incident (§2.2, Figures 2
+// and 3): after an interconnection failure, two flows (f2, f3) must be
+// rerouted over the surviving north/south interconnections.
+//
+//   - ISP-A can tolerate f3 on the north link but not f2 (f2 would cross
+//     A's loaded backbone end to end).
+//   - ISP-B is overloaded when both flows enter via the south link, but
+//     from its purely local view the two flows are indistinguishable —
+//     it has "no basis for preferring" to move one rather than the other.
+//
+// Reacting unilaterally (MED-style), ISP-B keeps moving f2 — the one
+// flow ISP-A must push back — and the two ISPs chase each other in a
+// cycle of influence, exactly like the two-day incident the paper
+// reports. Nexit finds the mutually acceptable split (f3 north, f2
+// south) in two rounds.
+//
+// Run with: go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/geo"
+	"repro/internal/metrics"
+	"repro/internal/nexit"
+	"repro/internal/pairsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+const (
+	flowSize = 0.6
+	north    = 1 // alternative index after sorting by city name
+	south    = 2
+	// The "middle" interconnection (index 0) is the one that fails.
+)
+
+func buildPair() *topology.Pair {
+	mkA := func() *topology.ISP {
+		isp := &topology.ISP{Name: "isp-a", ASN: 64512}
+		// mid sits close to south so early-exit (distance-based) sends
+		// mid-sourced traffic south.
+		cities := []struct {
+			name string
+			lat  float64
+		}{{"middle", 36.5}, {"north", 47}, {"mid", 36}, {"south", 33}}
+		for i, c := range cities {
+			isp.PoPs = append(isp.PoPs, topology.PoP{
+				ID: i, City: c.name, Loc: geo.Point{Lat: c.lat, Lon: -100}, Population: 1e6,
+			})
+		}
+		d := func(i, j int) float64 { return geo.DistanceKm(isp.PoPs[i].Loc, isp.PoPs[j].Loc) }
+		isp.Links = []topology.Link{
+			{A: 1, B: 2, Weight: d(1, 2), LengthKm: d(1, 2)}, // north-mid
+			{A: 2, B: 3, Weight: d(2, 3), LengthKm: d(2, 3)}, // mid-south
+			{A: 0, B: 2, Weight: d(0, 2), LengthKm: d(0, 2)}, // middle-mid
+		}
+		return isp
+	}
+	mkB := func() *topology.ISP {
+		isp := &topology.ISP{Name: "isp-b", ASN: 64513}
+		cities := []struct {
+			name string
+			lat  float64
+		}{{"middle", 36.5}, {"north", 47}, {"bmid", 40}, {"south", 33}}
+		for i, c := range cities {
+			isp.PoPs = append(isp.PoPs, topology.PoP{
+				ID: i, City: c.name, Loc: geo.Point{Lat: c.lat, Lon: -99}, Population: 1e6,
+			})
+		}
+		d := func(i, j int) float64 { return geo.DistanceKm(isp.PoPs[i].Loc, isp.PoPs[j].Loc) }
+		isp.Links = []topology.Link{
+			{A: 1, B: 2, Weight: d(1, 2), LengthKm: d(1, 2)}, // north-bmid
+			{A: 2, B: 3, Weight: d(2, 3), LengthKm: d(2, 3)}, // bmid-south
+			{A: 0, B: 2, Weight: d(0, 2), LengthKm: d(0, 2)}, // middle-bmid
+		}
+		return isp
+	}
+	return topology.NewPair(mkA(), mkB())
+}
+
+func main() {
+	pair := buildPair()
+	// Interconnections (shared cities, sorted): middle(0), north(1), south(2).
+	fmt.Printf("%s\n", pair)
+	fmt.Printf("failing the %q interconnection\n\n", pair.Interconnections[0].City)
+	s2 := pairsim.New(pair.WithoutInterconnection(0), nil)
+	// After removal: north is alternative 0, south alternative 1.
+	altNorth, altSouth := 0, 1
+
+	// The two impacted flows, both destined to B's interior PoP "bmid":
+	// f2 from A's south PoP (3), f3 from A's mid PoP (2). For ISP-B they
+	// are indistinguishable (same size, same entry->destination paths);
+	// for ISP-A they differ sharply.
+	f2 := traffic.Flow{ID: 0, Src: 3, Dst: 2, Size: flowSize}
+	f3 := traffic.Flow{ID: 1, Src: 2, Dst: 2, Size: flowSize}
+	flows := []traffic.Flow{f2, f3}
+
+	// Background load and capacities (the paper's "current state of the
+	// network" collected by the negotiation agents): A's backbone is
+	// partially loaded, B's south entry link is the tight one.
+	fixedUp := []float64{0.5, 0.6, 0} // A: north-mid, mid-south, middle stub
+	capUp := []float64{1.2, 1.0, 1.0}
+	fixedDown := []float64{0, 0, 0} // B: north-bmid, bmid-south, middle stub
+	capDown := []float64{2.0, 1.0, 1.0}
+
+	mels := func(assign []int) (a, b float64) {
+		lu := append([]float64(nil), fixedUp...)
+		ld := append([]float64(nil), fixedDown...)
+		for _, f := range flows {
+			s2.AddFlowLoad(lu, ld, f, assign[f.ID])
+		}
+		return metrics.MEL(lu, capUp), metrics.MEL(ld, capDown)
+	}
+	name := func(k int) string { return s2.Pair.Interconnections[k].City }
+
+	// Default routing after the failure: early exit sends both flows
+	// south (f2's source is at the south exit; f3's mid is nearer south).
+	defaults := []int{s2.EarlyExit(f2), s2.EarlyExit(f3)}
+	if defaults[0] != altSouth || defaults[1] != altSouth {
+		log.Fatalf("setup: expected both defaults south, got %v", defaults)
+	}
+
+	// --- The cycle of influence (Figure 2b-2d) ------------------------
+	fmt.Println("unilateral reactions:")
+	assign := append([]int(nil), defaults...)
+	seen := map[string]int{}
+	for round := 0; round < 7; round++ {
+		a, b := mels(assign)
+		fmt.Printf("  step %d: f2->%s f3->%s   MEL A=%.2f B=%.2f\n",
+			round, name(assign[0]), name(assign[1]), a, b)
+		key := fmt.Sprint(assign)
+		if prev, ok := seen[key]; ok {
+			fmt.Printf("  -> state repeats (step %d == step %d): the ISPs oscillate indefinitely\n", round, prev)
+			break
+		}
+		seen[key] = round
+		if round%2 == 0 {
+			// ISP-B's move: if overloaded, shift a south-entering flow
+			// north. Locally both flows look identical, so its static
+			// MED policy always picks the lowest flow ID — f2.
+			if b > 1 {
+				for _, f := range flows {
+					if assign[f.ID] == altSouth {
+						assign[f.ID] = altNorth
+						break
+					}
+				}
+			}
+		} else {
+			// ISP-A's move: if overloaded, pull its worst north-exiting
+			// flow back south (f2 crossing A's whole backbone is always
+			// the worst).
+			if a > 1 && assign[f2.ID] == altNorth {
+				assign[f2.ID] = altSouth
+			}
+		}
+	}
+
+	// --- Nexit (Figure 3) ----------------------------------------------
+	fmt.Println("\nnegotiated (Nexit, bandwidth metric, reassignment after each flow):")
+	items := []nexit.Item{
+		{ID: 0, Flow: f2, Dir: nexit.AtoB},
+		{ID: 1, Flow: f3, Dir: nexit.AtoB},
+	}
+	evalA := nexit.NewBandwidthEvaluator(s2, nexit.SideA, 10, fixedUp, capUp)
+	evalB := nexit.NewBandwidthEvaluator(s2, nexit.SideB, 10, fixedDown, capDown)
+	cfg := nexit.DefaultBandwidthConfig()
+	cfg.ReassignFraction = 0.5 // reassess after each of the two flows
+	res, err := nexit.Negotiate(cfg, evalA, evalB, items, defaults, s2.NumAlternatives())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.Transcript {
+		flow := "f2"
+		if p.ItemID == 1 {
+			flow = "f3"
+		}
+		fmt.Printf("  round %d: ISP-%v proposes %s -> %s (classes A=%+d B=%+d)\n",
+			p.Round, p.Proposer, flow, name(p.Alt), p.PrefA, p.PrefB)
+	}
+	a, b := mels(res.Assign)
+	fmt.Printf("  outcome: f2->%s f3->%s   MEL A=%.2f B=%.2f\n",
+		name(res.Assign[0]), name(res.Assign[1]), a, b)
+	if res.Assign[0] == altSouth && res.Assign[1] == altNorth {
+		fmt.Println("  -> the mutually acceptable split of Figure 2e, found in a handful of rounds")
+	}
+}

@@ -1,0 +1,121 @@
+// Quickstart: two small hand-built ISPs negotiate interconnections for
+// the flows they exchange, using the distance metric of paper §5.1.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/geo"
+	"repro/internal/nexit"
+	"repro/internal/pairsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// buildISP makes a simple east-west backbone across four US cities.
+func buildISP(name string, asn int, cities []string, coords []geo.Point) *topology.ISP {
+	isp := &topology.ISP{Name: name, ASN: asn}
+	for i, c := range cities {
+		isp.PoPs = append(isp.PoPs, topology.PoP{
+			ID: i, City: c, Loc: coords[i], Population: 1e6,
+		})
+	}
+	for i := 0; i+1 < len(cities); i++ {
+		d := geo.DistanceKm(coords[i], coords[i+1])
+		isp.Links = append(isp.Links, topology.Link{A: i, B: i + 1, Weight: d, LengthKm: d})
+	}
+	return isp
+}
+
+func main() {
+	coords := []geo.Point{
+		{Lat: 47.61, Lon: -122.33}, // seattle
+		{Lat: 39.74, Lon: -104.99}, // denver
+		{Lat: 41.88, Lon: -87.63},  // chicago
+		{Lat: 40.71, Lon: -74.01},  // new york
+	}
+	cities := []string{"seattle", "denver", "chicago", "new york"}
+	ispA := buildISP("transcontinental-a", 65001, cities, coords)
+	// ISP B has no Denver PoP: its backbone hops Seattle-Chicago
+	// directly, so the two networks genuinely differ and negotiation has
+	// real trades to find.
+	ispB := buildISP("transcontinental-b", 65002,
+		[]string{"seattle", "chicago", "new york"},
+		[]geo.Point{coords[0], coords[2], coords[3]})
+
+	// The ISPs interconnect wherever both have a PoP — three cities.
+	pair := topology.NewPair(ispA, ispB)
+	sys := pairsim.New(pair, nil)
+	rev := sys.Reverse()
+	fmt.Printf("%s\n\n", pair)
+
+	// One flow per PoP pair, in both directions.
+	wAB := traffic.New(ispA, ispB, traffic.Identical, nil)
+	wBA := traffic.New(ispB, ispA, traffic.Identical, nil)
+	items := nexit.Items(wAB.Flows, wBA.Flows)
+
+	// Default routing: early exit (hot potato) by the upstream.
+	defaults := make([]int, len(items))
+	for i, it := range items {
+		if it.Dir == nexit.AtoB {
+			defaults[i] = sys.EarlyExit(it.Flow)
+		} else {
+			defaults[i] = rev.EarlyExit(it.Flow)
+		}
+	}
+
+	// Negotiate with the paper's default configuration: opaque classes
+	// in [-10, 10], alternating turns, max-sum proposals, early
+	// termination.
+	evalA := nexit.NewDistanceEvaluator(sys, nexit.SideA, 10)
+	evalB := nexit.NewDistanceEvaluator(sys, nexit.SideB, 10)
+	res, err := nexit.Negotiate(nexit.DefaultDistanceConfig(), evalA, evalB, items, defaults, sys.NumAlternatives())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dist := func(assign []int) (total float64) {
+		for i, it := range items {
+			if it.Dir == nexit.AtoB {
+				total += sys.TotalDistKm(it.Flow, assign[i])
+			} else {
+				total += rev.TotalDistKm(it.Flow, assign[i])
+			}
+		}
+		return total
+	}
+
+	optimal := make([]int, len(items))
+	for i, it := range items {
+		if it.Dir == nexit.AtoB {
+			optimal[i] = sys.BestTotal(it.Flow)
+		} else {
+			optimal[i] = rev.BestTotal(it.Flow)
+		}
+	}
+
+	fmt.Printf("total flow distance, default (early-exit): %8.0f km\n", dist(defaults))
+	fmt.Printf("total flow distance, negotiated:           %8.0f km\n", dist(res.Assign))
+	fmt.Printf("total flow distance, globally optimal:     %8.0f km\n\n", dist(optimal))
+	fmt.Printf("negotiation: %d rounds, stop reason %v, preference gains A=%d B=%d\n\n",
+		res.Rounds, res.Stopped, res.GainA, res.GainB)
+
+	fmt.Println("flows moved off their default interconnection:")
+	for i, it := range items {
+		if res.Assign[i] == defaults[i] {
+			continue
+		}
+		from := pair.Interconnections[defaults[i]].City
+		to := pair.Interconnections[res.Assign[i]].City
+		var src, dst string
+		if it.Dir == nexit.AtoB {
+			src, dst = ispA.PoPs[it.Flow.Src].City, ispB.PoPs[it.Flow.Dst].City
+		} else {
+			src, dst = ispB.PoPs[it.Flow.Src].City, ispA.PoPs[it.Flow.Dst].City
+		}
+		fmt.Printf("  %-6s %-10s -> %-10s: exit %-10s -> %-10s\n", it.Dir, src, dst, from, to)
+	}
+}

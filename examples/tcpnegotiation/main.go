@@ -1,0 +1,129 @@
+// Tcpnegotiation runs two negotiation agents (paper §6, Figure 12) in
+// one process, connected over localhost TCP, and prints the session from
+// both sides. The responder agent could equally be the nexitagent binary
+// on another machine.
+//
+// Run with: go run ./examples/tcpnegotiation
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/nexit"
+	"repro/internal/nexitwire"
+	"repro/internal/pairsim"
+	"repro/internal/traffic"
+)
+
+func main() {
+	// Build the shared negotiation universe: both agents must agree on
+	// the pair, the flows, and the defaults (in deployment this comes
+	// from both ISPs observing the same traffic).
+	cfg := gen.DefaultConfig()
+	cfg.NumISPs = 12
+	ds, err := experiments.Load(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := ds.DistancePairs()
+	if len(pairs) == 0 {
+		log.Fatal("no eligible pairs")
+	}
+	pair := pairs[0]
+	sys := pairsim.New(pair, ds.Cache)
+	rev := sys.Reverse()
+	wAB := traffic.New(pair.A, pair.B, traffic.Identical, nil)
+	wBA := traffic.New(pair.B, pair.A, traffic.Identical, nil)
+	items := nexit.Items(wAB.Flows, wBA.Flows)
+	defaults := make([]int, len(items))
+	for i, it := range items {
+		if it.Dir == nexit.AtoB {
+			defaults[i] = sys.EarlyExit(it.Flow)
+		} else {
+			defaults[i] = rev.EarlyExit(it.Flow)
+		}
+	}
+	fmt.Printf("%s: %d flows on the table\n", pair, len(items))
+
+	// Responder agent (ISP B) listens on localhost.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	fmt.Printf("agent-b listening on %s\n", ln.Addr())
+
+	type sessionOut struct {
+		res *nexitwire.SessionResult
+		err error
+	}
+	done := make(chan sessionOut, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- sessionOut{nil, err}
+			return
+		}
+		defer conn.Close()
+		resp := &nexitwire.Responder{
+			Name:     "agent-b",
+			Eval:     nexit.NewDistanceEvaluator(sys, nexit.SideB, 10),
+			Items:    items,
+			Defaults: defaults,
+			NumAlts:  sys.NumAlternatives(),
+		}
+		r, err := resp.ServeConn(conn)
+		done <- sessionOut{r, err}
+	}()
+
+	// Initiator agent (ISP A) dials and drives the session.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	ini := &nexitwire.Initiator{
+		Name: "agent-a",
+		Cfg:  nexit.DefaultDistanceConfig(),
+		Eval: nexit.NewDistanceEvaluator(sys, nexit.SideA, 10),
+	}
+	res, err := ini.Run(conn, items, defaults, sys.NumAlternatives())
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := <-done
+	if out.err != nil {
+		log.Fatal(out.err)
+	}
+
+	fmt.Printf("\ninitiator view: %d rounds, stop %v, gains A=%d B=%d\n",
+		res.Rounds, res.Stopped, res.GainA, res.GainB)
+	fmt.Printf("responder view: %d rounds, stop %v, our gain %d (audited against commits)\n",
+		out.res.Rounds, out.res.StopReason, out.res.GainB)
+
+	moved := 0
+	for i := range res.Assign {
+		if res.Assign[i] != defaults[i] {
+			moved++
+		}
+	}
+	fmt.Printf("\n%d of %d flows moved off their default interconnection\n", moved, len(items))
+	fmt.Println("first proposals on the wire:")
+	for i, p := range res.Transcript {
+		if i == 8 {
+			fmt.Printf("  ... %d more rounds\n", len(res.Transcript)-8)
+			break
+		}
+		verdict := "accepted"
+		if !p.Accepted {
+			verdict = "vetoed"
+		}
+		fmt.Printf("  round %2d: ISP-%v proposes flow %3d -> %q (A %+d, B %+d) %s\n",
+			p.Round, p.Proposer, p.ItemID, sys.Pair.Interconnections[p.Alt].City,
+			p.PrefA, p.PrefB, verdict)
+	}
+}

@@ -1,0 +1,193 @@
+// Package baseline implements the non-negotiated routing strategies the
+// paper compares against: early-exit (the BGP default), late-exit
+// (consistently honored MEDs, Figure 1b), the flow-local strategies of
+// §5.1 (flow-Pareto and flow-both-better), unilateral upstream
+// optimization (§5.2, Figure 8), and negotiation over separate flow
+// groups (§5.1).
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/nexit"
+	"repro/internal/pairsim"
+	"repro/internal/traffic"
+)
+
+// EarlyExit assigns every flow the upstream's closest interconnection —
+// today's default routing.
+func EarlyExit(s *pairsim.System, flows []traffic.Flow) pairsim.Assignment {
+	assign := assignmentFor(flows)
+	for _, f := range flows {
+		assign[f.ID] = s.EarlyExit(f)
+	}
+	return assign
+}
+
+// LateExit assigns every flow the interconnection closest to its
+// destination — the result of MEDs honored consistently.
+func LateExit(s *pairsim.System, flows []traffic.Flow) pairsim.Assignment {
+	assign := assignmentFor(flows)
+	for _, f := range flows {
+		assign[f.ID] = s.LateExit(f)
+	}
+	return assign
+}
+
+func assignmentFor(flows []traffic.Flow) pairsim.Assignment {
+	maxID := -1
+	for _, f := range flows {
+		if f.ID > maxID {
+			maxID = f.ID
+		}
+	}
+	return pairsim.NewAssignment(maxID + 1)
+}
+
+// FlowLocalStrategy selects among the flow-local strategies of §5.1.
+type FlowLocalStrategy int
+
+// Flow-local strategies: both "avoid obvious wastage at flow-level" but,
+// as the paper shows in Figure 5, neither achieves the potential benefit
+// of negotiating across the whole flow set.
+const (
+	// FlowPareto rejects alternatives that are worse than the default
+	// for BOTH ISPs; anything not jointly wasteful is allowed.
+	FlowPareto FlowLocalStrategy = iota
+	// FlowBothBetter rejects alternatives that are worse for ANY ISP;
+	// only alternatives at least as good for both are allowed.
+	FlowBothBetter
+)
+
+// String names the strategy.
+func (s FlowLocalStrategy) String() string {
+	if s == FlowPareto {
+		return "flow-pareto"
+	}
+	if s == FlowBothBetter {
+		return "flow-both-better"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// FlowLocal applies a flow-local strategy to the negotiation items:
+// independently for each flow, it picks uniformly at random among the
+// alternatives satisfying the strategy's criterion (relative to the
+// item's default). deltasA and deltasB give each ISP's per-item,
+// per-alternative metric improvement over the default (positive =
+// better), as produced by DistanceDeltas.
+func FlowLocal(strategy FlowLocalStrategy, deltasA, deltasB [][]float64, defaults []int, rng *rand.Rand) []int {
+	out := make([]int, len(defaults))
+	for i := range defaults {
+		var candidates []int
+		for k := range deltasA[i] {
+			dA, dB := deltasA[i][k], deltasB[i][k]
+			ok := false
+			switch strategy {
+			case FlowPareto:
+				ok = !(dA < 0 && dB < 0)
+			case FlowBothBetter:
+				ok = dA >= 0 && dB >= 0
+			}
+			if ok {
+				candidates = append(candidates, k)
+			}
+		}
+		if len(candidates) == 0 {
+			out[i] = defaults[i]
+			continue
+		}
+		out[i] = candidates[rng.Intn(len(candidates))]
+	}
+	return out
+}
+
+// DistanceDeltas computes, for each item and alternative, each ISP's
+// distance improvement over the item's default alternative (positive =
+// shorter path inside that ISP).
+func DistanceDeltas(s *pairsim.System, items []nexit.Item, defaults []int) (deltasA, deltasB [][]float64) {
+	rev := s.Reverse()
+	na := s.NumAlternatives()
+	deltasA = make([][]float64, len(items))
+	deltasB = make([][]float64, len(items))
+	for i, it := range items {
+		deltasA[i] = make([]float64, na)
+		deltasB[i] = make([]float64, na)
+		for k := 0; k < na; k++ {
+			var dA, dB, dA0, dB0 float64
+			if it.Dir == nexit.AtoB {
+				dA, dB = s.UpDistKm(it.Flow, k), s.DownDistKm(it.Flow, k)
+				dA0, dB0 = s.UpDistKm(it.Flow, defaults[i]), s.DownDistKm(it.Flow, defaults[i])
+			} else {
+				dB, dA = rev.UpDistKm(it.Flow, k), rev.DownDistKm(it.Flow, k)
+				dB0, dA0 = rev.UpDistKm(it.Flow, defaults[i]), rev.DownDistKm(it.Flow, defaults[i])
+			}
+			deltasA[i][k] = dA0 - dA
+			deltasB[i][k] = dB0 - dB
+		}
+	}
+	return deltasA, deltasB
+}
+
+// UnilateralUpstream reroutes the flows purely in the upstream's
+// interest: processing flows in descending size, each flow takes the
+// interconnection minimizing the worst load-to-capacity ratio along its
+// upstream path given the loads accumulated so far. The downstream is
+// not consulted — the scenario of the paper's Figure 8.
+func UnilateralUpstream(s *pairsim.System, flows []traffic.Flow, loadUp, capUp []float64) pairsim.Assignment {
+	assign := assignmentFor(flows)
+	load := append([]float64(nil), loadUp...)
+	order := append([]traffic.Flow(nil), flows...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Size > order[j].Size })
+	for _, f := range order {
+		bestK, bestCost := -1, 0.0
+		for k := 0; k < s.NumAlternatives(); k++ {
+			links := s.Up.PathLinks(f.Src, s.Pair.Interconnections[k].APoP)
+			cost := metrics.MaxIncreaseOnPath(load, capUp, links, f.Size)
+			if bestK == -1 || cost < bestCost {
+				bestK, bestCost = k, cost
+			}
+		}
+		assign[f.ID] = bestK
+		s.Up.AddLoad(load, f.Src, s.Pair.Interconnections[bestK].APoP, f.Size)
+	}
+	return assign
+}
+
+// GroupNegotiate splits the items into the given number of contiguous
+// groups and negotiates each group separately with fresh engine state,
+// as in the paper's §5.1 ablation ("breaking down the set of flows into
+// several groups and negotiating within each group separately ... does
+// not provide as much benefit as negotiating over the entire set").
+// Evaluators are shared across groups, so stateful (bandwidth)
+// evaluators carry committed load forward.
+func GroupNegotiate(cfg nexit.Config, evalA, evalB nexit.Evaluator, items []nexit.Item, defaults []int, numAlts, groups int) ([]int, error) {
+	if groups <= 0 {
+		return nil, fmt.Errorf("baseline: groups must be positive")
+	}
+	assign := append([]int(nil), defaults...)
+	size := (len(items) + groups - 1) / groups
+	for start := 0; start < len(items); start += size {
+		end := start + size
+		if end > len(items) {
+			end = len(items)
+		}
+		sub := make([]nexit.Item, end-start)
+		subDef := make([]int, end-start)
+		for i := start; i < end; i++ {
+			sub[i-start] = nexit.Item{ID: i - start, Flow: items[i].Flow, Dir: items[i].Dir}
+			subDef[i-start] = defaults[i]
+		}
+		res, err := nexit.Negotiate(cfg, evalA, evalB, sub, subDef, numAlts)
+		if err != nil {
+			return nil, err
+		}
+		for i := range sub {
+			assign[start+i] = res.Assign[i]
+		}
+	}
+	return assign, nil
+}

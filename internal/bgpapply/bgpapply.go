@@ -1,0 +1,235 @@
+// Package bgpapply implements the paper's §6 integration with ISP
+// routing: "once the path has been negotiated, low-level BGP mechanisms
+// such as local-prefs are used to implement it."
+//
+// The downstream ISP announces each of its prefixes over every
+// interconnection; the upstream's negotiation agent compiles the agreed
+// assignment into per-flow pinning entries (source-destination routing,
+// which the paper assumes via MPLS) layered over a standard BGP decision
+// process (local-pref, AS-path length, MED, tie-break). The package also
+// provides the compliance checking of §6: "ISPs can easily verify
+// whether the traffic exchange complies with what was negotiated", with
+// detected unilateral deviations triggering a rollback recommendation.
+package bgpapply
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flowid"
+	"repro/internal/nexit"
+	"repro/internal/topology"
+)
+
+// Route is a BGP-style advertisement for a destination prefix as heard
+// over one interconnection.
+type Route struct {
+	Dst             flowid.Prefix
+	Interconnection int   // which interconnection the route was heard on
+	ASPath          []int // AS numbers, nearest first (prepending shows up here)
+	MED             int   // multi-exit discriminator set by the announcer
+	LocalPref       int   // local preference set by the receiver's policy
+}
+
+// Announce produces the downstream ISP's advertisements: every PoP
+// prefix announced over every interconnection with a plain AS path. MEDs
+// are zero; negotiated preferences are expressed by the upstream's
+// compiled policy instead (the paper's point is precisely that MEDs
+// alone cannot express the agreed pattern).
+func Announce(downstream *topology.ISP, plan *flowid.Plan, numInterconnections int) []Route {
+	var out []Route
+	for pop := range downstream.PoPs {
+		for k := 0; k < numInterconnections; k++ {
+			out = append(out, Route{
+				Dst:             plan.ByPoP[pop],
+				Interconnection: k,
+				ASPath:          []int{downstream.ASN},
+			})
+		}
+	}
+	return out
+}
+
+// FlowKey identifies a pinned flow: source and destination prefixes.
+type FlowKey struct {
+	Src flowid.Prefix
+	Dst flowid.Prefix
+}
+
+// Config is the compiled routing policy of the upstream ISP.
+type Config struct {
+	// Pins maps a flow to its agreed interconnection — the MPLS-style
+	// source-destination entries that implement the negotiated paths.
+	Pins map[FlowKey]int
+	// DefaultLocalPref applies to routes not covered by a pin.
+	DefaultLocalPref int
+}
+
+// Compile turns a negotiated assignment into the upstream's Config.
+// items/assign are the negotiation outcome restricted to one direction
+// (upstream -> downstream); srcPlan and dstPlan map PoPs to prefixes.
+// Only flows moved off their default need pinning — default-routed flows
+// follow plain BGP — which keeps the policy small (the paper: ~20% of
+// flows need non-default routing).
+func Compile(items []nexit.Item, assign, defaults []int, srcPlan, dstPlan *flowid.Plan) (*Config, error) {
+	cfg := &Config{Pins: make(map[FlowKey]int), DefaultLocalPref: 100}
+	for i, it := range items {
+		if it.Dir != nexit.AtoB {
+			return nil, fmt.Errorf("bgpapply: item %d flows %v; Compile wants a single direction", i, it.Dir)
+		}
+		if assign[i] == defaults[i] {
+			continue
+		}
+		if it.Flow.Src >= len(srcPlan.ByPoP) || it.Flow.Dst >= len(dstPlan.ByPoP) {
+			return nil, fmt.Errorf("bgpapply: item %d references PoPs outside the prefix plans", i)
+		}
+		key := FlowKey{Src: srcPlan.ByPoP[it.Flow.Src], Dst: dstPlan.ByPoP[it.Flow.Dst]}
+		if prev, ok := cfg.Pins[key]; ok && prev != assign[i] {
+			return nil, fmt.Errorf("bgpapply: conflicting pins for %v/%v", key.Src, key.Dst)
+		}
+		cfg.Pins[key] = assign[i]
+	}
+	return cfg, nil
+}
+
+// Select runs the BGP decision process over candidate routes for one
+// destination: highest local-pref, shortest AS path, lowest MED, lowest
+// interconnection index (the router-ID tie-break). It returns the
+// winning route's interconnection, or -1 when no route is given.
+func Select(routes []Route) int {
+	best := -1
+	for i, r := range routes {
+		if best == -1 || better(r, routes[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return -1
+	}
+	return routes[best].Interconnection
+}
+
+// better reports whether a beats b in the decision process.
+func better(a, b Route) bool {
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	if len(a.ASPath) != len(b.ASPath) {
+		return len(a.ASPath) < len(b.ASPath)
+	}
+	if a.MED != b.MED {
+		return a.MED < b.MED
+	}
+	return a.Interconnection < b.Interconnection
+}
+
+// Forward resolves the interconnection a flow takes under the config:
+// pinned flows use their pin; everything else runs the BGP decision over
+// the routes for the destination prefix with the default early-exit
+// preference expressed through defaultChoice (the upstream's IGP-closest
+// exit, which hot-potato routing realizes via IGP metric — modeled here
+// as a local-pref bump).
+func (c *Config) Forward(key FlowKey, routes []Route, defaultChoice int) int {
+	if k, ok := c.Pins[key]; ok {
+		return k
+	}
+	candidates := make([]Route, 0, len(routes))
+	for _, r := range routes {
+		if r.Dst.ContainsPrefix(key.Dst) {
+			r.LocalPref = c.DefaultLocalPref
+			if r.Interconnection == defaultChoice {
+				// Hot-potato: the IGP-closest exit wins among equals.
+				r.LocalPref++
+			}
+			candidates = append(candidates, r)
+		}
+	}
+	return Select(candidates)
+}
+
+// Verify checks that forwarding every item under the config reproduces
+// the negotiated assignment. It returns the mismatching item IDs (empty
+// means the config implements the agreement exactly).
+func Verify(cfg *Config, items []nexit.Item, assign, defaults []int, srcPlan, dstPlan *flowid.Plan, routes []Route) []int {
+	var bad []int
+	for i, it := range items {
+		key := FlowKey{Src: srcPlan.ByPoP[it.Flow.Src], Dst: dstPlan.ByPoP[it.Flow.Dst]}
+		if got := cfg.Forward(key, routes, defaults[i]); got != assign[i] {
+			bad = append(bad, it.ID)
+		}
+	}
+	return bad
+}
+
+// Violation describes one flow observed off its agreed interconnection.
+type Violation struct {
+	ItemID   int
+	Agreed   int
+	Observed int
+}
+
+// CheckCompliance compares observed routing against the agreement and
+// returns the violations, implementing §6's "if unilateral changes are
+// detected (without a renegotiation request), the ISP can partially or
+// fully roll back the compromises made in return".
+func CheckCompliance(agreed, observed []int) []Violation {
+	var out []Violation
+	for i := range agreed {
+		if observed[i] != agreed[i] {
+			out = append(out, Violation{ItemID: i, Agreed: agreed[i], Observed: observed[i]})
+		}
+	}
+	return out
+}
+
+// RollbackPlan selects the compromises to revoke in response to
+// violations: the flows where the complying ISP conceded (its own
+// preference for the agreed alternative was negative), up to the total
+// magnitude of the violations — a proportional response rather than full
+// abandonment. ownPrefs[i][k] are the complying ISP's preference classes
+// and the returned item IDs should be reverted to their defaults.
+func RollbackPlan(violations []Violation, agreed, defaults []int, ownPrefs [][]int) []int {
+	if len(violations) == 0 {
+		return nil
+	}
+	type concession struct {
+		item int
+		cost int // how much the complying ISP gave up (positive)
+	}
+	var concessions []concession
+	for i := range agreed {
+		if agreed[i] == defaults[i] {
+			continue
+		}
+		if p := ownPrefs[i][agreed[i]]; p < 0 {
+			concessions = append(concessions, concession{item: i, cost: -p})
+		}
+	}
+	sort.Slice(concessions, func(i, j int) bool {
+		if concessions[i].cost != concessions[j].cost {
+			return concessions[i].cost > concessions[j].cost
+		}
+		return concessions[i].item < concessions[j].item
+	})
+	budget := 0
+	for _, v := range violations {
+		// Each violation justifies revoking concessions of comparable
+		// magnitude; use the complying ISP's loss estimate if available.
+		cost := 1
+		if v.ItemID < len(ownPrefs) && v.Observed < len(ownPrefs[v.ItemID]) {
+			if p := ownPrefs[v.ItemID][v.Observed] - ownPrefs[v.ItemID][v.Agreed]; p < 0 {
+				cost = -p
+			}
+		}
+		budget += cost
+	}
+	var out []int
+	for _, c := range concessions {
+		if budget <= 0 {
+			break
+		}
+		out = append(out, c.item)
+		budget -= c.cost
+	}
+	return out
+}

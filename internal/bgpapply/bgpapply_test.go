@@ -1,0 +1,202 @@
+package bgpapply
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/flowid"
+	"repro/internal/gen"
+	"repro/internal/nexit"
+	"repro/internal/pairsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func TestSelectDecisionProcess(t *testing.T) {
+	cases := []struct {
+		name   string
+		routes []Route
+		want   int
+	}{
+		{"empty", nil, -1},
+		{"local pref wins", []Route{
+			{Interconnection: 0, LocalPref: 100, ASPath: []int{1, 2, 3}},
+			{Interconnection: 1, LocalPref: 200, ASPath: []int{1, 2, 3, 4, 5}},
+		}, 1},
+		{"as path breaks tie", []Route{
+			{Interconnection: 0, LocalPref: 100, ASPath: []int{1, 2}},
+			{Interconnection: 1, LocalPref: 100, ASPath: []int{1}},
+		}, 1},
+		{"prepending loses", []Route{
+			{Interconnection: 0, LocalPref: 100, ASPath: []int{7, 7, 7}},
+			{Interconnection: 1, LocalPref: 100, ASPath: []int{7}},
+		}, 1},
+		{"med breaks tie", []Route{
+			{Interconnection: 0, LocalPref: 100, ASPath: []int{1}, MED: 50},
+			{Interconnection: 1, LocalPref: 100, ASPath: []int{1}, MED: 10},
+		}, 1},
+		{"index as final tie-break", []Route{
+			{Interconnection: 2, LocalPref: 100, ASPath: []int{1}},
+			{Interconnection: 1, LocalPref: 100, ASPath: []int{1}},
+		}, 1},
+	}
+	for _, c := range cases {
+		if got := Select(c.routes); got != c.want {
+			t.Errorf("%s: Select = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// universe builds a real negotiated outcome over a generated pair, one
+// direction only (A -> B), as Compile expects.
+func universe(t *testing.T) (s *pairsim.System, items []nexit.Item, assign, defaults []int, srcPlan, dstPlan *flowid.Plan) {
+	t.Helper()
+	cfg := gen.DefaultConfig()
+	cfg.NumISPs = 10
+	isps, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := topology.AllPairs(isps, 2, true)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	pair := pairs[0]
+	s = pairsim.New(pair, nil)
+	w := traffic.New(pair.A, pair.B, traffic.Identical, nil)
+	items = nexit.Items(w.Flows, nil)
+	defaults = make([]int, len(items))
+	for i, it := range items {
+		defaults[i] = s.EarlyExit(it.Flow)
+	}
+	evalA := nexit.NewDistanceEvaluator(s, nexit.SideA, 10)
+	evalB := nexit.NewDistanceEvaluator(s, nexit.SideB, 10)
+	res, err := nexit.Negotiate(nexit.DefaultDistanceConfig(), evalA, evalB, items, defaults, s.NumAlternatives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign = res.Assign
+	if srcPlan, err = flowid.NewPlan(pair.A); err != nil {
+		t.Fatal(err)
+	}
+	if dstPlan, err = flowid.NewPlan(pair.B); err != nil {
+		t.Fatal(err)
+	}
+	return s, items, assign, defaults, srcPlan, dstPlan
+}
+
+func TestCompileAndVerify(t *testing.T) {
+	s, items, assign, defaults, srcPlan, dstPlan := universe(t)
+	cfg, err := Compile(items, assign, defaults, srcPlan, dstPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only moved flows get pins.
+	moved := 0
+	for i := range items {
+		if assign[i] != defaults[i] {
+			moved++
+		}
+	}
+	if len(cfg.Pins) > moved {
+		t.Errorf("config has %d pins for %d moved flows", len(cfg.Pins), moved)
+	}
+	routes := Announce(s.Pair.B, dstPlan, s.NumAlternatives())
+	if want := len(s.Pair.B.PoPs) * s.NumAlternatives(); len(routes) != want {
+		t.Fatalf("Announce produced %d routes, want %d", len(routes), want)
+	}
+	// The compiled config must reproduce the negotiated assignment for
+	// every flow.
+	if bad := Verify(cfg, items, assign, defaults, srcPlan, dstPlan, routes); len(bad) != 0 {
+		t.Errorf("%d flows forward off their negotiated path: %v", len(bad), bad)
+	}
+}
+
+func TestCompileRejectsMixedDirections(t *testing.T) {
+	_, items, assign, defaults, srcPlan, dstPlan := universe(t)
+	bad := append([]nexit.Item(nil), items...)
+	bad[0].Dir = nexit.BtoA
+	if _, err := Compile(bad, assign, defaults, srcPlan, dstPlan); err == nil {
+		t.Error("mixed-direction items accepted")
+	}
+}
+
+func TestForwardUnpinnedUsesEarlyExit(t *testing.T) {
+	s, items, _, defaults, srcPlan, dstPlan := universe(t)
+	cfg := &Config{Pins: map[FlowKey]int{}, DefaultLocalPref: 100}
+	routes := Announce(s.Pair.B, dstPlan, s.NumAlternatives())
+	for i, it := range items[:10] {
+		key := FlowKey{Src: srcPlan.ByPoP[it.Flow.Src], Dst: dstPlan.ByPoP[it.Flow.Dst]}
+		if got := cfg.Forward(key, routes, defaults[i]); got != defaults[i] {
+			t.Errorf("flow %d: unpinned forwarding = %d, want early-exit %d", i, got, defaults[i])
+		}
+	}
+}
+
+func TestBaselineSanity(t *testing.T) {
+	// The early-exit defaults used above match the baseline package's.
+	s, items, _, defaults, _, _ := universe(t)
+	flows := make([]traffic.Flow, len(items))
+	for i, it := range items {
+		flows[i] = it.Flow
+	}
+	early := baseline.EarlyExit(s, flows)
+	for i := range flows {
+		if early[flows[i].ID] != defaults[i] {
+			t.Fatalf("default mismatch at %d", i)
+		}
+	}
+}
+
+func TestCheckCompliance(t *testing.T) {
+	agreed := []int{0, 1, 2, 1}
+	observed := []int{0, 2, 2, 0}
+	v := CheckCompliance(agreed, observed)
+	if len(v) != 2 {
+		t.Fatalf("violations = %+v", v)
+	}
+	if v[0].ItemID != 1 || v[0].Agreed != 1 || v[0].Observed != 2 {
+		t.Errorf("violation 0 = %+v", v[0])
+	}
+	if len(CheckCompliance(agreed, agreed)) != 0 {
+		t.Error("compliant routing reported violations")
+	}
+}
+
+func TestRollbackPlan(t *testing.T) {
+	// Items 0,1 are concessions (own pref negative for the agreed alt);
+	// item 2 is a win. One violation of magnitude 3 justifies revoking
+	// the largest concession first.
+	agreed := []int{1, 1, 1}
+	defaults := []int{0, 0, 0}
+	ownPrefs := [][]int{
+		{0, -2}, // concession, cost 2
+		{0, -1}, // concession, cost 1
+		{0, 5},  // our win
+	}
+	violations := []Violation{{ItemID: 2, Agreed: 1, Observed: 0}}
+	// The violation cost from our perspective: prefs[2][0]-prefs[2][1] =
+	// -5 -> cost 5; budget 5 covers both concessions.
+	plan := RollbackPlan(violations, agreed, defaults, ownPrefs)
+	if len(plan) != 2 || plan[0] != 0 || plan[1] != 1 {
+		t.Errorf("RollbackPlan = %v, want [0 1]", plan)
+	}
+	if RollbackPlan(nil, agreed, defaults, ownPrefs) != nil {
+		t.Error("no violations should mean no rollback")
+	}
+}
+
+func TestRollbackProportional(t *testing.T) {
+	agreed := []int{1, 1}
+	defaults := []int{0, 0}
+	ownPrefs := [][]int{
+		{0, -5}, // big concession
+		{0, -1}, // small concession
+	}
+	// A tiny violation (cost 1) revokes only the largest concession.
+	violations := []Violation{{ItemID: 1, Agreed: 1, Observed: 1}} // cost defaults to >=1
+	plan := RollbackPlan(violations, agreed, defaults, ownPrefs)
+	if len(plan) != 1 || plan[0] != 0 {
+		t.Errorf("RollbackPlan = %v, want [0]", plan)
+	}
+}

@@ -1,0 +1,132 @@
+// Package capacity assigns link capacities from steady-state loads,
+// implementing the paper's §5.2 model and its alternates.
+//
+// The paper's primary model: "link capacities are proportional to the
+// load on the link before the failure", i.e. a well-designed network is
+// roughly matched to its traffic. Links that carry no traffic before the
+// failure are backup links and get the median capacity of the loaded
+// links; links below the median are upgraded to the median so results are
+// not dominated by links that carry little traffic. The alternate models
+// (maximum/mean for unused links, power-of-two discretization) are those
+// the paper reports testing for robustness.
+package capacity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// UnusedRule selects the capacity assigned to links with zero
+// pre-failure load.
+type UnusedRule int
+
+// Rules for unused (backup) links.
+const (
+	// UnusedMedian assigns the median load of the non-zero links
+	// (paper's primary choice).
+	UnusedMedian UnusedRule = iota
+	// UnusedMax assigns the maximum load of the non-zero links.
+	UnusedMax
+	// UnusedMean assigns the mean load of the non-zero links.
+	UnusedMean
+)
+
+// String names the rule.
+func (r UnusedRule) String() string {
+	switch r {
+	case UnusedMedian:
+		return "median"
+	case UnusedMax:
+		return "max"
+	case UnusedMean:
+		return "mean"
+	}
+	return fmt.Sprintf("rule(%d)", int(r))
+}
+
+// Options configures capacity assignment. The zero value is the paper's
+// primary model: median rule, upgrade-to-median, no discretization.
+type Options struct {
+	Unused          UnusedRule
+	NoUpgrade       bool // if set, do NOT raise below-median links to the median
+	RoundToPowerOf2 bool // discretize capacities by rounding up to a power of two
+}
+
+// Assign computes per-link capacities from pre-failure loads. The input
+// is not modified. If every link has zero load (degenerate), all
+// capacities are 1.
+func Assign(load []float64, opts Options) []float64 {
+	capv := make([]float64, len(load))
+	nonzero := make([]float64, 0, len(load))
+	for _, l := range load {
+		if l > 0 {
+			nonzero = append(nonzero, l)
+		}
+	}
+	if len(nonzero) == 0 {
+		for i := range capv {
+			capv[i] = 1
+		}
+		return capv
+	}
+	med := median(nonzero)
+	unused := med
+	switch opts.Unused {
+	case UnusedMax:
+		unused = maxOf(nonzero)
+	case UnusedMean:
+		unused = meanOf(nonzero)
+	}
+	for i, l := range load {
+		c := l
+		if l <= 0 {
+			c = unused
+		}
+		if !opts.NoUpgrade && c < med {
+			c = med
+		}
+		if opts.RoundToPowerOf2 {
+			c = roundUpPow2(c)
+		}
+		capv[i] = c
+	}
+	return capv
+}
+
+// median returns the median of xs (xs is copied, not modified).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func meanOf(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// roundUpPow2 rounds a positive value up to the next power of two.
+func roundUpPow2(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Pow(2, math.Ceil(math.Log2(x)))
+}

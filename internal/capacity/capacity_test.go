@@ -1,0 +1,167 @@
+package capacity
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignPrimaryModel(t *testing.T) {
+	// loads: {0, 2, 4, 10}; nonzero = {2,4,10}; median = 4.
+	load := []float64{0, 2, 4, 10}
+	capv := Assign(load, Options{})
+	want := []float64{4, 4, 4, 10} // unused->median, below-median upgraded
+	for i := range want {
+		if capv[i] != want[i] {
+			t.Errorf("cap[%d] = %v, want %v", i, capv[i], want[i])
+		}
+	}
+}
+
+func TestAssignNoUpgrade(t *testing.T) {
+	load := []float64{0, 2, 4, 10}
+	capv := Assign(load, Options{NoUpgrade: true})
+	want := []float64{4, 2, 4, 10}
+	for i := range want {
+		if capv[i] != want[i] {
+			t.Errorf("cap[%d] = %v, want %v", i, capv[i], want[i])
+		}
+	}
+}
+
+func TestAssignUnusedMax(t *testing.T) {
+	load := []float64{0, 2, 4, 10}
+	capv := Assign(load, Options{Unused: UnusedMax})
+	if capv[0] != 10 {
+		t.Errorf("unused link cap = %v, want 10", capv[0])
+	}
+}
+
+func TestAssignUnusedMean(t *testing.T) {
+	load := []float64{0, 2, 4, 12}
+	capv := Assign(load, Options{Unused: UnusedMean})
+	if capv[0] != 6 { // mean of 2,4,12
+		t.Errorf("unused link cap = %v, want 6", capv[0])
+	}
+}
+
+func TestAssignPow2(t *testing.T) {
+	load := []float64{3, 5, 8}
+	capv := Assign(load, Options{RoundToPowerOf2: true})
+	// median = 5 → caps before rounding: {5,5,8} → {8,8,8}
+	want := []float64{8, 8, 8}
+	for i := range want {
+		if capv[i] != want[i] {
+			t.Errorf("cap[%d] = %v, want %v", i, capv[i], want[i])
+		}
+	}
+}
+
+func TestAssignAllZero(t *testing.T) {
+	capv := Assign([]float64{0, 0, 0}, Options{})
+	for i, c := range capv {
+		if c != 1 {
+			t.Errorf("cap[%d] = %v, want 1", i, c)
+		}
+	}
+}
+
+func TestAssignEmpty(t *testing.T) {
+	if got := Assign(nil, Options{}); len(got) != 0 {
+		t.Errorf("Assign(nil) = %v", got)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := median([]float64{1, 3, 5, 7}); m != 4 {
+		t.Errorf("median = %v, want 4", m)
+	}
+	if m := median([]float64{5}); m != 5 {
+		t.Errorf("median = %v, want 5", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	median(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Error("median mutated its input")
+	}
+}
+
+func TestRoundUpPow2(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {0.3, 0.5}, {1024, 1024}, {-1, 1}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := roundUpPow2(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("roundUpPow2(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: with the primary model, every capacity is >= the link's load
+// is false in general (zero-load links get median regardless), but every
+// capacity is >= min(load, median) and >= median when upgrade is on, and
+// capacities never decrease when switching from median to max rule.
+func TestAssignProperties(t *testing.T) {
+	sanitize := func(raw []float64) []float64 {
+		load := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			load = append(load, math.Abs(x))
+		}
+		return load
+	}
+	f := func(raw []float64) bool {
+		load := sanitize(raw)
+		if len(load) == 0 {
+			return true
+		}
+		capMed := Assign(load, Options{})
+		capMax := Assign(load, Options{Unused: UnusedMax})
+		var nonzero []float64
+		for _, l := range load {
+			if l > 0 {
+				nonzero = append(nonzero, l)
+			}
+		}
+		var med float64 = 1
+		if len(nonzero) > 0 {
+			s := append([]float64(nil), nonzero...)
+			sort.Float64s(s)
+			if len(s)%2 == 1 {
+				med = s[len(s)/2]
+			} else {
+				med = (s[len(s)/2-1] + s[len(s)/2]) / 2
+			}
+		}
+		for i := range load {
+			if capMed[i] < med-1e-12 {
+				return false // upgrade rule violated
+			}
+			if load[i] > 0 && capMed[i] < load[i]-1e-12 && load[i] > med {
+				return false // above-median links keep their load as capacity
+			}
+			if capMax[i] < capMed[i]-1e-12 {
+				return false // max rule dominates median rule
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	if UnusedMedian.String() != "median" || UnusedMax.String() != "max" || UnusedMean.String() != "mean" {
+		t.Error("rule names wrong")
+	}
+	if UnusedRule(9).String() == "" {
+		t.Error("unknown rule should stringify")
+	}
+}

@@ -1,0 +1,191 @@
+// Package continuous implements the paper's §6 deployment model of
+// negotiation as an ongoing process rather than a one-shot event: "ISPs
+// inform each other of their updated preferences for each flow being
+// exchanged. These would be used to continually find routing patterns
+// that benefit both ISPs."
+//
+// A Controller manages one ISP pair across epochs. Each epoch it
+// observes the (drifting) traffic through a flow registry (internal/
+// flowid), selects the stable, negotiable flows, renegotiates them with
+// fresh preferences, applies the outcome, and settles the credit ledger
+// (internal/credits) so lopsided epochs are repaid later.
+package continuous
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/credits"
+	"repro/internal/flowid"
+	"repro/internal/nexit"
+	"repro/internal/pairsim"
+	"repro/internal/traffic"
+)
+
+// Controller drives continuous negotiation for one pair.
+type Controller struct {
+	Sys *pairsim.System
+	Rev *pairsim.System
+	Cfg nexit.Config
+	// P is the preference class bound used by the evaluators.
+	P int
+	// Registry tracks flow stability; only promoted flows are
+	// renegotiated ("in the interest of stability").
+	Registry *flowid.Registry
+	// Ledger carries gain imbalances across epochs.
+	Ledger *credits.Ledger
+
+	// applied is the currently installed interconnection per flow key.
+	applied map[key]int
+	epoch   int
+}
+
+// key identifies a flow across epochs.
+type key struct {
+	dir      nexit.Direction
+	src, dst int
+}
+
+// EpochReport summarizes one controller epoch.
+type EpochReport struct {
+	Epoch           int
+	Observed        int // flows seen this epoch
+	Negotiated      int // flows on the table
+	Moved           int // flows whose interconnection changed
+	Expired         int // flows timed out of the registry
+	DistanceDefault float64
+	DistanceApplied float64
+	GainA, GainB    int
+	LedgerBalance   int
+}
+
+// New builds a controller with the paper's §5.1 defaults.
+func New(sys *pairsim.System, p int) *Controller {
+	cfg := nexit.DefaultDistanceConfig()
+	cfg.PrefBound = p
+	return &Controller{
+		Sys:      sys,
+		Rev:      sys.Reverse(),
+		Cfg:      cfg,
+		P:        p,
+		Registry: flowid.NewRegistry(0.5, 1, 3),
+		Ledger:   credits.NewLedger(2 * p),
+		applied:  make(map[key]int),
+	}
+}
+
+// Epoch processes one epoch's workloads (both directions) and returns
+// the report. The controller observes every flow, negotiates the stable
+// ones, and leaves the rest on their current (or early-exit) path.
+func (c *Controller) Epoch(wAB, wBA *traffic.Workload) (*EpochReport, error) {
+	rep := &EpochReport{Epoch: c.epoch}
+
+	// 1. Observe traffic; the registry decides which flows are stable
+	// enough to negotiate.
+	type obs struct {
+		k    key
+		flow traffic.Flow
+		sig  flowid.Signature
+	}
+	var all []obs
+	record := func(f traffic.Flow, dir nexit.Direction) {
+		k := key{dir: dir, src: f.Src, dst: f.Dst}
+		sig := flowid.Signature{
+			Src:     flowid.Prefix{Addr: uint32(f.Src) << 16, Bits: 16},
+			Dst:     flowid.Prefix{Addr: 0x80000000 | uint32(f.Dst)<<16, Bits: 16},
+			Ingress: uint64(dir)<<32 | uint64(f.Src)<<16 | uint64(f.Dst),
+		}
+		c.Registry.Observe(sig, f.Size, c.epoch)
+		all = append(all, obs{k: k, flow: f, sig: sig})
+	}
+	for _, f := range wAB.Flows {
+		record(f, nexit.AtoB)
+	}
+	for _, f := range wBA.Flows {
+		record(f, nexit.BtoA)
+	}
+	rep.Observed = len(all)
+	rep.Expired = len(c.Registry.Expire(c.epoch))
+
+	// 2. Build the negotiation table from the stable flows.
+	negotiable := make(map[flowid.Signature]bool)
+	for _, fi := range c.Registry.Negotiable() {
+		negotiable[fi.Sig] = true
+	}
+	var items []nexit.Item
+	var defaults []int
+	var keys []key
+	for _, o := range all {
+		if !negotiable[o.sig] {
+			continue
+		}
+		f := o.flow
+		f.ID = len(items)
+		items = append(items, nexit.Item{ID: f.ID, Flow: f, Dir: o.k.dir})
+		defaults = append(defaults, c.currentChoice(o.k, f))
+		keys = append(keys, o.k)
+	}
+	rep.Negotiated = len(items)
+
+	// 3. Negotiate with the ledger-adjusted configuration.
+	if len(items) > 0 {
+		cfg := c.Ledger.Apply(c.Cfg)
+		evalA := nexit.NewDistanceEvaluator(c.Sys, nexit.SideA, c.P)
+		evalB := nexit.NewDistanceEvaluator(c.Sys, nexit.SideB, c.P)
+		res, err := nexit.Negotiate(cfg, evalA, evalB, items, defaults, c.Sys.NumAlternatives())
+		if err != nil {
+			return nil, fmt.Errorf("continuous: epoch %d: %w", c.epoch, err)
+		}
+		c.Ledger.Settle(c.epoch, res)
+		rep.GainA, rep.GainB = res.GainA, res.GainB
+		for i, k := range keys {
+			if res.Assign[i] != defaults[i] {
+				rep.Moved++
+			}
+			c.applied[k] = res.Assign[i]
+		}
+	}
+	rep.LedgerBalance = c.Ledger.Balance
+
+	// 4. Account the epoch: distance under pure early-exit vs under the
+	// applied assignments.
+	for _, o := range all {
+		f := o.flow
+		sys := c.Sys
+		if o.k.dir == nexit.BtoA {
+			sys = c.Rev
+		}
+		rep.DistanceDefault += sys.TotalDistKm(f, sys.EarlyExit(f))
+		rep.DistanceApplied += sys.TotalDistKm(f, c.currentChoice(o.k, f))
+	}
+	c.epoch++
+	return rep, nil
+}
+
+// currentChoice returns the installed interconnection for a flow, or its
+// early-exit default when it has never been negotiated.
+func (c *Controller) currentChoice(k key, f traffic.Flow) int {
+	if alt, ok := c.applied[k]; ok {
+		return alt
+	}
+	if k.dir == nexit.AtoB {
+		return c.Sys.EarlyExit(f)
+	}
+	return c.Rev.EarlyExit(f)
+}
+
+// Drift returns a copy of the workload with flow sizes perturbed
+// multiplicatively by up to ±volatility — the "changes to traffic
+// matrices" of §5.2/§6 that keep renegotiation necessary.
+func Drift(w *traffic.Workload, volatility float64, rng *rand.Rand) *traffic.Workload {
+	out := &traffic.Workload{Upstream: w.Upstream, Downstream: w.Downstream}
+	out.Flows = append([]traffic.Flow(nil), w.Flows...)
+	for i := range out.Flows {
+		f := 1 + (rng.Float64()*2-1)*volatility
+		if f < 0.05 {
+			f = 0.05
+		}
+		out.Flows[i].Size *= f
+	}
+	return out
+}

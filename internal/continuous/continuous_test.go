@@ -1,0 +1,119 @@
+package continuous
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pairsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func testSystem(t *testing.T) *pairsim.System {
+	t.Helper()
+	cfg := gen.DefaultConfig()
+	cfg.NumISPs = 10
+	isps, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := topology.AllPairs(isps, 2, true)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	return pairsim.New(pairs[0], nil)
+}
+
+func TestControllerEpochs(t *testing.T) {
+	sys := testSystem(t)
+	c := New(sys, 10)
+	rng := rand.New(rand.NewSource(3))
+	baseAB := traffic.New(sys.Pair.A, sys.Pair.B, traffic.Gravity, nil)
+	baseBA := traffic.New(sys.Pair.B, sys.Pair.A, traffic.Gravity, nil)
+
+	var lastApplied float64
+	for epoch := 0; epoch < 6; epoch++ {
+		wAB := Drift(baseAB, 0.3, rng)
+		wBA := Drift(baseBA, 0.3, rng)
+		rep, err := c.Epoch(wAB, wBA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Epoch != epoch {
+			t.Errorf("epoch counter = %d, want %d", rep.Epoch, epoch)
+		}
+		if rep.Observed != len(wAB.Flows)+len(wBA.Flows) {
+			t.Errorf("observed %d flows, want %d", rep.Observed, len(wAB.Flows)+len(wBA.Flows))
+		}
+		// Applied routing is never worse than pure early-exit.
+		if rep.DistanceApplied > rep.DistanceDefault*1.0001 {
+			t.Errorf("epoch %d: applied distance %.0f exceeds default %.0f",
+				epoch, rep.DistanceApplied, rep.DistanceDefault)
+		}
+		lastApplied = rep.DistanceApplied
+		if epoch == 0 && rep.Negotiated != 0 {
+			t.Errorf("epoch 0 negotiated %d flows before stability window", rep.Negotiated)
+		}
+		if epoch >= 2 && rep.Negotiated == 0 {
+			t.Errorf("epoch %d: registry never promoted flows", epoch)
+		}
+	}
+	if lastApplied == 0 {
+		t.Error("no distance accounted")
+	}
+}
+
+func TestControllerImprovesSteadyState(t *testing.T) {
+	sys := testSystem(t)
+	c := New(sys, 10)
+	wAB := traffic.New(sys.Pair.A, sys.Pair.B, traffic.Gravity, nil)
+	wBA := traffic.New(sys.Pair.B, sys.Pair.A, traffic.Gravity, nil)
+	var first, last *EpochReport
+	for epoch := 0; epoch < 4; epoch++ {
+		rep, err := c.Epoch(wAB, wBA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch == 0 {
+			first = rep
+		}
+		last = rep
+	}
+	if first.DistanceApplied != first.DistanceDefault {
+		t.Error("before any negotiation the applied routing should equal early-exit")
+	}
+	if last.DistanceApplied >= last.DistanceDefault {
+		t.Errorf("steady state: applied %.0f not better than default %.0f",
+			last.DistanceApplied, last.DistanceDefault)
+	}
+}
+
+func TestDrift(t *testing.T) {
+	sys := testSystem(t)
+	w := traffic.New(sys.Pair.A, sys.Pair.B, traffic.Identical, nil)
+	rng := rand.New(rand.NewSource(1))
+	d := Drift(w, 0.5, rng)
+	if len(d.Flows) != len(w.Flows) {
+		t.Fatal("drift changed flow count")
+	}
+	changed := 0
+	for i := range d.Flows {
+		if d.Flows[i].Size != w.Flows[i].Size {
+			changed++
+		}
+		if d.Flows[i].Size <= 0 {
+			t.Error("drift produced non-positive size")
+		}
+		if d.Flows[i].Src != w.Flows[i].Src || d.Flows[i].Dst != w.Flows[i].Dst {
+			t.Error("drift changed endpoints")
+		}
+	}
+	if changed == 0 {
+		t.Error("drift changed nothing")
+	}
+	// Original untouched.
+	if w.Flows[0].Size != 1 {
+		t.Error("drift mutated the input workload")
+	}
+}

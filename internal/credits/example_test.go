@@ -1,0 +1,28 @@
+package credits_test
+
+import (
+	"fmt"
+
+	"repro/internal/credits"
+	"repro/internal/nexit"
+)
+
+// Example shows the §3 credit mechanism: a lopsided session leaves a
+// balance that widens the leading side's deficit allowance in the next
+// session, letting deferred compromises clear.
+func Example() {
+	ledger := credits.NewLedger(20)
+
+	// Session 1 favored ISP A heavily.
+	ledger.Settle(0, &nexit.Result{GainA: 30, GainB: 2})
+	fmt.Println("balance after session 1:", ledger.Balance)
+
+	// Session 2's configuration lets A dip further to repay.
+	cfg := ledger.Apply(nexit.DefaultDistanceConfig())
+	fmt.Println("A's extra deficit allowance:", cfg.ExtraDeficitA)
+	fmt.Println("B's extra deficit allowance:", cfg.ExtraDeficitB)
+	// Output:
+	// balance after session 1: 28
+	// A's extra deficit allowance: 20
+	// B's extra deficit allowance: 0
+}

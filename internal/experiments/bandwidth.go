@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/capacity"
+	"repro/internal/metrics"
+	"repro/internal/nexit"
+	"repro/internal/optimal"
+	"repro/internal/pairsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// BandwidthOptions extends Options with the §5.2 modeling knobs the
+// paper reports testing for robustness.
+type BandwidthOptions struct {
+	Options
+	// Workload selects the flow-size model (default Gravity).
+	Workload traffic.Model
+	// Capacity configures link-capacity assignment (default: median rule
+	// with upgrade, no discretization).
+	Capacity capacity.Options
+	// MaxFailures bounds the number of failure cases processed (0 = all).
+	MaxFailures int
+	// UseFortzThorup switches the ISPs' bandwidth preference metric from
+	// max-load-increase to the Fortz–Thorup piecewise-linear cost (the
+	// paper's alternate metric).
+	UseFortzThorup bool
+}
+
+// BandwidthResult aggregates samples for Figures 7, 8, 9 and 11. Each
+// sample corresponds to one hypothesized interconnection failure.
+type BandwidthResult struct {
+	// Figure 7: MEL relative to the MEL of optimal routing.
+	UpDef, UpNeg     []float64 // upstream ISP panel
+	DownDef, DownNeg []float64 // downstream ISP panel
+	// Figure 8: downstream MEL under unilateral upstream optimization
+	// relative to downstream MEL under default routing.
+	UnilateralDownRatio []float64
+	// Figure 9: diverse criteria — upstream optimizes bandwidth,
+	// downstream distance.
+	DiverseUpDef, DiverseUpNeg []float64 // MEL ratio to optimal
+	DiverseDownGain            []float64 // downstream distance gain % over default
+	// Figure 11: the upstream ISP cheats (bandwidth experiment).
+	CheatUpNeg, CheatDownNeg []float64 // MEL ratios with one cheater
+	// FailureCases is the number of (pair, failed interconnection)
+	// observations processed.
+	FailureCases int
+	// NegotiatedNonDefault is the fraction of impacted flows negotiation
+	// moved off the post-failure default, per failure case.
+	NegotiatedNonDefault []float64
+}
+
+// failureCase holds the state of one (pair, failed interconnection)
+// scenario: survivor system, impacted flows re-indexed densely, fixed
+// loads from unaffected traffic, and capacities.
+type failureCase struct {
+	s2                 *pairsim.System
+	impacted           []traffic.Flow
+	items              []nexit.Item
+	defaults           []int
+	fixedUp, fixedDown []float64
+	capUp, capDown     []float64
+	defAssign          pairsim.Assignment
+	defUp, defDown     float64 // post-failure MELs under default routing
+}
+
+// buildFailureCase simulates the failure of interconnection k of the
+// pair for traffic flowing A->B, per the paper's §5.2 methodology.
+// Returns nil when no flow is impacted.
+func buildFailureCase(pair *topology.Pair, cache *pairsim.TableCache, k int, model traffic.Model, capOpts capacity.Options, rng *rand.Rand) *failureCase {
+	s := pairsim.New(pair, cache)
+	w := traffic.New(pair.A, pair.B, model, rng)
+
+	// Pre-failure: early-exit routing of all flows determines loads,
+	// which in turn determine capacities ("capacities proportional to
+	// the load before the failure").
+	pre := baseline.EarlyExit(s, w.Flows)
+	loadUp0, loadDown0 := s.Loads(w.Flows, pre)
+	fc := &failureCase{
+		capUp:   capacity.Assign(loadUp0, capOpts),
+		capDown: capacity.Assign(loadDown0, capOpts),
+	}
+
+	// Partition flows into impacted (were using the failed
+	// interconnection) and unaffected.
+	var unaffected []traffic.Flow
+	for _, f := range w.Flows {
+		if pre[f.ID] == k {
+			fc.impacted = append(fc.impacted, f)
+		} else {
+			unaffected = append(unaffected, f)
+		}
+	}
+	if len(fc.impacted) == 0 {
+		return nil
+	}
+
+	// Survivor system: interconnection k removed; unaffected flows keep
+	// their paths (indices above k shift down by one).
+	fc.s2 = pairsim.New(pair.WithoutInterconnection(k), cache)
+	fc.fixedUp = make([]float64, len(pair.A.Links))
+	fc.fixedDown = make([]float64, len(pair.B.Links))
+	for _, f := range unaffected {
+		newIdx := pre[f.ID]
+		if newIdx > k {
+			newIdx--
+		}
+		fc.s2.AddFlowLoad(fc.fixedUp, fc.fixedDown, f, newIdx)
+	}
+
+	// Re-index impacted flows densely for the negotiation items.
+	fc.items = make([]nexit.Item, len(fc.impacted))
+	fc.defaults = make([]int, len(fc.impacted))
+	reIndexed := make([]traffic.Flow, len(fc.impacted))
+	for i, f := range fc.impacted {
+		f.ID = i
+		reIndexed[i] = f
+		fc.items[i] = nexit.Item{ID: i, Flow: f, Dir: nexit.AtoB}
+		fc.defaults[i] = fc.s2.EarlyExit(f)
+	}
+	fc.impacted = reIndexed
+
+	// Default post-failure routing: early exit over survivors.
+	fc.defAssign = append(pairsim.Assignment(nil), fc.defaults...)
+	fc.defUp, fc.defDown = fc.mels(fc.defAssign)
+	return fc
+}
+
+// mels computes the post-failure MELs in both ISPs for an assignment of
+// the impacted flows.
+func (fc *failureCase) mels(assign pairsim.Assignment) (up, down float64) {
+	loadUp := append([]float64(nil), fc.fixedUp...)
+	loadDown := append([]float64(nil), fc.fixedDown...)
+	for _, f := range fc.impacted {
+		fc.s2.AddFlowLoad(loadUp, loadDown, f, assign[f.ID])
+	}
+	return metrics.MEL(loadUp, fc.capUp), metrics.MEL(loadDown, fc.capDown)
+}
+
+// downDistance sums the impacted flows' distance inside the downstream
+// ISP under an assignment (for the Figure 9 right panel).
+func (fc *failureCase) downDistance(assign pairsim.Assignment) float64 {
+	var sum float64
+	for _, f := range fc.impacted {
+		sum += fc.s2.DownDistKm(f, assign[f.ID])
+	}
+	return sum
+}
+
+// newBandwidthEvaluator builds the upstream or downstream bandwidth
+// evaluator for a failure case.
+func (fc *failureCase) newBandwidthEvaluator(side nexit.Side, p int, useFT bool) nexit.Evaluator {
+	load, capv := fc.fixedUp, fc.capUp
+	if side == nexit.SideB {
+		load, capv = fc.fixedDown, fc.capDown
+	}
+	if useFT {
+		return nexit.NewFortzThorupEvaluator(fc.s2, side, p, load, capv)
+	}
+	return nexit.NewBandwidthEvaluator(fc.s2, side, p, load, capv)
+}
+
+// Bandwidth runs the §5.2 failure experiments (Figures 7, 8, 9, 11).
+func Bandwidth(ds *Dataset, opt BandwidthOptions) (*BandwidthResult, error) {
+	opt.Options = opt.Options.withDefaults()
+	pairs := selectPairs(ds.BandwidthPairs(), opt.Options)
+	rng := rand.New(rand.NewSource(opt.Seed + 2))
+	res := &BandwidthResult{}
+	cfg := nexit.DefaultBandwidthConfig()
+	cfg.PrefBound = opt.PrefBound
+
+	for _, pair := range pairs {
+		for k := 0; k < pair.NumInterconnections(); k++ {
+			if opt.MaxFailures > 0 && res.FailureCases >= opt.MaxFailures {
+				return res, nil
+			}
+			fc := buildFailureCase(pair, ds.Cache, k, opt.Workload, opt.Capacity, rng)
+			if fc == nil {
+				continue
+			}
+
+			// Globally optimal (fractional LP across both ISPs).
+			lp, err := optimal.Bandwidth(fc.s2, fc.impacted, fc.fixedUp, fc.fixedDown, fc.capUp, fc.capDown)
+			if err != nil {
+				return nil, err
+			}
+
+			// Negotiated: both ISPs use the bandwidth metric.
+			evalA := fc.newBandwidthEvaluator(nexit.SideA, opt.PrefBound, opt.UseFortzThorup)
+			evalB := fc.newBandwidthEvaluator(nexit.SideB, opt.PrefBound, opt.UseFortzThorup)
+			neg, err := nexit.Negotiate(cfg, evalA, evalB, fc.items, fc.defaults, fc.s2.NumAlternatives())
+			if err != nil {
+				return nil, err
+			}
+			negUp, negDown := fc.mels(neg.Assign)
+
+			res.UpDef = append(res.UpDef, metrics.Ratio(fc.defUp, lp.MELUp, 1))
+			res.UpNeg = append(res.UpNeg, metrics.Ratio(negUp, lp.MELUp, 1))
+			res.DownDef = append(res.DownDef, metrics.Ratio(fc.defDown, lp.MELDown, 1))
+			res.DownNeg = append(res.DownNeg, metrics.Ratio(negDown, lp.MELDown, 1))
+
+			nonDef := 0
+			for i := range fc.items {
+				if neg.Assign[i] != fc.defaults[i] {
+					nonDef++
+				}
+			}
+			res.NegotiatedNonDefault = append(res.NegotiatedNonDefault,
+				float64(nonDef)/float64(len(fc.items)))
+
+			// Figure 8: unilateral upstream optimization.
+			uni := baseline.UnilateralUpstream(fc.s2, fc.impacted, fc.fixedUp, fc.capUp)
+			_, uniDown := fc.mels(uni)
+			res.UnilateralDownRatio = append(res.UnilateralDownRatio,
+				metrics.Ratio(uniDown, fc.defDown, 1))
+
+			// Figure 9: diverse criteria — upstream bandwidth,
+			// downstream distance.
+			evalA9 := fc.newBandwidthEvaluator(nexit.SideA, opt.PrefBound, opt.UseFortzThorup)
+			evalB9 := nexit.NewDistanceEvaluator(fc.s2, nexit.SideB, opt.PrefBound)
+			div, err := nexit.Negotiate(cfg, evalA9, evalB9, fc.items, fc.defaults, fc.s2.NumAlternatives())
+			if err != nil {
+				return nil, err
+			}
+			divUp, _ := fc.mels(div.Assign)
+			res.DiverseUpDef = append(res.DiverseUpDef, metrics.Ratio(fc.defUp, lp.MELUp, 1))
+			res.DiverseUpNeg = append(res.DiverseUpNeg, metrics.Ratio(divUp, lp.MELUp, 1))
+			res.DiverseDownGain = append(res.DiverseDownGain,
+				metrics.GainPercent(fc.downDistance(fc.defAssign), fc.downDistance(div.Assign)))
+
+			// Figure 11: the upstream cheats.
+			// The cheater's "perfect knowledge" reads the victim's live
+			// evaluator, so it stays current as loads change.
+			victim := fc.newBandwidthEvaluator(nexit.SideB, opt.PrefBound, opt.UseFortzThorup)
+			cheater := &nexit.CheatEvaluator{
+				Truthful: fc.newBandwidthEvaluator(nexit.SideA, opt.PrefBound, opt.UseFortzThorup),
+				Other:    victim,
+				P:        opt.PrefBound,
+			}
+			cheat, err := nexit.Negotiate(cfg, cheater, victim, fc.items, fc.defaults, fc.s2.NumAlternatives())
+			if err != nil {
+				return nil, err
+			}
+			cheatUp, cheatDown := fc.mels(cheat.Assign)
+			res.CheatUpNeg = append(res.CheatUpNeg, metrics.Ratio(cheatUp, lp.MELUp, 1))
+			res.CheatDownNeg = append(res.CheatDownNeg, metrics.Ratio(cheatDown, lp.MELDown, 1))
+
+			res.FailureCases++
+		}
+	}
+	return res, nil
+}

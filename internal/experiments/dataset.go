@@ -1,0 +1,113 @@
+// Package experiments contains one driver per figure of the paper's
+// evaluation (§5). Each driver runs the default, negotiated, and globally
+// optimal routing over the synthetic ISP dataset and returns the samples
+// that make up the corresponding figure's CDF curves. See DESIGN.md §3
+// for the experiment index.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/pairsim"
+	"repro/internal/topology"
+)
+
+// Dataset is the loaded ISP dataset plus a shared routing-table cache.
+type Dataset struct {
+	ISPs  []*topology.ISP
+	Cache *pairsim.TableCache
+}
+
+// LoadDefault generates the default 65-ISP dataset (DESIGN.md §4).
+func LoadDefault() (*Dataset, error) {
+	return Load(gen.DefaultConfig())
+}
+
+// Load generates a dataset from the given generator configuration.
+func Load(cfg gen.Config) (*Dataset, error) {
+	isps, err := gen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ISPs: isps, Cache: pairsim.NewTableCache()}, nil
+}
+
+// FromISPs wraps an existing ISP list (e.g. parsed from a .topo file).
+func FromISPs(isps []*topology.ISP) *Dataset {
+	return &Dataset{ISPs: isps, Cache: pairsim.NewTableCache()}
+}
+
+// DistancePairs returns the pairs eligible for the distance experiments:
+// at least two interconnections, logical-mesh topologies excluded
+// (paper §5.1; 229 pairs in the measured dataset).
+func (d *Dataset) DistancePairs() []*topology.Pair {
+	return topology.AllPairs(d.ISPs, 2, true)
+}
+
+// BandwidthPairs returns the pairs eligible for the failure experiments:
+// at least three interconnections, so at least two survive a failure
+// (paper §5.2; 247 pairs in the measured dataset).
+func (d *Dataset) BandwidthPairs() []*topology.Pair {
+	return topology.AllPairs(d.ISPs, 3, true)
+}
+
+// Options bounds an experiment run.
+type Options struct {
+	// MaxPairs limits the number of ISP pairs processed (0 = all). When
+	// limiting, pairs are chosen by a seeded shuffle so subsets are
+	// unbiased and reproducible.
+	MaxPairs int
+	// Seed drives pair subsampling and any randomized strategy (the
+	// flow-local baselines pick among candidates at random).
+	Seed int64
+	// PrefBound is the preference class bound P (default 10, as in the
+	// paper).
+	PrefBound int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.PrefBound == 0 {
+		o.PrefBound = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// selectPairs applies MaxPairs subsampling.
+func selectPairs(pairs []*topology.Pair, opt Options) []*topology.Pair {
+	if opt.MaxPairs <= 0 || opt.MaxPairs >= len(pairs) {
+		return pairs
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	shuffled := append([]*topology.Pair(nil), pairs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	return shuffled[:opt.MaxPairs]
+}
+
+// Inventory summarizes the dataset, mirroring the counts the paper
+// reports for its measured dataset.
+func (d *Dataset) Inventory() string {
+	meshes := 0
+	for _, isp := range d.ISPs {
+		if isp.IsMesh() {
+			meshes++
+		}
+	}
+	dp := d.DistancePairs()
+	bp := d.BandwidthPairs()
+	failures := 0
+	for _, p := range bp {
+		failures += p.NumInterconnections()
+	}
+	return fmt.Sprintf(
+		"ISPs: %d (%d logical meshes, excluded like the paper's 8)\n"+
+			"Distance experiment pairs (>=2 interconnections): %d (paper: 229)\n"+
+			"Bandwidth experiment pairs (>=3 interconnections): %d (paper: 247)\n"+
+			"Bandwidth failure cases (one per interconnection): %d\n",
+		len(d.ISPs), meshes, len(dp), len(bp), failures)
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/nexit"
+)
+
+// The paper's footnote 2: "By using more flexible flow definitions,
+// Nexit can be extended to destination-based routing ... Empirical
+// evaluation with destination-based routing yields results similar to
+// those in Section 5." Under destination-based routing an ISP cannot
+// route flows with the same destination but different sources
+// independently (no MPLS), so the negotiation items are destinations:
+// all flows toward one destination PoP share an interconnection.
+
+// destEvaluator aggregates a side's distance preferences over all flows
+// of a destination group: the metric of a group alternative is the sum
+// of the member flows' distances inside the own network.
+type destEvaluator struct {
+	inner  *nexit.DistanceEvaluator
+	groups [][]nexit.Item // member flows per group item ID
+	p      int
+}
+
+// Prefs implements nexit.Evaluator: group deltas are sums of member
+// deltas (classes stay composable exactly as for single flows), and all
+// group rows are quantized together so classes remain comparable across
+// groups.
+func (e *destEvaluator) Prefs(items []nexit.Item, defaults []int) [][]int {
+	deltas := make([][]float64, len(items))
+	for gi, g := range items {
+		members := e.groups[g.ID]
+		memberDefaults := make([]int, len(members))
+		for i := range members {
+			memberDefaults[i] = defaults[gi]
+		}
+		memberDeltas := e.inner.RawDeltas(members, memberDefaults)
+		sum := make([]float64, len(memberDeltas[0]))
+		for _, row := range memberDeltas {
+			for k, d := range row {
+				sum[k] += d
+			}
+		}
+		deltas[gi] = sum
+	}
+	return nexit.MapDeltas(deltas, e.p)
+}
+
+// Commit implements nexit.Evaluator (distance is stateless).
+func (e *destEvaluator) Commit(nexit.Item, int) {}
+
+// DestinationResult compares source-destination routing (the paper's
+// main mode) with destination-based routing on the same pairs. Each
+// regime's gain is measured against its own default: per-flow early
+// exit for source-destination routing, one (majority early-exit)
+// interconnection per destination for destination-based routing —
+// negotiation cannot be credited or blamed for paths the regime cannot
+// express.
+type DestinationResult struct {
+	// Per pair: total distance gain of negotiation within each regime.
+	GainSrcDst, GainDstOnly []float64
+	Pairs                   int
+}
+
+// DestinationBased runs the footnote-2 comparison over the dataset.
+func DestinationBased(ds *Dataset, opt Options) (*DestinationResult, error) {
+	opt = opt.withDefaults()
+	pairs := selectPairs(ds.DistancePairs(), opt)
+	res := &DestinationResult{}
+	for _, pair := range pairs {
+		ps := newPairSetup(pair, ds.Cache)
+		na := ps.s.NumAlternatives()
+		defTotal, _, _ := ps.distances(ps.defaults)
+		if defTotal == 0 {
+			continue
+		}
+		cfg := nexit.DefaultDistanceConfig()
+		cfg.PrefBound = opt.PrefBound
+
+		// Source-destination (per-flow) negotiation.
+		evalA := nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound)
+		evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
+		perFlow, err := nexit.Negotiate(cfg, evalA, evalB, ps.items, ps.defaults, na)
+		if err != nil {
+			return nil, err
+		}
+
+		// Destination-based: group items by (direction, destination).
+		// A group's default is the majority default of its members (a
+		// destination-routed network has ONE current exit per
+		// destination; majority is the closest single approximation of
+		// the per-flow early-exit state).
+		type gkey struct {
+			dir nexit.Direction
+			dst int
+		}
+		groupIdx := map[gkey]int{}
+		var groups [][]nexit.Item
+		var groupDefaultVotes []map[int]int
+		for i, it := range ps.items {
+			k := gkey{dir: it.Dir, dst: it.Flow.Dst}
+			gi, ok := groupIdx[k]
+			if !ok {
+				gi = len(groups)
+				groupIdx[k] = gi
+				groups = append(groups, nil)
+				groupDefaultVotes = append(groupDefaultVotes, map[int]int{})
+			}
+			groups[gi] = append(groups[gi], it)
+			groupDefaultVotes[gi][ps.defaults[i]]++
+		}
+		groupItems := make([]nexit.Item, len(groups))
+		groupDefaults := make([]int, len(groups))
+		for gi, members := range groups {
+			var size float64
+			for _, m := range members {
+				size += m.Flow.Size
+			}
+			groupItems[gi] = nexit.Item{
+				ID:   gi,
+				Flow: members[0].Flow, // representative; evaluators use groups
+				Dir:  members[0].Dir,
+			}
+			groupItems[gi].Flow.ID = gi
+			groupItems[gi].Flow.Size = size
+			best, bestVotes := 0, -1
+			for alt, votes := range groupDefaultVotes[gi] {
+				if votes > bestVotes || (votes == bestVotes && alt < best) {
+					best, bestVotes = alt, votes
+				}
+			}
+			groupDefaults[gi] = best
+		}
+		gEvalA := &destEvaluator{inner: nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound), groups: groups, p: opt.PrefBound}
+		gEvalB := &destEvaluator{inner: nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound), groups: groups, p: opt.PrefBound}
+		grouped, err := nexit.Negotiate(cfg, gEvalA, gEvalB, groupItems, groupDefaults, na)
+		if err != nil {
+			return nil, err
+		}
+
+		// Expand group assignments (negotiated and default) to flows.
+		expand := func(groupAssign []int) []int {
+			flowAssign := make([]int, len(ps.items))
+			for gi, members := range groups {
+				for _, m := range members {
+					flowAssign[m.ID] = groupAssign[gi]
+				}
+			}
+			return flowAssign
+		}
+		perFlowTotal, _, _ := ps.distances(perFlow.Assign)
+		groupedTotal, _, _ := ps.distances(expand(grouped.Assign))
+		groupedDefTotal, _, _ := ps.distances(expand(groupDefaults))
+		res.GainSrcDst = append(res.GainSrcDst, metrics.GainPercent(defTotal, perFlowTotal))
+		res.GainDstOnly = append(res.GainDstOnly, metrics.GainPercent(groupedDefTotal, groupedTotal))
+		res.Pairs++
+	}
+	return res, nil
+}

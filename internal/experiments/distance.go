@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/metrics"
+	"repro/internal/nexit"
+	"repro/internal/pairsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// DistanceResult aggregates every sample the distance experiments plot
+// (Figures 4, 5, 6 and the §5.1 textual analyses).
+type DistanceResult struct {
+	// Figure 4a: percentage reduction in total (both-ISP) distance
+	// relative to default routing, one sample per ISP pair.
+	PairGainNeg, PairGainOpt []float64
+	// Figure 4b: per-ISP distance gain, two samples per pair. Under the
+	// global optimum individual ISPs can lose (negative gain); under
+	// negotiation they should not.
+	IndGainNeg, IndGainOpt []float64
+	// Figure 5: total gain of the flow-local strategies.
+	PairGainPareto, PairGainBothBetter []float64
+	// Figure 6: per-flow distance gain, pooled across all pairs.
+	FlowGainNeg, FlowGainOpt []float64
+	// GainVsInterconnections buckets pair total negotiated gain by the
+	// pair's interconnection count (§5.1: "ISPs with more
+	// interconnections gain more through negotiation").
+	GainVsInterconnections map[int][]float64
+	// NonDefaultFraction is, per pair, the fraction of flows negotiation
+	// moved off their default path (§5.1: "only a fraction of flows —
+	// roughly 20% — need to be non-default routed").
+	NonDefaultFraction []float64
+	// GroupGain4 is the total gain when negotiating in 4 separate groups
+	// (§5.1 ablation).
+	GroupGain4 []float64
+	// Pairs is the number of ISP pairs processed.
+	Pairs int
+}
+
+// pairSetup holds the per-pair state shared by distance experiments.
+type pairSetup struct {
+	s        *pairsim.System
+	rev      *pairsim.System
+	items    []nexit.Item
+	defaults []int
+}
+
+// newPairSetup builds flows in both directions with early-exit defaults
+// and unit flow sizes (distance metrics are size-independent).
+func newPairSetup(pair *topology.Pair, cache *pairsim.TableCache) pairSetup {
+	return newPairSetupWithModel(pair, cache, traffic.Identical)
+}
+
+// newPairSetupWithModel is newPairSetup with a selectable flow-size
+// model (the scalability analysis needs skewed gravity sizes).
+func newPairSetupWithModel(pair *topology.Pair, cache *pairsim.TableCache, model traffic.Model) pairSetup {
+	s := pairsim.New(pair, cache)
+	rev := s.Reverse()
+	wAB := traffic.New(pair.A, pair.B, model, nil)
+	wBA := traffic.New(pair.B, pair.A, model, nil)
+	items := nexit.Items(wAB.Flows, wBA.Flows)
+	defaults := make([]int, len(items))
+	for i, it := range items {
+		if it.Dir == nexit.AtoB {
+			defaults[i] = s.EarlyExit(it.Flow)
+		} else {
+			defaults[i] = rev.EarlyExit(it.Flow)
+		}
+	}
+	return pairSetup{s: s, rev: rev, items: items, defaults: defaults}
+}
+
+// itemDist returns the end-to-end distance of an item under alternative
+// k, and the split inside ISP A and ISP B.
+func (ps pairSetup) itemDist(it nexit.Item, k int) (total, inA, inB float64) {
+	if it.Dir == nexit.AtoB {
+		inA, inB = ps.s.UpDistKm(it.Flow, k), ps.s.DownDistKm(it.Flow, k)
+	} else {
+		inB, inA = ps.rev.UpDistKm(it.Flow, k), ps.rev.DownDistKm(it.Flow, k)
+	}
+	total = inA + inB + ps.s.Pair.Interconnections[k].LengthKm
+	return total, inA, inB
+}
+
+// distances sums end-to-end and per-ISP distances of an assignment.
+func (ps pairSetup) distances(assign []int) (total, inA, inB float64) {
+	for i, it := range ps.items {
+		t, a, b := ps.itemDist(it, assign[i])
+		total += t
+		inA += a
+		inB += b
+	}
+	return total, inA, inB
+}
+
+// Distance runs the §5.1 experiments (Figures 4, 5, 6 and text analyses)
+// over the dataset.
+func Distance(ds *Dataset, opt Options) (*DistanceResult, error) {
+	opt = opt.withDefaults()
+	pairs := selectPairs(ds.DistancePairs(), opt)
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	res := &DistanceResult{GainVsInterconnections: map[int][]float64{}}
+
+	for _, pair := range pairs {
+		ps := newPairSetup(pair, ds.Cache)
+		na := ps.s.NumAlternatives()
+
+		defTotal, defA, defB := ps.distances(ps.defaults)
+		if defTotal == 0 {
+			continue // degenerate co-located pair
+		}
+
+		// Globally optimal: per-item best end-to-end alternative.
+		optAssign := make([]int, len(ps.items))
+		for i, it := range ps.items {
+			best, bestD := 0, math.Inf(1)
+			for k := 0; k < na; k++ {
+				if d, _, _ := ps.itemDist(it, k); d < bestD {
+					best, bestD = k, d
+				}
+			}
+			optAssign[i] = best
+		}
+
+		// Negotiated: Nexit with distance evaluators on both sides.
+		cfg := nexit.DefaultDistanceConfig()
+		cfg.PrefBound = opt.PrefBound
+		evalA := nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound)
+		evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
+		neg, err := nexit.Negotiate(cfg, evalA, evalB, ps.items, ps.defaults, na)
+		if err != nil {
+			return nil, err
+		}
+
+		// Flow-local strategies (Figure 5).
+		dA, dB := baseline.DistanceDeltas(ps.s, ps.items, ps.defaults)
+		paretoAssign := baseline.FlowLocal(baseline.FlowPareto, dA, dB, ps.defaults, rng)
+		bothAssign := baseline.FlowLocal(baseline.FlowBothBetter, dA, dB, ps.defaults, rng)
+
+		// Group negotiation ablation (4 groups).
+		groupAssign, err := baseline.GroupNegotiate(cfg,
+			nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound),
+			nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound),
+			ps.items, ps.defaults, na, 4)
+		if err != nil {
+			return nil, err
+		}
+
+		optTotal, optA, optB := ps.distances(optAssign)
+		negTotal, negA, negB := ps.distances(neg.Assign)
+		parTotal, _, _ := ps.distances(paretoAssign)
+		bothTotal, _, _ := ps.distances(bothAssign)
+		grpTotal, _, _ := ps.distances(groupAssign)
+
+		res.PairGainOpt = append(res.PairGainOpt, metrics.GainPercent(defTotal, optTotal))
+		totalGainNeg := metrics.GainPercent(defTotal, negTotal)
+		res.PairGainNeg = append(res.PairGainNeg, totalGainNeg)
+		res.PairGainPareto = append(res.PairGainPareto, metrics.GainPercent(defTotal, parTotal))
+		res.PairGainBothBetter = append(res.PairGainBothBetter, metrics.GainPercent(defTotal, bothTotal))
+		res.GroupGain4 = append(res.GroupGain4, metrics.GainPercent(defTotal, grpTotal))
+		res.IndGainOpt = append(res.IndGainOpt,
+			metrics.GainPercent(defA, optA), metrics.GainPercent(defB, optB))
+		res.IndGainNeg = append(res.IndGainNeg,
+			metrics.GainPercent(defA, negA), metrics.GainPercent(defB, negB))
+		res.GainVsInterconnections[na] = append(res.GainVsInterconnections[na], totalGainNeg)
+
+		nonDefault := 0
+		for i, it := range ps.items {
+			dDef, _, _ := ps.itemDist(it, ps.defaults[i])
+			dNeg, _, _ := ps.itemDist(it, neg.Assign[i])
+			dOpt, _, _ := ps.itemDist(it, optAssign[i])
+			if dDef > 0 {
+				res.FlowGainNeg = append(res.FlowGainNeg, metrics.GainPercent(dDef, dNeg))
+				res.FlowGainOpt = append(res.FlowGainOpt, metrics.GainPercent(dDef, dOpt))
+			}
+			if neg.Assign[i] != ps.defaults[i] {
+				nonDefault++
+			}
+		}
+		res.NonDefaultFraction = append(res.NonDefaultFraction,
+			float64(nonDefault)/float64(len(ps.items)))
+		res.Pairs++
+	}
+	return res, nil
+}
+
+// DistanceCheatResult aggregates the Figure 10 samples.
+type DistanceCheatResult struct {
+	// Total gain across both ISPs: both truthful vs one cheater.
+	TotalTruthful, TotalCheat []float64
+	// Individual gains: with both truthful (pooled over both ISPs), the
+	// cheater's gain, and the truthful victim's gain.
+	IndTruthful, IndCheater, IndVictim []float64
+	// CheaterDelta is the paired comparison the paper's conclusion rests
+	// on: per pair, the cheating ISP's gain minus the gain the same ISP
+	// obtains when truthful. Negative values mean cheating backfired.
+	CheaterDelta []float64
+	Pairs        int
+}
+
+// DistanceCheat runs the §5.4 distance experiment: ISP A cheats using
+// the inflate-best strategy with perfect knowledge of B's preferences.
+func DistanceCheat(ds *Dataset, opt Options) (*DistanceCheatResult, error) {
+	opt = opt.withDefaults()
+	pairs := selectPairs(ds.DistancePairs(), opt)
+	res := &DistanceCheatResult{}
+	for _, pair := range pairs {
+		ps := newPairSetup(pair, ds.Cache)
+		na := ps.s.NumAlternatives()
+		defTotal, defA, defB := ps.distances(ps.defaults)
+		if defTotal == 0 {
+			continue
+		}
+
+		cfg := nexit.DefaultDistanceConfig()
+		cfg.PrefBound = opt.PrefBound
+		run := func(evalA nexit.Evaluator) (*nexit.Result, error) {
+			evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
+			return nexit.Negotiate(cfg, evalA, evalB, ps.items, ps.defaults, na)
+		}
+		honest, err := run(nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound))
+		if err != nil {
+			return nil, err
+		}
+		cheat, err := run(&nexit.CheatEvaluator{
+			Truthful: nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound),
+			Other:    nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound),
+			P:        opt.PrefBound,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		hTotal, hA, hB := ps.distances(honest.Assign)
+		cTotal, cA, cB := ps.distances(cheat.Assign)
+		res.TotalTruthful = append(res.TotalTruthful, metrics.GainPercent(defTotal, hTotal))
+		res.TotalCheat = append(res.TotalCheat, metrics.GainPercent(defTotal, cTotal))
+		res.IndTruthful = append(res.IndTruthful,
+			metrics.GainPercent(defA, hA), metrics.GainPercent(defB, hB))
+		res.IndCheater = append(res.IndCheater, metrics.GainPercent(defA, cA))
+		res.IndVictim = append(res.IndVictim, metrics.GainPercent(defB, cB))
+		res.CheaterDelta = append(res.CheaterDelta,
+			metrics.GainPercent(defA, cA)-metrics.GainPercent(defA, hA))
+		res.Pairs++
+	}
+	return res, nil
+}
+
+// PreferenceRangeAblation reruns the negotiated distance experiment for
+// several preference bounds P and returns median total gain per P — the
+// paper's observation that "increasing the range [beyond -10,10] does
+// not lead to noticeable increase in performance".
+func PreferenceRangeAblation(ds *Dataset, opt Options, bounds []int) (map[int]float64, error) {
+	opt = opt.withDefaults()
+	out := make(map[int]float64, len(bounds))
+	for _, p := range bounds {
+		o := opt
+		o.PrefBound = p
+		r, err := Distance(ds, o)
+		if err != nil {
+			return nil, err
+		}
+		sorted := append([]float64(nil), r.PairGainNeg...)
+		sort.Float64s(sorted)
+		if len(sorted) > 0 {
+			out[p] = sorted[len(sorted)/2]
+		}
+	}
+	return out, nil
+}

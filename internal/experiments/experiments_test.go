@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// smallDataset generates a reduced dataset so tests stay fast.
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := gen.DefaultConfig()
+	cfg.NumISPs = 18
+	ds, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestInventory(t *testing.T) {
+	ds := smallDataset(t)
+	inv := ds.Inventory()
+	if !strings.Contains(inv, "ISPs: 18") {
+		t.Errorf("inventory = %q", inv)
+	}
+}
+
+func TestDistanceExperiment(t *testing.T) {
+	ds := smallDataset(t)
+	res, err := Distance(ds, Options{MaxPairs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs == 0 {
+		t.Fatal("no pairs processed")
+	}
+	if len(res.PairGainNeg) != res.Pairs || len(res.PairGainOpt) != res.Pairs {
+		t.Fatalf("per-pair sample counts wrong: %d/%d/%d",
+			len(res.PairGainNeg), len(res.PairGainOpt), res.Pairs)
+	}
+	if len(res.IndGainNeg) != 2*res.Pairs {
+		t.Fatalf("individual samples = %d, want %d", len(res.IndGainNeg), 2*res.Pairs)
+	}
+
+	for i := range res.PairGainNeg {
+		// The optimal is a true optimum: no method may beat it.
+		if res.PairGainNeg[i] > res.PairGainOpt[i]+1e-9 {
+			t.Errorf("pair %d: negotiated gain %.3f exceeds optimal %.3f",
+				i, res.PairGainNeg[i], res.PairGainOpt[i])
+		}
+		if res.PairGainPareto[i] > res.PairGainOpt[i]+1e-9 ||
+			res.PairGainBothBetter[i] > res.PairGainOpt[i]+1e-9 {
+			t.Errorf("pair %d: flow-local strategy beats the optimum", i)
+		}
+		// Negotiated total gain is never negative (defaults are always
+		// available).
+		if res.PairGainNeg[i] < -1e-9 {
+			t.Errorf("pair %d: negotiated total gain %.3f negative", i, res.PairGainNeg[i])
+		}
+	}
+	// Paper §5.1 headline: negotiation captures most of the optimal
+	// gain. Check the aggregate shape: median negotiated gain at least
+	// half the median optimal gain.
+	neg := stats.NewCDF(res.PairGainNeg)
+	opt := stats.NewCDF(res.PairGainOpt)
+	if opt.Median() > 0.5 && neg.Median() < 0.4*opt.Median() {
+		t.Errorf("negotiated median %.2f%% far below optimal median %.2f%%",
+			neg.Median(), opt.Median())
+	}
+	// Individual ISPs essentially never lose under negotiation (paper
+	// Figure 4b); allow a tiny numerical tolerance.
+	indNeg := stats.NewCDF(res.IndGainNeg)
+	if indNeg.Min() < -1.0 {
+		t.Errorf("an ISP lost %.2f%% under negotiation", -indNeg.Min())
+	}
+	// Flow-level samples exist and no flow-level negotiated gain beats
+	// optimal in aggregate count terms.
+	if len(res.FlowGainNeg) == 0 || len(res.FlowGainNeg) != len(res.FlowGainOpt) {
+		t.Fatalf("flow-level samples missing: %d/%d", len(res.FlowGainNeg), len(res.FlowGainOpt))
+	}
+}
+
+func TestDistanceFlowLocalWeaker(t *testing.T) {
+	// Figure 5's point: flow-local strategies achieve much less than
+	// negotiation. Compare means over the sample.
+	ds := smallDataset(t)
+	res, err := Distance(ds, Options{MaxPairs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := stats.NewCDF(res.PairGainNeg).Mean()
+	both := stats.NewCDF(res.PairGainBothBetter).Mean()
+	if both > neg+1e-9 {
+		t.Errorf("flow-both-better mean %.3f exceeds negotiated %.3f", both, neg)
+	}
+}
+
+func TestDistanceCheatExperiment(t *testing.T) {
+	ds := smallDataset(t)
+	res, err := DistanceCheat(ds, Options{MaxPairs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs == 0 {
+		t.Fatal("no pairs processed")
+	}
+	// Figure 10's point: cheating reduces the total gain.
+	truthful := stats.NewCDF(res.TotalTruthful).Mean()
+	cheat := stats.NewCDF(res.TotalCheat).Mean()
+	if cheat > truthful+1e-9 {
+		t.Errorf("cheating increased mean total gain: %.3f > %.3f", cheat, truthful)
+	}
+}
+
+func TestBandwidthExperiment(t *testing.T) {
+	ds := smallDataset(t)
+	res, err := Bandwidth(ds, BandwidthOptions{
+		Options:     Options{MaxPairs: 8},
+		Workload:    traffic.Gravity,
+		MaxFailures: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailureCases == 0 {
+		t.Fatal("no failure cases processed")
+	}
+	// Per-ISP MEL ratios can legitimately dip below 1 (the LP minimizes
+	// the global worst link, so one ISP's realized MEL need not be
+	// individually minimal), but they cannot be wildly below, and in
+	// aggregate the default should be clearly worse than negotiated.
+	for i := 0; i < res.FailureCases; i++ {
+		for _, r := range []float64{res.UpDef[i], res.UpNeg[i], res.DownDef[i], res.DownNeg[i]} {
+			if r < 0 {
+				t.Errorf("case %d: negative MEL ratio %.6f", i, r)
+			}
+		}
+	}
+	// Figure 7's headline: negotiated MELs cluster nearer the optimum
+	// than default MELs. Compare means over the sample (individual
+	// failure cases are noisy).
+	negUp := stats.NewCDF(res.UpNeg)
+	defUp := stats.NewCDF(res.UpDef)
+	if negUp.Mean() > defUp.Mean()+0.05 {
+		t.Errorf("negotiated upstream mean ratio %.3f worse than default %.3f",
+			negUp.Mean(), defUp.Mean())
+	}
+	negDown := stats.NewCDF(res.DownNeg)
+	defDown := stats.NewCDF(res.DownDef)
+	if negDown.Mean() > defDown.Mean()+0.05 {
+		t.Errorf("negotiated downstream mean ratio %.3f worse than default %.3f",
+			negDown.Mean(), defDown.Mean())
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestBandwidthAlternateModels(t *testing.T) {
+	// The paper reports qualitatively similar results under alternate
+	// workload/capacity models; here we just verify the drivers run.
+	ds := smallDataset(t)
+	for _, w := range []traffic.Model{traffic.Identical, traffic.UniformRandom} {
+		res, err := Bandwidth(ds, BandwidthOptions{
+			Options:     Options{MaxPairs: 2},
+			Workload:    w,
+			MaxFailures: 4,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		if res.FailureCases == 0 {
+			t.Fatalf("%v: no failure cases", w)
+		}
+	}
+	res, err := Bandwidth(ds, BandwidthOptions{
+		Options:        Options{MaxPairs: 2},
+		MaxFailures:    4,
+		UseFortzThorup: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailureCases == 0 {
+		t.Fatal("fortz-thorup: no failure cases")
+	}
+}
+
+func TestPreferenceRangeAblation(t *testing.T) {
+	ds := smallDataset(t)
+	out, err := PreferenceRangeAblation(ds, Options{MaxPairs: 6}, []int{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("ablation returned %d entries", len(out))
+	}
+	// More preference classes can only help (weakly) in aggregate; allow
+	// small sampling noise.
+	if out[1] > out[10]+2.0 {
+		t.Errorf("P=1 median gain %.3f much higher than P=10 %.3f", out[1], out[10])
+	}
+}
+
+func TestSelectPairs(t *testing.T) {
+	ds := smallDataset(t)
+	pairs := ds.DistancePairs()
+	if len(pairs) < 3 {
+		t.Skip("dataset too small")
+	}
+	sub := selectPairs(pairs, Options{MaxPairs: 2, Seed: 9})
+	if len(sub) != 2 {
+		t.Fatalf("got %d pairs, want 2", len(sub))
+	}
+	sub2 := selectPairs(pairs, Options{MaxPairs: 2, Seed: 9})
+	if sub[0] != sub2[0] || sub[1] != sub2[1] {
+		t.Error("subsampling not deterministic")
+	}
+	all := selectPairs(pairs, Options{MaxPairs: 0})
+	if len(all) != len(pairs) {
+		t.Error("MaxPairs=0 should return all pairs")
+	}
+}

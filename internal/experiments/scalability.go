@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/nexit"
+	"repro/internal/traffic"
+)
+
+// ScalabilityResult measures how much of the negotiation benefit remains
+// when, for scalability, the ISPs only put their biggest flows on the
+// table (paper §6: "to improve scalability ISPs can decide to negotiate
+// over only the set of long-lived and high-bandwidth flows. ...
+// Optimizing the small fraction of high-bandwidth flows can optimize
+// most of the traffic").
+type ScalabilityResult struct {
+	// Fractions are the traffic fractions negotiated (e.g. 0.5 = the
+	// biggest flows covering half the bytes).
+	Fractions []float64
+	// GainShare[i] is, per traffic fraction, the median share of the
+	// full-negotiation gain retained (1 = all of it), over ISP pairs.
+	GainShare []float64
+	// FlowShare[i] is the median fraction of FLOWS that covers
+	// Fractions[i] of the traffic (the "small fraction" claim).
+	FlowShare []float64
+	Pairs     int
+}
+
+// Scalability runs the distance experiment negotiating only the largest
+// flows covering each traffic fraction; flow sizes follow the gravity
+// model so sizes are skewed as in real traffic.
+func Scalability(ds *Dataset, opt Options, fractions []float64) (*ScalabilityResult, error) {
+	opt = opt.withDefaults()
+	pairs := selectPairs(ds.DistancePairs(), opt)
+	res := &ScalabilityResult{Fractions: fractions}
+	shares := make([][]float64, len(fractions))
+	flowShares := make([][]float64, len(fractions))
+
+	for _, pair := range pairs {
+		ps := newPairSetupWithModel(pair, ds.Cache, traffic.Gravity)
+		na := ps.s.NumAlternatives()
+		// The §6 claim is about optimizing most of the TRAFFIC, so the
+		// quality measure here is traffic-weighted: bytes x km.
+		weighted := func(assign []int) float64 {
+			var sum float64
+			for i, it := range ps.items {
+				d, _, _ := ps.itemDist(it, assign[i])
+				sum += it.Flow.Size * d
+			}
+			return sum
+		}
+		defTotal := weighted(ps.defaults)
+		if defTotal == 0 {
+			continue
+		}
+		cfg := nexit.DefaultDistanceConfig()
+		cfg.PrefBound = opt.PrefBound
+
+		negotiate := func(items []nexit.Item, defaults []int) ([]int, error) {
+			evalA := nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound)
+			evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
+			r, err := nexit.Negotiate(cfg, evalA, evalB, items, defaults, na)
+			if err != nil {
+				return nil, err
+			}
+			return r.Assign, nil
+		}
+
+		// Full-table benchmark.
+		full, err := negotiate(ps.items, ps.defaults)
+		if err != nil {
+			return nil, err
+		}
+		fullGain := defTotal - weighted(full)
+		if fullGain <= 0 {
+			continue
+		}
+
+		// Items sorted by size, biggest first.
+		order := make([]int, len(ps.items))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return ps.items[order[a]].Flow.Size > ps.items[order[b]].Flow.Size
+		})
+		var totalSize float64
+		for _, it := range ps.items {
+			totalSize += it.Flow.Size
+		}
+
+		for fi, frac := range fractions {
+			// Select the biggest flows covering frac of the traffic.
+			var acc float64
+			cut := 0
+			for cut < len(order) && acc < frac*totalSize {
+				acc += ps.items[order[cut]].Flow.Size
+				cut++
+			}
+			sub := make([]nexit.Item, cut)
+			subDef := make([]int, cut)
+			for i := 0; i < cut; i++ {
+				it := ps.items[order[i]]
+				sub[i] = nexit.Item{ID: i, Flow: it.Flow, Dir: it.Dir}
+				subDef[i] = ps.defaults[it.ID]
+			}
+			subAssign, err := negotiate(sub, subDef)
+			if err != nil {
+				return nil, err
+			}
+			// Apply the partial outcome on top of the defaults.
+			assign := append([]int(nil), ps.defaults...)
+			for i := 0; i < cut; i++ {
+				assign[order[i]] = subAssign[i]
+			}
+			shares[fi] = append(shares[fi], (defTotal-weighted(assign))/fullGain)
+			flowShares[fi] = append(flowShares[fi], float64(cut)/float64(len(ps.items)))
+		}
+		res.Pairs++
+	}
+	res.GainShare = make([]float64, len(fractions))
+	res.FlowShare = make([]float64, len(fractions))
+	for fi := range fractions {
+		res.GainShare[fi] = medianOf(shares[fi])
+		res.FlowShare[fi] = medianOf(flowShares[fi])
+	}
+	return res, nil
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

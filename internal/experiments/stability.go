@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/nexit"
+	"repro/internal/stability"
+)
+
+// StabilityResult quantifies the paper's motivating claim (§1/§2.2):
+// reactive unilateral routing after failures can enter cycles of
+// influence, while negotiation terminates by construction and settles at
+// a mutually acceptable point.
+type StabilityResult struct {
+	Converged, Oscillated, Exhausted int
+	// ReactiveWorst and NegotiatedWorst are, per failure case, the
+	// worst-ISP MEL of the reactive end state (or cycling state) and of
+	// the negotiated outcome.
+	ReactiveWorst, NegotiatedWorst []float64
+	FailureCases                   int
+}
+
+// Stability replays the bandwidth failure cases under best-response
+// reactive dynamics (downstream first, as in the paper's incident) and
+// under Nexit, comparing stability and outcome quality.
+func Stability(ds *Dataset, opt BandwidthOptions) (*StabilityResult, error) {
+	opt.Options = opt.Options.withDefaults()
+	pairs := selectPairs(ds.BandwidthPairs(), opt.Options)
+	rng := rand.New(rand.NewSource(opt.Seed + 3))
+	res := &StabilityResult{}
+	cfg := nexit.DefaultBandwidthConfig()
+	cfg.PrefBound = opt.PrefBound
+
+	for _, pair := range pairs {
+		for k := 0; k < pair.NumInterconnections(); k++ {
+			if opt.MaxFailures > 0 && res.FailureCases >= opt.MaxFailures {
+				return res, nil
+			}
+			fc := buildFailureCase(pair, ds.Cache, k, opt.Workload, opt.Capacity, rng)
+			if fc == nil {
+				continue
+			}
+			sim := &stability.Simulator{
+				S:               fc.s2,
+				Flows:           fc.impacted,
+				FixedUp:         fc.fixedUp,
+				FixedDown:       fc.fixedDown,
+				CapUp:           fc.capUp,
+				CapDown:         fc.capDown,
+				DownstreamFirst: true,
+			}
+			r := sim.Run(fc.defAssign)
+			switch r.Outcome {
+			case stability.Converged:
+				res.Converged++
+			case stability.Oscillated:
+				res.Oscillated++
+			default:
+				res.Exhausted++
+			}
+			res.ReactiveWorst = append(res.ReactiveWorst, r.FinalWorstMEL)
+
+			evalA := fc.newBandwidthEvaluator(nexit.SideA, opt.PrefBound, false)
+			evalB := fc.newBandwidthEvaluator(nexit.SideB, opt.PrefBound, false)
+			neg, err := nexit.Negotiate(cfg, evalA, evalB, fc.items, fc.defaults, fc.s2.NumAlternatives())
+			if err != nil {
+				return nil, err
+			}
+			up, down := fc.mels(neg.Assign)
+			res.NegotiatedWorst = append(res.NegotiatedWorst, maxFloat(up, down))
+			res.FailureCases++
+		}
+	}
+	return res, nil
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

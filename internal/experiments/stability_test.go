@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func TestStabilityExperiment(t *testing.T) {
+	ds := smallDataset(t)
+	res, err := Stability(ds, BandwidthOptions{
+		Options:     Options{MaxPairs: 6},
+		Workload:    traffic.Gravity,
+		MaxFailures: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailureCases == 0 {
+		t.Fatal("no failure cases")
+	}
+	if res.Converged+res.Oscillated+res.Exhausted != res.FailureCases {
+		t.Fatalf("outcome counts %d+%d+%d != %d cases",
+			res.Converged, res.Oscillated, res.Exhausted, res.FailureCases)
+	}
+	if len(res.ReactiveWorst) != res.FailureCases || len(res.NegotiatedWorst) != res.FailureCases {
+		t.Fatal("sample counts wrong")
+	}
+	// Negotiation terminates by construction (no Exhausted analogue) and
+	// its worst-ISP MEL should not be worse than the reactive end state
+	// in aggregate.
+	reactive := stats.NewCDF(res.ReactiveWorst)
+	negotiated := stats.NewCDF(res.NegotiatedWorst)
+	if negotiated.Mean() > reactive.Mean()+0.25 {
+		t.Errorf("negotiated mean worst-MEL %.3f much worse than reactive %.3f",
+			negotiated.Mean(), reactive.Mean())
+	}
+	t.Logf("converged=%d oscillated=%d exhausted=%d | reactive %s | negotiated %s",
+		res.Converged, res.Oscillated, res.Exhausted,
+		stats.Summary(reactive), stats.Summary(negotiated))
+}

@@ -1,0 +1,264 @@
+// Package flowid implements the flow-identification machinery of the
+// paper's §6 ("Identifying flows for negotiation"): ISPs partition the
+// traffic they exchange into flows identified by routing prefixes, the
+// upstream signals new flows with an opaque ingress identifier and an
+// estimated size, inactive flows time out, and — for scalability — only
+// flows that stay above a size threshold long enough are negotiated.
+//
+// The types here are a control-plane model: prefixes are IPv4 CIDR
+// blocks assigned per PoP (as an ISP would announce them), and the
+// registry tracks flow lifecycle the way a NetFlow-fed negotiation agent
+// would.
+package flowid
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Prefix is an IPv4 CIDR block.
+type Prefix struct {
+	Addr uint32 // network address, host bits zero
+	Bits int    // prefix length
+}
+
+// String renders the prefix in dotted CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d",
+		byte(p.Addr>>24), byte(p.Addr>>16), byte(p.Addr>>8), byte(p.Addr), p.Bits)
+}
+
+// Valid reports whether the prefix length is legal and the host bits are
+// zero.
+func (p Prefix) Valid() bool {
+	if p.Bits < 0 || p.Bits > 32 {
+		return false
+	}
+	return p.Addr&^p.mask() == 0
+}
+
+func (p Prefix) mask() uint32 {
+	if p.Bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - p.Bits)
+}
+
+// Contains reports whether addr falls inside the prefix.
+func (p Prefix) Contains(addr uint32) bool {
+	return addr&p.mask() == p.Addr
+}
+
+// ContainsPrefix reports whether q is a (non-strict) subprefix of p.
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return q.Bits >= p.Bits && p.Contains(q.Addr)
+}
+
+// Plan assigns prefixes to an ISP's PoPs: each PoP gets one /16 out of a
+// per-ISP /8-like block derived from the ASN. This mirrors how the two
+// ISPs of a pair would "agree on a common set of prefixes, for instance
+// the union of the prefixes they announce to each other through BGP".
+type Plan struct {
+	ISP      *topology.ISP
+	ByPoP    []Prefix
+	byPrefix map[Prefix]int
+}
+
+// NewPlan builds the prefix plan for an ISP. It fails if the ISP has
+// more than 256 PoPs (one /16 each inside a /8).
+func NewPlan(isp *topology.ISP) (*Plan, error) {
+	if len(isp.PoPs) > 256 {
+		return nil, fmt.Errorf("flowid: ISP %s has %d PoPs; plan supports at most 256", isp.Name, len(isp.PoPs))
+	}
+	base := uint32(10+isp.ASN%200) << 24 // deterministic per-ISP /8
+	p := &Plan{ISP: isp, byPrefix: make(map[Prefix]int)}
+	for i := range isp.PoPs {
+		pre := Prefix{Addr: base | uint32(i)<<16, Bits: 16}
+		p.ByPoP = append(p.ByPoP, pre)
+		p.byPrefix[pre] = i
+	}
+	return p, nil
+}
+
+// PoPFor returns the PoP announcing the most specific plan prefix
+// containing the given prefix.
+func (p *Plan) PoPFor(q Prefix) (int, bool) {
+	for pre, pop := range p.byPrefix {
+		if pre.ContainsPrefix(q) {
+			return pop, true
+		}
+	}
+	return -1, false
+}
+
+// Signature uniquely identifies a negotiable flow (paper §6): the most
+// specific source and destination prefixes of its packets plus an opaque
+// identifier for its ingress into the upstream. The upstream "chooses
+// different identifiers for different flows that enter at the same
+// place" to prevent information leakage, so Ingress is a per-flow nonce,
+// not a PoP number.
+type Signature struct {
+	Src     Prefix
+	Dst     Prefix
+	Ingress uint64
+}
+
+// String renders the signature.
+func (s Signature) String() string {
+	return fmt.Sprintf("%v->%v@%x", s.Src, s.Dst, s.Ingress)
+}
+
+// Registry tracks active flows the way the upstream's negotiation agent
+// would from NetFlow-style measurements. Time is modeled as integer
+// ticks supplied by the caller.
+type Registry struct {
+	// SizeThreshold is the minimum observed size for a flow to become
+	// negotiable ("to improve scalability ISPs can decide to negotiate
+	// over only the set of long-lived and high-bandwidth flows").
+	SizeThreshold float64
+	// StableTicks is how long a flow must stay above the threshold
+	// before it is announced ("the upstream will trigger a new flow only
+	// if its size stays above a threshold for a certain period").
+	StableTicks int
+	// IdleTimeout is the number of ticks without traffic after which a
+	// flow is expired.
+	IdleTimeout int
+
+	flows     map[Signature]*flowState
+	nextNonce uint64
+}
+
+type flowState struct {
+	size        float64
+	lastSeen    int
+	aboveSince  int
+	everStable  bool
+	negotiable  bool
+	announcedAt int
+}
+
+// FlowInfo is the externally visible state of a tracked flow.
+type FlowInfo struct {
+	Sig        Signature
+	Size       float64
+	Negotiable bool
+}
+
+// NewRegistry returns a registry with the given policy knobs.
+func NewRegistry(sizeThreshold float64, stableTicks, idleTimeout int) *Registry {
+	return &Registry{
+		SizeThreshold: sizeThreshold,
+		StableTicks:   stableTicks,
+		IdleTimeout:   idleTimeout,
+		flows:         make(map[Signature]*flowState),
+	}
+}
+
+// NewNonce returns a fresh opaque ingress identifier.
+func (r *Registry) NewNonce() uint64 {
+	r.nextNonce++
+	return r.nextNonce
+}
+
+// Observe records traffic for a signature at the given tick and returns
+// true when the observation promotes the flow to negotiable (the moment
+// the upstream would signal "the arrival of a new flow" to the
+// downstream).
+func (r *Registry) Observe(sig Signature, size float64, tick int) bool {
+	st, ok := r.flows[sig]
+	if !ok {
+		st = &flowState{aboveSince: -1}
+		r.flows[sig] = st
+	}
+	st.size = size
+	st.lastSeen = tick
+	if size >= r.SizeThreshold {
+		if st.aboveSince < 0 {
+			st.aboveSince = tick
+		}
+		if !st.negotiable && tick-st.aboveSince >= r.StableTicks {
+			st.negotiable = true
+			st.everStable = true
+			st.announcedAt = tick
+			return true
+		}
+	} else {
+		st.aboveSince = -1
+	}
+	return false
+}
+
+// Expire removes flows idle for longer than IdleTimeout and returns
+// their signatures ("flows that are inactive for a certain period are
+// timed out").
+func (r *Registry) Expire(tick int) []Signature {
+	var expired []Signature
+	for sig, st := range r.flows {
+		if tick-st.lastSeen > r.IdleTimeout {
+			expired = append(expired, sig)
+			delete(r.flows, sig)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool {
+		a, b := expired[i], expired[j]
+		if a.Src.Addr != b.Src.Addr {
+			return a.Src.Addr < b.Src.Addr
+		}
+		if a.Dst.Addr != b.Dst.Addr {
+			return a.Dst.Addr < b.Dst.Addr
+		}
+		return a.Ingress < b.Ingress
+	})
+	return expired
+}
+
+// Negotiable lists the currently negotiable flows, largest first.
+func (r *Registry) Negotiable() []FlowInfo {
+	var out []FlowInfo
+	for sig, st := range r.flows {
+		if st.negotiable {
+			out = append(out, FlowInfo{Sig: sig, Size: st.size, Negotiable: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Size != out[j].Size {
+			return out[i].Size > out[j].Size
+		}
+		return out[i].Sig.Ingress < out[j].Sig.Ingress
+	})
+	return out
+}
+
+// Len returns the number of tracked flows.
+func (r *Registry) Len() int { return len(r.flows) }
+
+// TopFraction returns the smallest set of flows (largest first) whose
+// cumulative size reaches the given fraction of the total — the paper's
+// observation that "optimizing the small fraction of high-bandwidth
+// flows can optimize most of the traffic".
+func TopFraction(flows []FlowInfo, fraction float64) []FlowInfo {
+	sorted := append([]FlowInfo(nil), flows...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Size != sorted[j].Size {
+			return sorted[i].Size > sorted[j].Size
+		}
+		return sorted[i].Sig.Ingress < sorted[j].Sig.Ingress
+	})
+	var total float64
+	for _, f := range sorted {
+		total += f.Size
+	}
+	if total == 0 {
+		return nil
+	}
+	var acc float64
+	for i, f := range sorted {
+		acc += f.Size
+		if acc >= fraction*total {
+			return sorted[:i+1]
+		}
+	}
+	return sorted
+}

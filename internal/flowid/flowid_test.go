@@ -1,0 +1,280 @@
+package flowid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/topology"
+)
+
+func TestPrefixString(t *testing.T) {
+	p := Prefix{Addr: 0x0A010000, Bits: 16}
+	if got := p.String(); got != "10.1.0.0/16" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPrefixValid(t *testing.T) {
+	valid := []Prefix{
+		{0, 0}, {0x0A000000, 8}, {0xC0A80100, 24}, {0xFFFFFFFF, 32},
+	}
+	for _, p := range valid {
+		if !p.Valid() {
+			t.Errorf("%v should be valid", p)
+		}
+	}
+	invalid := []Prefix{
+		{0x0A000001, 8},  // host bits set
+		{0x0A000000, 33}, // bad length
+		{0x0A000000, -1},
+	}
+	for _, p := range invalid {
+		if p.Valid() {
+			t.Errorf("%v should be invalid", p)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := Prefix{Addr: 0x0A010000, Bits: 16}
+	if !p.Contains(0x0A0100FF) || !p.Contains(0x0A01FFFF) {
+		t.Error("Contains misses in-prefix addresses")
+	}
+	if p.Contains(0x0A020000) {
+		t.Error("Contains accepts out-of-prefix address")
+	}
+	// /0 contains everything.
+	if !(Prefix{0, 0}).Contains(0xDEADBEEF) {
+		t.Error("/0 should contain everything")
+	}
+}
+
+func TestContainsPrefix(t *testing.T) {
+	p16 := Prefix{Addr: 0x0A010000, Bits: 16}
+	p24 := Prefix{Addr: 0x0A010100, Bits: 24}
+	if !p16.ContainsPrefix(p24) {
+		t.Error("/16 should contain its /24")
+	}
+	if p24.ContainsPrefix(p16) {
+		t.Error("/24 must not contain its /16")
+	}
+	if !p16.ContainsPrefix(p16) {
+		t.Error("prefix should contain itself")
+	}
+}
+
+func TestPrefixContainsProperty(t *testing.T) {
+	f := func(addr uint32, bits uint8) bool {
+		b := int(bits % 33)
+		p := Prefix{Addr: addr, Bits: b}
+		p.Addr &= p.mask() // canonicalize
+		if !p.Valid() {
+			return false
+		}
+		// The network address itself is always contained.
+		return p.Contains(p.Addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func testISP(n int) *topology.ISP {
+	isp := &topology.ISP{Name: "t", ASN: 7042}
+	for i := 0; i < n; i++ {
+		isp.PoPs = append(isp.PoPs, topology.PoP{ID: i, City: string(rune('a' + i)), Loc: geo.Point{Lat: float64(i)}})
+	}
+	for i := 0; i+1 < n; i++ {
+		isp.Links = append(isp.Links, topology.Link{A: i, B: i + 1, Weight: 1, LengthKm: 1})
+	}
+	return isp
+}
+
+func TestPlan(t *testing.T) {
+	isp := testISP(4)
+	plan, err := NewPlan(isp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.ByPoP) != 4 {
+		t.Fatalf("plan has %d prefixes", len(plan.ByPoP))
+	}
+	seen := map[Prefix]bool{}
+	for i, p := range plan.ByPoP {
+		if !p.Valid() || p.Bits != 16 {
+			t.Errorf("PoP %d prefix %v invalid", i, p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate prefix %v", p)
+		}
+		seen[p] = true
+		// A /24 inside the PoP's /16 resolves back to the PoP.
+		sub := Prefix{Addr: p.Addr | 0x100, Bits: 24}
+		pop, ok := plan.PoPFor(sub)
+		if !ok || pop != i {
+			t.Errorf("PoPFor(%v) = %d,%v want %d", sub, pop, ok, i)
+		}
+	}
+	if _, ok := plan.PoPFor(Prefix{Addr: 0x01000000, Bits: 8}); ok {
+		t.Error("foreign prefix resolved to a PoP")
+	}
+}
+
+func TestPlanTooManyPoPs(t *testing.T) {
+	isp := &topology.ISP{Name: "big", ASN: 1}
+	for i := 0; i < 300; i++ {
+		isp.PoPs = append(isp.PoPs, topology.PoP{ID: i})
+	}
+	if _, err := NewPlan(isp); err == nil {
+		t.Error("oversized ISP accepted")
+	}
+}
+
+func sig(i uint64) Signature {
+	return Signature{
+		Src:     Prefix{Addr: 0x0A000000, Bits: 16},
+		Dst:     Prefix{Addr: 0x0B000000, Bits: 16},
+		Ingress: i,
+	}
+}
+
+func TestRegistryPromotion(t *testing.T) {
+	r := NewRegistry(1.0, 3, 10)
+	s := sig(r.NewNonce())
+	// Below threshold: never promoted.
+	for tick := 0; tick < 5; tick++ {
+		if r.Observe(s, 0.5, tick) {
+			t.Fatal("promoted below threshold")
+		}
+	}
+	// Above threshold but not yet stable.
+	if r.Observe(s, 2, 5) || r.Observe(s, 2, 6) || r.Observe(s, 2, 7) {
+		t.Fatal("promoted before StableTicks elapsed")
+	}
+	if !r.Observe(s, 2, 8) {
+		t.Fatal("not promoted after staying above threshold")
+	}
+	if r.Observe(s, 2, 9) {
+		t.Fatal("promoted twice")
+	}
+	neg := r.Negotiable()
+	if len(neg) != 1 || neg[0].Sig != s {
+		t.Fatalf("Negotiable = %+v", neg)
+	}
+}
+
+func TestRegistryThresholdReset(t *testing.T) {
+	r := NewRegistry(1.0, 3, 10)
+	s := sig(r.NewNonce())
+	r.Observe(s, 2, 0)
+	r.Observe(s, 2, 1)
+	r.Observe(s, 0.1, 2) // dips below: stability clock resets
+	r.Observe(s, 2, 3)
+	r.Observe(s, 2, 4)
+	if r.Observe(s, 2, 5) {
+		t.Fatal("promoted despite reset clock")
+	}
+	if !r.Observe(s, 2, 6) {
+		t.Fatal("not promoted after full stable window")
+	}
+}
+
+func TestRegistryExpiry(t *testing.T) {
+	r := NewRegistry(1.0, 0, 5)
+	a, b := sig(r.NewNonce()), sig(r.NewNonce())
+	r.Observe(a, 2, 0)
+	r.Observe(b, 2, 0)
+	r.Observe(b, 2, 7)
+	expired := r.Expire(8)
+	if len(expired) != 1 || expired[0] != a {
+		t.Fatalf("Expire = %+v", expired)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestNoncesDistinct(t *testing.T) {
+	r := NewRegistry(1, 0, 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		n := r.NewNonce()
+		if seen[n] {
+			t.Fatal("nonce repeated")
+		}
+		seen[n] = true
+	}
+}
+
+func TestNegotiableSorted(t *testing.T) {
+	r := NewRegistry(1, 0, 100)
+	sizes := []float64{3, 9, 1.5, 7}
+	for i, s := range sizes {
+		r.Observe(sig(uint64(i+1)), s, 0)
+	}
+	neg := r.Negotiable()
+	if len(neg) != 4 {
+		t.Fatalf("got %d negotiable", len(neg))
+	}
+	for i := 1; i < len(neg); i++ {
+		if neg[i].Size > neg[i-1].Size {
+			t.Fatal("not sorted by size desc")
+		}
+	}
+}
+
+func TestTopFraction(t *testing.T) {
+	flows := []FlowInfo{
+		{Sig: sig(1), Size: 50},
+		{Sig: sig(2), Size: 30},
+		{Sig: sig(3), Size: 15},
+		{Sig: sig(4), Size: 5},
+	}
+	top := TopFraction(flows, 0.8)
+	if len(top) != 2 { // 50+30 = 80% of 100
+		t.Fatalf("TopFraction(0.8) = %d flows, want 2", len(top))
+	}
+	if top[0].Size != 50 || top[1].Size != 30 {
+		t.Errorf("wrong flows selected: %+v", top)
+	}
+	if got := TopFraction(flows, 1.0); len(got) != 4 {
+		t.Errorf("TopFraction(1.0) = %d flows", len(got))
+	}
+	if got := TopFraction(nil, 0.5); got != nil {
+		t.Errorf("TopFraction(empty) = %v", got)
+	}
+	// Zero-size flows: no selection possible.
+	if got := TopFraction([]FlowInfo{{Size: 0}}, 0.5); got != nil {
+		t.Errorf("TopFraction(zero sizes) = %v", got)
+	}
+}
+
+func TestTopFractionProperty(t *testing.T) {
+	f := func(raw []float64, fracRaw float64) bool {
+		flows := make([]FlowInfo, 0, len(raw))
+		var total float64
+		for i, s := range raw {
+			if s < 0 || s != s || s > 1e12 {
+				s = 1
+			}
+			flows = append(flows, FlowInfo{Sig: sig(uint64(i)), Size: s})
+			total += s
+		}
+		frac := math.Abs(math.Mod(fracRaw, 1))
+		if math.IsNaN(frac) {
+			frac = 0.5
+		}
+		top := TopFraction(flows, frac)
+		var acc float64
+		for _, f := range top {
+			acc += f.Size
+		}
+		// Selected set covers at least the requested fraction.
+		return total == 0 || acc >= frac*total-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+package gen
+
+import "repro/internal/geo"
+
+// City is one entry in the embedded world-city table. The table
+// substitutes for the CIESIN gridded-population dataset the paper uses:
+// the gravity traffic model only needs relative city weights, and the
+// topology generator needs realistic geographic spread. Coordinates and
+// metro populations are approximate; absolute accuracy is irrelevant
+// because every metric in the evaluation is a ratio.
+type City struct {
+	Name       string
+	Region     Region
+	Loc        geo.Point
+	Population float64 // metro population
+}
+
+// Region is a coarse continental region used to bias ISP footprints,
+// mirroring how Rocketfuel ISPs are mostly national or continental
+// carriers with a few global ones.
+type Region int
+
+// Regions of the embedded city table.
+const (
+	NorthAmerica Region = iota
+	SouthAmerica
+	Europe
+	Asia
+	Oceania
+	Africa
+	numRegions
+)
+
+// String returns the region name.
+func (r Region) String() string {
+	switch r {
+	case NorthAmerica:
+		return "north-america"
+	case SouthAmerica:
+		return "south-america"
+	case Europe:
+		return "europe"
+	case Asia:
+		return "asia"
+	case Oceania:
+		return "oceania"
+	case Africa:
+		return "africa"
+	}
+	return "unknown"
+}
+
+// Cities returns the embedded world-city table. The slice is freshly
+// allocated on each call so callers may reorder it.
+func Cities() []City {
+	out := make([]City, len(worldCities))
+	copy(out, worldCities)
+	return out
+}
+
+// worldCities lists ~140 major cities. Populations are metro-area
+// estimates in units of people.
+var worldCities = []City{
+	// North America
+	{"new york", NorthAmerica, geo.Point{Lat: 40.71, Lon: -74.01}, 19.0e6},
+	{"los angeles", NorthAmerica, geo.Point{Lat: 34.05, Lon: -118.24}, 13.0e6},
+	{"chicago", NorthAmerica, geo.Point{Lat: 41.88, Lon: -87.63}, 9.5e6},
+	{"dallas", NorthAmerica, geo.Point{Lat: 32.78, Lon: -96.80}, 7.5e6},
+	{"houston", NorthAmerica, geo.Point{Lat: 29.76, Lon: -95.37}, 7.0e6},
+	{"washington", NorthAmerica, geo.Point{Lat: 38.91, Lon: -77.04}, 6.3e6},
+	{"philadelphia", NorthAmerica, geo.Point{Lat: 39.95, Lon: -75.17}, 6.2e6},
+	{"atlanta", NorthAmerica, geo.Point{Lat: 33.75, Lon: -84.39}, 6.0e6},
+	{"miami", NorthAmerica, geo.Point{Lat: 25.76, Lon: -80.19}, 6.1e6},
+	{"boston", NorthAmerica, geo.Point{Lat: 42.36, Lon: -71.06}, 4.9e6},
+	{"phoenix", NorthAmerica, geo.Point{Lat: 33.45, Lon: -112.07}, 4.8e6},
+	{"san francisco", NorthAmerica, geo.Point{Lat: 37.77, Lon: -122.42}, 4.7e6},
+	{"seattle", NorthAmerica, geo.Point{Lat: 47.61, Lon: -122.33}, 4.0e6},
+	{"san diego", NorthAmerica, geo.Point{Lat: 32.72, Lon: -117.16}, 3.3e6},
+	{"minneapolis", NorthAmerica, geo.Point{Lat: 44.98, Lon: -93.27}, 3.6e6},
+	{"denver", NorthAmerica, geo.Point{Lat: 39.74, Lon: -104.99}, 2.9e6},
+	{"st louis", NorthAmerica, geo.Point{Lat: 38.63, Lon: -90.20}, 2.8e6},
+	{"tampa", NorthAmerica, geo.Point{Lat: 27.95, Lon: -82.46}, 3.1e6},
+	{"baltimore", NorthAmerica, geo.Point{Lat: 39.29, Lon: -76.61}, 2.8e6},
+	{"charlotte", NorthAmerica, geo.Point{Lat: 35.23, Lon: -80.84}, 2.6e6},
+	{"portland", NorthAmerica, geo.Point{Lat: 45.52, Lon: -122.68}, 2.5e6},
+	{"san antonio", NorthAmerica, geo.Point{Lat: 29.42, Lon: -98.49}, 2.5e6},
+	{"orlando", NorthAmerica, geo.Point{Lat: 28.54, Lon: -81.38}, 2.6e6},
+	{"pittsburgh", NorthAmerica, geo.Point{Lat: 40.44, Lon: -79.99}, 2.4e6},
+	{"sacramento", NorthAmerica, geo.Point{Lat: 38.58, Lon: -121.49}, 2.4e6},
+	{"las vegas", NorthAmerica, geo.Point{Lat: 36.17, Lon: -115.14}, 2.2e6},
+	{"cincinnati", NorthAmerica, geo.Point{Lat: 39.10, Lon: -84.51}, 2.2e6},
+	{"kansas city", NorthAmerica, geo.Point{Lat: 39.10, Lon: -94.58}, 2.2e6},
+	{"columbus", NorthAmerica, geo.Point{Lat: 39.96, Lon: -83.00}, 2.1e6},
+	{"indianapolis", NorthAmerica, geo.Point{Lat: 39.77, Lon: -86.16}, 2.1e6},
+	{"cleveland", NorthAmerica, geo.Point{Lat: 41.50, Lon: -81.69}, 2.1e6},
+	{"nashville", NorthAmerica, geo.Point{Lat: 36.16, Lon: -86.78}, 2.0e6},
+	{"salt lake city", NorthAmerica, geo.Point{Lat: 40.76, Lon: -111.89}, 1.3e6},
+	{"detroit", NorthAmerica, geo.Point{Lat: 42.33, Lon: -83.05}, 4.3e6},
+	{"austin", NorthAmerica, geo.Point{Lat: 30.27, Lon: -97.74}, 2.3e6},
+	{"new orleans", NorthAmerica, geo.Point{Lat: 29.95, Lon: -90.07}, 1.3e6},
+	{"memphis", NorthAmerica, geo.Point{Lat: 35.15, Lon: -90.05}, 1.3e6},
+	{"raleigh", NorthAmerica, geo.Point{Lat: 35.78, Lon: -78.64}, 1.4e6},
+	{"oklahoma city", NorthAmerica, geo.Point{Lat: 35.47, Lon: -97.52}, 1.4e6},
+	{"albuquerque", NorthAmerica, geo.Point{Lat: 35.08, Lon: -106.65}, 0.9e6},
+	{"omaha", NorthAmerica, geo.Point{Lat: 41.26, Lon: -95.93}, 0.9e6},
+	{"boise", NorthAmerica, geo.Point{Lat: 43.62, Lon: -116.21}, 0.7e6},
+	{"toronto", NorthAmerica, geo.Point{Lat: 43.65, Lon: -79.38}, 6.2e6},
+	{"montreal", NorthAmerica, geo.Point{Lat: 45.50, Lon: -73.57}, 4.2e6},
+	{"vancouver", NorthAmerica, geo.Point{Lat: 49.28, Lon: -123.12}, 2.6e6},
+	{"calgary", NorthAmerica, geo.Point{Lat: 51.05, Lon: -114.07}, 1.5e6},
+	{"ottawa", NorthAmerica, geo.Point{Lat: 45.42, Lon: -75.70}, 1.4e6},
+	{"mexico city", NorthAmerica, geo.Point{Lat: 19.43, Lon: -99.13}, 21.8e6},
+	{"guadalajara", NorthAmerica, geo.Point{Lat: 20.66, Lon: -103.35}, 5.3e6},
+	{"monterrey", NorthAmerica, geo.Point{Lat: 25.69, Lon: -100.32}, 5.3e6},
+
+	// South America
+	{"sao paulo", SouthAmerica, geo.Point{Lat: -23.55, Lon: -46.63}, 22.0e6},
+	{"buenos aires", SouthAmerica, geo.Point{Lat: -34.60, Lon: -58.38}, 15.2e6},
+	{"rio de janeiro", SouthAmerica, geo.Point{Lat: -22.91, Lon: -43.17}, 13.5e6},
+	{"bogota", SouthAmerica, geo.Point{Lat: 4.71, Lon: -74.07}, 11.0e6},
+	{"lima", SouthAmerica, geo.Point{Lat: -12.05, Lon: -77.04}, 10.7e6},
+	{"santiago", SouthAmerica, geo.Point{Lat: -33.45, Lon: -70.67}, 6.8e6},
+	{"caracas", SouthAmerica, geo.Point{Lat: 10.48, Lon: -66.90}, 2.9e6},
+	{"quito", SouthAmerica, geo.Point{Lat: -0.18, Lon: -78.47}, 2.0e6},
+	{"montevideo", SouthAmerica, geo.Point{Lat: -34.90, Lon: -56.16}, 1.8e6},
+	{"brasilia", SouthAmerica, geo.Point{Lat: -15.79, Lon: -47.88}, 4.7e6},
+	{"medellin", SouthAmerica, geo.Point{Lat: 6.24, Lon: -75.58}, 4.0e6},
+	{"porto alegre", SouthAmerica, geo.Point{Lat: -30.03, Lon: -51.22}, 4.1e6},
+
+	// Europe
+	{"london", Europe, geo.Point{Lat: 51.51, Lon: -0.13}, 14.3e6},
+	{"paris", Europe, geo.Point{Lat: 48.86, Lon: 2.35}, 13.0e6},
+	{"madrid", Europe, geo.Point{Lat: 40.42, Lon: -3.70}, 6.7e6},
+	{"barcelona", Europe, geo.Point{Lat: 41.39, Lon: 2.17}, 5.6e6},
+	{"berlin", Europe, geo.Point{Lat: 52.52, Lon: 13.41}, 6.1e6},
+	{"rome", Europe, geo.Point{Lat: 41.90, Lon: 12.50}, 4.3e6},
+	{"milan", Europe, geo.Point{Lat: 45.46, Lon: 9.19}, 4.9e6},
+	{"amsterdam", Europe, geo.Point{Lat: 52.37, Lon: 4.89}, 2.5e6},
+	{"frankfurt", Europe, geo.Point{Lat: 50.11, Lon: 8.68}, 2.7e6},
+	{"munich", Europe, geo.Point{Lat: 48.14, Lon: 11.58}, 2.9e6},
+	{"hamburg", Europe, geo.Point{Lat: 53.55, Lon: 9.99}, 3.2e6},
+	{"brussels", Europe, geo.Point{Lat: 50.85, Lon: 4.35}, 2.1e6},
+	{"vienna", Europe, geo.Point{Lat: 48.21, Lon: 16.37}, 2.9e6},
+	{"zurich", Europe, geo.Point{Lat: 47.38, Lon: 8.54}, 1.4e6},
+	{"geneva", Europe, geo.Point{Lat: 46.20, Lon: 6.14}, 0.6e6},
+	{"stockholm", Europe, geo.Point{Lat: 59.33, Lon: 18.07}, 2.4e6},
+	{"copenhagen", Europe, geo.Point{Lat: 55.68, Lon: 12.57}, 2.1e6},
+	{"oslo", Europe, geo.Point{Lat: 59.91, Lon: 10.75}, 1.6e6},
+	{"helsinki", Europe, geo.Point{Lat: 60.17, Lon: 24.94}, 1.5e6},
+	{"dublin", Europe, geo.Point{Lat: 53.35, Lon: -6.26}, 2.0e6},
+	{"manchester", Europe, geo.Point{Lat: 53.48, Lon: -2.24}, 2.8e6},
+	{"warsaw", Europe, geo.Point{Lat: 52.23, Lon: 21.01}, 3.1e6},
+	{"prague", Europe, geo.Point{Lat: 50.08, Lon: 14.44}, 2.7e6},
+	{"budapest", Europe, geo.Point{Lat: 47.50, Lon: 19.04}, 3.0e6},
+	{"lisbon", Europe, geo.Point{Lat: 38.72, Lon: -9.14}, 2.9e6},
+	{"athens", Europe, geo.Point{Lat: 37.98, Lon: 23.73}, 3.6e6},
+	{"istanbul", Europe, geo.Point{Lat: 41.01, Lon: 28.98}, 15.8e6},
+	{"moscow", Europe, geo.Point{Lat: 55.76, Lon: 37.62}, 12.6e6},
+	{"st petersburg", Europe, geo.Point{Lat: 59.93, Lon: 30.34}, 5.4e6},
+	{"kyiv", Europe, geo.Point{Lat: 50.45, Lon: 30.52}, 3.0e6},
+	{"bucharest", Europe, geo.Point{Lat: 44.43, Lon: 26.10}, 2.3e6},
+	{"lyon", Europe, geo.Point{Lat: 45.76, Lon: 4.84}, 2.3e6},
+	{"marseille", Europe, geo.Point{Lat: 43.30, Lon: 5.37}, 1.9e6},
+	{"turin", Europe, geo.Point{Lat: 45.07, Lon: 7.69}, 1.8e6},
+	{"dusseldorf", Europe, geo.Point{Lat: 51.23, Lon: 6.77}, 1.6e6},
+	{"stuttgart", Europe, geo.Point{Lat: 48.78, Lon: 9.18}, 2.8e6},
+
+	// Asia
+	{"tokyo", Asia, geo.Point{Lat: 35.68, Lon: 139.69}, 37.3e6},
+	{"delhi", Asia, geo.Point{Lat: 28.61, Lon: 77.21}, 32.0e6},
+	{"shanghai", Asia, geo.Point{Lat: 31.23, Lon: 121.47}, 28.5e6},
+	{"beijing", Asia, geo.Point{Lat: 39.90, Lon: 116.41}, 21.3e6},
+	{"mumbai", Asia, geo.Point{Lat: 19.08, Lon: 72.88}, 21.0e6},
+	{"osaka", Asia, geo.Point{Lat: 34.69, Lon: 135.50}, 19.0e6},
+	{"dhaka", Asia, geo.Point{Lat: 23.81, Lon: 90.41}, 22.5e6},
+	{"karachi", Asia, geo.Point{Lat: 24.86, Lon: 67.01}, 16.8e6},
+	{"guangzhou", Asia, geo.Point{Lat: 23.13, Lon: 113.26}, 13.9e6},
+	{"shenzhen", Asia, geo.Point{Lat: 22.54, Lon: 114.06}, 12.9e6},
+	{"jakarta", Asia, geo.Point{Lat: -6.21, Lon: 106.85}, 11.0e6},
+	{"seoul", Asia, geo.Point{Lat: 37.57, Lon: 126.98}, 9.9e6},
+	{"bangkok", Asia, geo.Point{Lat: 13.76, Lon: 100.50}, 10.9e6},
+	{"hong kong", Asia, geo.Point{Lat: 22.32, Lon: 114.17}, 7.5e6},
+	{"singapore", Asia, geo.Point{Lat: 1.35, Lon: 103.82}, 6.0e6},
+	{"kuala lumpur", Asia, geo.Point{Lat: 3.14, Lon: 101.69}, 8.4e6},
+	{"manila", Asia, geo.Point{Lat: 14.60, Lon: 120.98}, 14.4e6},
+	{"taipei", Asia, geo.Point{Lat: 25.03, Lon: 121.57}, 7.0e6},
+	{"bangalore", Asia, geo.Point{Lat: 12.97, Lon: 77.59}, 13.2e6},
+	{"chennai", Asia, geo.Point{Lat: 13.08, Lon: 80.27}, 11.2e6},
+	{"hyderabad", Asia, geo.Point{Lat: 17.39, Lon: 78.49}, 10.3e6},
+	{"ho chi minh city", Asia, geo.Point{Lat: 10.82, Lon: 106.63}, 9.3e6},
+	{"hanoi", Asia, geo.Point{Lat: 21.03, Lon: 105.85}, 5.1e6},
+	{"tel aviv", Asia, geo.Point{Lat: 32.09, Lon: 34.78}, 4.4e6},
+	{"dubai", Asia, geo.Point{Lat: 25.20, Lon: 55.27}, 3.6e6},
+	{"riyadh", Asia, geo.Point{Lat: 24.71, Lon: 46.68}, 7.7e6},
+	{"tehran", Asia, geo.Point{Lat: 35.69, Lon: 51.39}, 9.5e6},
+	{"nagoya", Asia, geo.Point{Lat: 35.18, Lon: 136.91}, 9.5e6},
+	{"fukuoka", Asia, geo.Point{Lat: 33.59, Lon: 130.40}, 5.5e6},
+	{"busan", Asia, geo.Point{Lat: 35.18, Lon: 129.08}, 3.4e6},
+	{"chengdu", Asia, geo.Point{Lat: 30.57, Lon: 104.07}, 16.9e6},
+	{"wuhan", Asia, geo.Point{Lat: 30.59, Lon: 114.31}, 11.1e6},
+	{"xian", Asia, geo.Point{Lat: 34.34, Lon: 108.94}, 12.9e6},
+	{"almaty", Asia, geo.Point{Lat: 43.26, Lon: 76.93}, 2.0e6},
+
+	// Oceania
+	{"sydney", Oceania, geo.Point{Lat: -33.87, Lon: 151.21}, 5.4e6},
+	{"melbourne", Oceania, geo.Point{Lat: -37.81, Lon: 144.96}, 5.2e6},
+	{"brisbane", Oceania, geo.Point{Lat: -27.47, Lon: 153.03}, 2.6e6},
+	{"perth", Oceania, geo.Point{Lat: -31.95, Lon: 115.86}, 2.1e6},
+	{"adelaide", Oceania, geo.Point{Lat: -34.93, Lon: 138.60}, 1.4e6},
+	{"auckland", Oceania, geo.Point{Lat: -36.85, Lon: 174.76}, 1.7e6},
+	{"wellington", Oceania, geo.Point{Lat: -41.29, Lon: 174.78}, 0.4e6},
+
+	// Africa
+	{"cairo", Africa, geo.Point{Lat: 30.04, Lon: 31.24}, 21.8e6},
+	{"lagos", Africa, geo.Point{Lat: 6.52, Lon: 3.38}, 15.4e6},
+	{"kinshasa", Africa, geo.Point{Lat: -4.44, Lon: 15.27}, 15.6e6},
+	{"johannesburg", Africa, geo.Point{Lat: -26.20, Lon: 28.05}, 10.0e6},
+	{"nairobi", Africa, geo.Point{Lat: -1.29, Lon: 36.82}, 5.1e6},
+	{"cape town", Africa, geo.Point{Lat: -33.92, Lon: 18.42}, 4.7e6},
+	{"casablanca", Africa, geo.Point{Lat: 33.57, Lon: -7.59}, 3.7e6},
+	{"accra", Africa, geo.Point{Lat: 5.60, Lon: -0.19}, 2.6e6},
+	{"algiers", Africa, geo.Point{Lat: 36.75, Lon: 3.06}, 2.9e6},
+	{"addis ababa", Africa, geo.Point{Lat: 9.01, Lon: 38.76}, 5.2e6},
+	{"tunis", Africa, geo.Point{Lat: 36.81, Lon: 10.18}, 2.4e6},
+	{"dakar", Africa, geo.Point{Lat: 14.72, Lon: -17.47}, 3.1e6},
+}

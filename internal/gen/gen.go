@@ -1,0 +1,344 @@
+// Package gen deterministically generates the synthetic ISP dataset that
+// substitutes for the 65 measured Rocketfuel PoP-level topologies used by
+// the paper (see DESIGN.md §4).
+//
+// Each generated ISP picks PoP cities from the embedded world-city table
+// with population-biased sampling (so large hubs appear in many ISPs and
+// pairs of ISPs meet in multiple cities, as real ISPs do), builds a
+// geographic minimum-spanning-tree backbone, and adds distance-biased
+// shortcut links (Waxman-style). Link weights are proportional to
+// geographic length with deterministic jitter, matching the estimated
+// inter-PoP weights of the measured dataset. A small fraction of ISPs are
+// generated as logical meshes, mirroring the eight mesh topologies the
+// paper excludes from distance experiments.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/topology"
+)
+
+// Config controls dataset generation. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	Seed    int64 // master RNG seed; everything is derived from it
+	NumISPs int   // number of ISPs to generate
+
+	MinPoPs, MaxPoPs int // PoP count range per ISP (inclusive)
+
+	// PopulationBias is the exponent applied to city population when
+	// sampling PoP locations. 0 is uniform; 1 is proportional. Higher
+	// values concentrate PoPs in the biggest hubs, increasing the number
+	// of interconnections between ISP pairs.
+	PopulationBias float64
+
+	// ShortcutFraction is the number of extra (non-MST) links to attempt
+	// per PoP. Rocketfuel backbones have average degree ~2.5-3.5.
+	ShortcutFraction float64
+
+	// WaxmanAlpha controls how sharply shortcut probability decays with
+	// distance, as a fraction of the ISP's geographic diameter.
+	WaxmanAlpha float64
+
+	// WeightJitter is the +/- fractional jitter applied to link weights
+	// relative to geographic length (IGP weights track distance only
+	// approximately in practice).
+	WeightJitter float64
+
+	// MeshFraction is the fraction of ISPs generated as logical meshes
+	// (every PoP pair directly linked); the paper excludes such ISPs from
+	// distance experiments because mesh edge lengths are not meaningful.
+	MeshFraction float64
+
+	// GlobalFraction is the fraction of ISPs with a worldwide footprint;
+	// the rest are continental carriers that stay in one region with
+	// occasional out-of-region PoPs.
+	GlobalFraction float64
+
+	// OutOfRegionProb is the per-PoP probability that a continental ISP
+	// places a PoP outside its home region (e.g. a European carrier with
+	// a New York PoP).
+	OutOfRegionProb float64
+}
+
+// DefaultConfig returns the configuration used by the paper-reproduction
+// experiments: 65 ISPs with size and density ranges matching Rocketfuel.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		NumISPs:          65,
+		MinPoPs:          4,
+		MaxPoPs:          36,
+		PopulationBias:   0.75,
+		ShortcutFraction: 0.8,
+		WaxmanAlpha:      0.35,
+		WeightJitter:     0.25,
+		MeshFraction:     0.12,
+		GlobalFraction:   0.2,
+		OutOfRegionProb:  0.08,
+	}
+}
+
+// Validate checks the configuration for obvious mistakes.
+func (c Config) Validate() error {
+	if c.NumISPs <= 0 {
+		return fmt.Errorf("gen: NumISPs must be positive")
+	}
+	if c.MinPoPs < 2 || c.MaxPoPs < c.MinPoPs {
+		return fmt.Errorf("gen: need 2 <= MinPoPs <= MaxPoPs")
+	}
+	if c.MaxPoPs > len(worldCities) {
+		return fmt.Errorf("gen: MaxPoPs %d exceeds city table size %d", c.MaxPoPs, len(worldCities))
+	}
+	if c.PopulationBias < 0 || c.WeightJitter < 0 || c.WeightJitter >= 1 {
+		return fmt.Errorf("gen: PopulationBias must be >= 0 and WeightJitter in [0,1)")
+	}
+	if c.MeshFraction < 0 || c.MeshFraction > 1 || c.GlobalFraction < 0 || c.GlobalFraction > 1 {
+		return fmt.Errorf("gen: fractions must be in [0,1]")
+	}
+	return nil
+}
+
+// regionShare weights the home-region draw; most measured ISPs are North
+// American or European carriers.
+var regionShare = map[Region]float64{
+	NorthAmerica: 0.42,
+	Europe:       0.30,
+	Asia:         0.16,
+	SouthAmerica: 0.05,
+	Oceania:      0.04,
+	Africa:       0.03,
+}
+
+// Generate produces the dataset. The same Config always yields the same
+// dataset, byte for byte. Every generated ISP passes Validate.
+func Generate(cfg Config) ([]*topology.ISP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	isps := make([]*topology.ISP, 0, cfg.NumISPs)
+	for i := 0; i < cfg.NumISPs; i++ {
+		isp := generateISP(cfg, rng, i)
+		if err := isp.Validate(); err != nil {
+			return nil, fmt.Errorf("gen: generated invalid ISP %d: %v", i, err)
+		}
+		isps = append(isps, isp)
+	}
+	return isps, nil
+}
+
+func generateISP(cfg Config, rng *rand.Rand, index int) *topology.ISP {
+	isp := &topology.ISP{
+		Name: fmt.Sprintf("isp%02d", index),
+		ASN:  7000 + index,
+	}
+
+	global := rng.Float64() < cfg.GlobalFraction
+	home := drawRegion(rng)
+	// Size: log-uniform so small ISPs are common, like Rocketfuel.
+	span := math.Log(float64(cfg.MaxPoPs)) - math.Log(float64(cfg.MinPoPs))
+	n := int(math.Round(math.Exp(math.Log(float64(cfg.MinPoPs)) + rng.Float64()*span)))
+	if n < cfg.MinPoPs {
+		n = cfg.MinPoPs
+	}
+	if n > cfg.MaxPoPs {
+		n = cfg.MaxPoPs
+	}
+	// Global ISPs skew larger.
+	if global && n < 12 {
+		n += 8
+	}
+
+	cities := samplePoPs(cfg, rng, home, global, n)
+	for i, c := range cities {
+		isp.PoPs = append(isp.PoPs, topology.PoP{
+			ID: i, City: c.Name, Loc: c.Loc, Population: c.Population,
+		})
+	}
+
+	if rng.Float64() < cfg.MeshFraction {
+		buildMesh(isp, cfg, rng)
+	} else {
+		buildBackbone(isp, cfg, rng)
+	}
+	return isp
+}
+
+// drawRegion samples a home region according to regionShare.
+func drawRegion(rng *rand.Rand) Region {
+	x := rng.Float64()
+	var acc float64
+	for r := Region(0); r < numRegions; r++ {
+		acc += regionShare[r]
+		if x < acc {
+			return r
+		}
+	}
+	return NorthAmerica
+}
+
+// samplePoPs draws n distinct cities with probability proportional to
+// population^bias, restricted to the home region for continental ISPs
+// (with occasional out-of-region PoPs).
+func samplePoPs(cfg Config, rng *rand.Rand, home Region, global bool, n int) []City {
+	var pool []City
+	for _, c := range worldCities {
+		if global || c.Region == home || rng.Float64() < cfg.OutOfRegionProb {
+			pool = append(pool, c)
+		}
+	}
+	if len(pool) < n {
+		// Tiny regions (Oceania, Africa) may not have n cities; widen to
+		// the whole world rather than fail.
+		pool = Cities()
+	}
+	weights := make([]float64, len(pool))
+	for i, c := range pool {
+		weights[i] = math.Pow(c.Population, cfg.PopulationBias)
+	}
+	out := make([]City, 0, n)
+	for len(out) < n {
+		i := weightedDraw(rng, weights)
+		out = append(out, pool[i])
+		weights[i] = 0 // without replacement
+	}
+	return out
+}
+
+// weightedDraw picks an index proportionally to weights. At least one
+// weight must be positive.
+func weightedDraw(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("gen: weightedDraw with no positive weights")
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 && w > 0 {
+			return i
+		}
+	}
+	// Floating point slack: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("gen: unreachable")
+}
+
+// buildBackbone constructs a geographic MST plus Waxman shortcuts.
+func buildBackbone(isp *topology.ISP, cfg Config, rng *rand.Rand) {
+	n := len(isp.PoPs)
+	dist := func(i, j int) float64 {
+		return geo.DistanceKm(isp.PoPs[i].Loc, isp.PoPs[j].Loc)
+	}
+
+	// Prim's MST over geographic distance.
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	from := make([]int, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+		from[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		best[j] = dist(0, j)
+		from[j] = 0
+	}
+	have := map[[2]int]bool{}
+	addLink := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if a == b || have[key] {
+			return
+		}
+		have[key] = true
+		d := dist(a, b)
+		if d < 1 {
+			d = 1 // co-located PoPs still cost something to connect
+		}
+		jitter := 1 + (rng.Float64()*2-1)*cfg.WeightJitter
+		isp.Links = append(isp.Links, topology.Link{
+			A: a, B: b, Weight: d * jitter, LengthKm: d,
+		})
+	}
+	for count := 1; count < n; count++ {
+		u, ud := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !inTree[j] && best[j] < ud {
+				u, ud = j, best[j]
+			}
+		}
+		inTree[u] = true
+		addLink(u, from[u])
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if d := dist(u, j); d < best[j] {
+					best[j] = d
+					from[j] = u
+				}
+			}
+		}
+	}
+
+	// Diameter estimate for the Waxman decay scale.
+	var diameter float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := dist(i, j); d > diameter {
+				diameter = d
+			}
+		}
+	}
+	if diameter <= 0 {
+		diameter = 1
+	}
+	attempts := int(cfg.ShortcutFraction * float64(n) * 3)
+	added := 0
+	budget := int(cfg.ShortcutFraction * float64(n))
+	for t := 0; t < attempts && added < budget; t++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		p := math.Exp(-dist(a, b) / (cfg.WaxmanAlpha * diameter))
+		if rng.Float64() < p {
+			before := len(isp.Links)
+			addLink(a, b)
+			if len(isp.Links) > before {
+				added++
+			}
+		}
+	}
+}
+
+// buildMesh links every pair of PoPs directly, producing a logical-mesh
+// topology like the eight the paper excludes.
+func buildMesh(isp *topology.ISP, cfg Config, rng *rand.Rand) {
+	n := len(isp.PoPs)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			d := geo.DistanceKm(isp.PoPs[a].Loc, isp.PoPs[b].Loc)
+			if d < 1 {
+				d = 1
+			}
+			jitter := 1 + (rng.Float64()*2-1)*cfg.WeightJitter
+			isp.Links = append(isp.Links, topology.Link{
+				A: a, B: b, Weight: d * jitter, LengthKm: d,
+			})
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero isps", func(c *Config) { c.NumISPs = 0 }},
+		{"min pops too small", func(c *Config) { c.MinPoPs = 1 }},
+		{"max below min", func(c *Config) { c.MaxPoPs = c.MinPoPs - 1 }},
+		{"max pops beyond table", func(c *Config) { c.MaxPoPs = 10000 }},
+		{"negative bias", func(c *Config) { c.PopulationBias = -1 }},
+		{"jitter too large", func(c *Config) { c.WeightJitter = 1.5 }},
+		{"bad mesh fraction", func(c *Config) { c.MeshFraction = 2 }},
+		{"bad global fraction", func(c *Config) { c.GlobalFraction = -0.1 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad config", c.name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumISPs = 10
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sa, sb strings.Builder
+	if err := topology.Write(&sa, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.Write(&sb, b); err != nil {
+		t.Fatal(err)
+	}
+	if sa.String() != sb.String() {
+		t.Error("same seed produced different datasets")
+	}
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc strings.Builder
+	if err := topology.Write(&sc, c); err != nil {
+		t.Fatal(err)
+	}
+	if sa.String() == sc.String() {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateAllValid(t *testing.T) {
+	isps, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(isps) != 65 {
+		t.Fatalf("generated %d ISPs, want 65", len(isps))
+	}
+	cfg := DefaultConfig()
+	meshes := 0
+	for _, isp := range isps {
+		if err := isp.Validate(); err != nil {
+			t.Errorf("%s: %v", isp.Name, err)
+		}
+		if n := isp.NumPoPs(); n < cfg.MinPoPs || n > cfg.MaxPoPs+8 {
+			t.Errorf("%s: %d PoPs outside [%d,%d+8]", isp.Name, n, cfg.MinPoPs, cfg.MaxPoPs)
+		}
+		if isp.IsMesh() {
+			meshes++
+		}
+	}
+	if meshes == 0 {
+		t.Error("expected some mesh ISPs in the dataset")
+	}
+	if meshes > len(isps)/2 {
+		t.Errorf("too many mesh ISPs: %d", meshes)
+	}
+}
+
+func TestDatasetHasUsablePairs(t *testing.T) {
+	// The experiments need: ISP pairs with >=2 interconnections
+	// (distance, paper had 229) and pairs with >=3 (bandwidth, paper had
+	// 247 failure cases). The synthetic dataset must produce the same
+	// order of magnitude.
+	isps, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := topology.AllPairs(isps, 2, true)
+	if len(d) < 100 {
+		t.Errorf("only %d pairs with >=2 interconnections; want >=100", len(d))
+	}
+	b := topology.AllPairs(isps, 3, true)
+	failures := 0
+	for _, p := range b {
+		failures += p.NumInterconnections()
+	}
+	if failures < 100 {
+		t.Errorf("only %d failure cases for bandwidth experiments; want >=100", failures)
+	}
+	t.Logf("dataset: %d distance pairs, %d bandwidth pairs, %d failure cases", len(d), len(b), failures)
+}
+
+func TestCitiesTable(t *testing.T) {
+	cities := Cities()
+	if len(cities) < 120 {
+		t.Fatalf("city table has %d entries, want >=120", len(cities))
+	}
+	seen := map[string]bool{}
+	for _, c := range cities {
+		if c.Name == "" {
+			t.Error("city with empty name")
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate city %q", c.Name)
+		}
+		seen[c.Name] = true
+		if !c.Loc.Valid() {
+			t.Errorf("%s: invalid location %v", c.Name, c.Loc)
+		}
+		if c.Population <= 0 {
+			t.Errorf("%s: non-positive population", c.Name)
+		}
+		if c.Region < 0 || c.Region >= numRegions {
+			t.Errorf("%s: bad region %d", c.Name, c.Region)
+		}
+	}
+	// Mutating the returned slice must not affect the embedded table.
+	cities[0].Name = "mutated"
+	if Cities()[0].Name == "mutated" {
+		t.Error("Cities() exposes internal state")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	for r := Region(0); r < numRegions; r++ {
+		if r.String() == "unknown" {
+			t.Errorf("region %d has no name", r)
+		}
+	}
+	if Region(99).String() != "unknown" {
+		t.Error("out-of-range region should stringify to unknown")
+	}
+}
+
+func TestWeightedDraw(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumISPs = 3
+	cfg.Seed = 99
+	if _, err := Generate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("weightedDraw should panic with all-zero weights")
+		}
+	}()
+	weightedDraw(nil, []float64{0, 0})
+}

@@ -1,0 +1,444 @@
+package nexit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/pairsim"
+	"repro/internal/routing"
+)
+
+// Mapping selects how an ISP's internal metric deltas are mapped to
+// preference classes. The paper notes ISPs can reduce information
+// disclosure by using ordinal preferences or fewer classes (§4).
+type Mapping int
+
+// Preference mappings.
+const (
+	// Cardinal maps metric deltas linearly onto [-P, P] with floor
+	// rounding (a class is a lower bound on the real improvement).
+	Cardinal Mapping = iota
+	// Ordinal discloses only the rank of each alternative relative to
+	// the default: better alternatives get +1, +2, ... in order of
+	// improvement, worse ones -1, -2, ...; magnitudes carry no metric
+	// information beyond order.
+	Ordinal
+)
+
+// Scale selects the normalization denominator for the Cardinal mapping.
+type Scale int
+
+// Scaling modes.
+const (
+	// ScalePerFlow normalizes each flow's deltas by that flow's own
+	// largest absolute delta, so every flow with any improvement at all
+	// gets non-zero classes. This resolution is what lets negotiation
+	// track the global optimum closely (paper Figures 4 and 6) with only
+	// P=10 classes; it is the default. Class magnitudes are comparable
+	// across flows only in relative terms.
+	ScalePerFlow Scale = iota
+	// ScaleGlobal normalizes all deltas by the ISP-wide largest absolute
+	// delta, making classes strictly additive across flows (one unit is
+	// the same real quantity everywhere) at the cost of quantizing small
+	// flows' preferences to zero. The ablation bench compares the two.
+	ScaleGlobal
+)
+
+// String names the scale mode.
+func (s Scale) String() string {
+	if s == ScalePerFlow {
+		return "per-flow"
+	}
+	if s == ScaleGlobal {
+		return "global"
+	}
+	return fmt.Sprintf("scale(%d)", int(s))
+}
+
+// String names the mapping.
+func (m Mapping) String() string {
+	if m == Cardinal {
+		return "cardinal"
+	}
+	if m == Ordinal {
+		return "ordinal"
+	}
+	return fmt.Sprintf("mapping(%d)", int(m))
+}
+
+// view resolves items to path endpoints within one ISP's own network.
+type view struct {
+	side  Side
+	table *routing.Table
+	ixOwn []int // own PoP of each interconnection
+}
+
+func newView(s *pairsim.System, side Side) view {
+	v := view{side: side}
+	if side == SideA {
+		v.table = s.Up
+	} else {
+		v.table = s.Down
+	}
+	v.ixOwn = make([]int, len(s.Pair.Interconnections))
+	for k, ix := range s.Pair.Interconnections {
+		if side == SideA {
+			v.ixOwn[k] = ix.APoP
+		} else {
+			v.ixOwn[k] = ix.BPoP
+		}
+	}
+	return v
+}
+
+// endpoints returns the (from, to) PoPs of the item's path inside this
+// ISP when using interconnection k.
+func (v view) endpoints(it Item, k int) (from, to int) {
+	upstream := (v.side == SideA && it.Dir == AtoB) || (v.side == SideB && it.Dir == BtoA)
+	if upstream {
+		return it.Flow.Src, v.ixOwn[k]
+	}
+	return v.ixOwn[k], it.Flow.Dst
+}
+
+// distKm returns the distance the item travels inside this ISP via
+// interconnection k — the §5.1 per-flow metric.
+func (v view) distKm(it Item, k int) float64 {
+	from, to := v.endpoints(it, k)
+	return v.table.LengthKm(from, to)
+}
+
+// pathLinks returns the own-network links used by the item via
+// interconnection k.
+func (v view) pathLinks(it Item, k int) []int {
+	from, to := v.endpoints(it, k)
+	return v.table.PathLinks(from, to)
+}
+
+// cardinalDenominator picks the normalization unit for cardinal classes.
+// ScaleGlobal uses the 90th percentile of the non-zero absolute deltas
+// (outliers saturate at +/-P) so the bulk of flows retain resolution;
+// ScalePerFlow is handled by the caller contract but falls back to the
+// same table-wide unit when a flow has no non-zero delta.
+func cardinalDenominator(deltas [][]float64, scale Scale) float64 {
+	var mags []float64
+	for _, ds := range deltas {
+		for _, d := range ds {
+			if a := math.Abs(d); a > 0 {
+				mags = append(mags, a)
+			}
+		}
+	}
+	if len(mags) == 0 {
+		return 0
+	}
+	if scale == ScalePerFlow {
+		// Retained for the ablation bench: per-flow max magnitude is
+		// applied per item by mapDeltas' caller semantics; as a single
+		// denominator it degenerates to the global max.
+		max := mags[0]
+		for _, m := range mags[1:] {
+			if m > max {
+				max = m
+			}
+		}
+		return max
+	}
+	sort.Float64s(mags)
+	i := int(0.9 * float64(len(mags)-1))
+	d := mags[i]
+	if d == 0 {
+		d = mags[len(mags)-1]
+	}
+	return d
+}
+
+// mapDeltas converts per-item, per-alternative metric deltas (positive =
+// better than default) to preference classes.
+func mapDeltas(deltas [][]float64, p int, mapping Mapping, scale Scale) [][]int {
+	out := make([][]int, len(deltas))
+	switch mapping {
+	case Ordinal:
+		for i, ds := range deltas {
+			out[i] = make([]int, len(ds))
+			for k, d := range ds {
+				// Rank = number of strictly-between deltas of the same
+				// sign plus one, clamped to P.
+				if d == 0 {
+					continue
+				}
+				rank := 1
+				for _, e := range ds {
+					if d > 0 && e > 0 && e < d {
+						rank++
+					}
+					if d < 0 && e < 0 && e > d {
+						rank++
+					}
+				}
+				if rank > p {
+					rank = p
+				}
+				if d > 0 {
+					out[i][k] = rank
+				} else {
+					out[i][k] = -rank
+				}
+			}
+		}
+		return out
+	default: // Cardinal
+		denom := cardinalDenominator(deltas, scale)
+		if denom == 0 {
+			for i, ds := range deltas {
+				out[i] = make([]int, len(ds))
+			}
+			return out
+		}
+		for i, ds := range deltas {
+			out[i] = make([]int, len(ds))
+			for k, d := range ds {
+				// Floor rounding throughout: a class is a certified
+				// LOWER bound on the real improvement, for losses and
+				// gains alike. Summing bounds, a non-negative cumulative
+				// class gain implies the real metric change is bounded
+				// below by the (one-class-unit) deficit allowance — the
+				// engine-level mechanism behind the paper's "negotiating
+				// carries no risk" (Figure 4b shows no negotiated
+				// losses). Round-to-nearest on gains would leak half a
+				// unit per traded flow, which accumulates into real
+				// losses over hundreds of flows.
+				cls := int(math.Floor(float64(p) * d / denom))
+				if cls > p {
+					cls = p
+				}
+				if cls < -p {
+					cls = -p
+				}
+				out[i][k] = cls
+			}
+		}
+		return out
+	}
+}
+
+// DistanceEvaluator maps alternatives to preferences using the distance
+// a flow travels inside the ISP's own network (§5.1): shorter is better.
+// It is stateless; Commit is a no-op.
+type DistanceEvaluator struct {
+	view    view
+	P       int
+	Mapping Mapping
+	Scale   Scale
+}
+
+// NewDistanceEvaluator builds the evaluator for the given side of the
+// (A->B oriented) system.
+func NewDistanceEvaluator(s *pairsim.System, side Side, p int) *DistanceEvaluator {
+	return &DistanceEvaluator{view: newView(s, side), P: p}
+}
+
+// Prefs implements Evaluator.
+func (e *DistanceEvaluator) Prefs(items []Item, defaults []int) [][]int {
+	return mapDeltas(e.RawDeltas(items, defaults), e.P, e.Mapping, e.Scale)
+}
+
+// RawDeltas returns the unquantized per-alternative distance
+// improvements over each item's default (positive = shorter own-network
+// path). Aggregating evaluators (e.g. destination-based routing) sum
+// these before quantizing.
+func (e *DistanceEvaluator) RawDeltas(items []Item, defaults []int) [][]float64 {
+	deltas := make([][]float64, len(items))
+	for i, it := range items {
+		na := len(e.view.ixOwn)
+		deltas[i] = make([]float64, na)
+		base := e.view.distKm(it, defaults[i])
+		for k := 0; k < na; k++ {
+			deltas[i][k] = base - e.view.distKm(it, k)
+		}
+	}
+	return deltas
+}
+
+// MapDeltas quantizes raw metric deltas to preference classes with the
+// default cardinal mapping (floor rounding, q90 scaling). It is exported
+// for evaluators composed outside this package.
+func MapDeltas(deltas [][]float64, p int) [][]int {
+	return mapDeltas(deltas, p, Cardinal, ScaleGlobal)
+}
+
+// Commit implements Evaluator (distance preferences are independent
+// across flows, so there is no state to update).
+func (e *DistanceEvaluator) Commit(Item, int) {}
+
+// BandwidthEvaluator maps alternatives to preferences using "the maximum
+// increase in link load along the path" (§5.2): the evaluator tracks the
+// ISP's own link loads, scores each alternative by the worst
+// load-to-capacity ratio the flow would cause on its own-network path,
+// and updates loads as flows are committed. With the engine's
+// reassignment policy this reproduces the paper's recomputation of
+// preferences after each 5% of traffic.
+type BandwidthEvaluator struct {
+	view    view
+	P       int
+	Mapping Mapping
+	Scale   Scale
+	Load    []float64 // current per-link load in the own network
+	Cap     []float64 // per-link capacity
+}
+
+// NewBandwidthEvaluator builds the evaluator; load is the ISP's current
+// per-link load (copied), capv its link capacities.
+func NewBandwidthEvaluator(s *pairsim.System, side Side, p int, load, capv []float64) *BandwidthEvaluator {
+	v := newView(s, side)
+	if len(load) != len(v.table.ISP.Links) || len(capv) != len(v.table.ISP.Links) {
+		panic(fmt.Sprintf("nexit: load/cap vectors (%d/%d) do not match %d links",
+			len(load), len(capv), len(v.table.ISP.Links)))
+	}
+	return &BandwidthEvaluator{
+		view: v, P: p,
+		Load: append([]float64(nil), load...),
+		Cap:  append([]float64(nil), capv...),
+	}
+}
+
+// alternativeCost is the worst post-placement load ratio on the item's
+// own-network path for alternative k; an empty path (the flow enters and
+// leaves at the same PoP) costs nothing.
+func (e *BandwidthEvaluator) alternativeCost(it Item, k int) float64 {
+	links := e.view.pathLinks(it, k)
+	if len(links) == 0 {
+		return 0
+	}
+	return metrics.MaxIncreaseOnPath(e.Load, e.Cap, links, it.Flow.Size)
+}
+
+// Prefs implements Evaluator.
+func (e *BandwidthEvaluator) Prefs(items []Item, defaults []int) [][]int {
+	deltas := make([][]float64, len(items))
+	for i, it := range items {
+		na := len(e.view.ixOwn)
+		deltas[i] = make([]float64, na)
+		base := e.alternativeCost(it, defaults[i])
+		for k := 0; k < na; k++ {
+			deltas[i][k] = base - e.alternativeCost(it, k)
+		}
+	}
+	return mapDeltas(deltas, e.P, e.Mapping, e.Scale)
+}
+
+// Commit implements Evaluator: the committed flow's size is added to its
+// own-network path links.
+func (e *BandwidthEvaluator) Commit(it Item, alt int) {
+	for _, li := range e.view.pathLinks(it, alt) {
+		e.Load[li] += it.Flow.Size
+	}
+}
+
+// Revert implements Reverter: the terminal unwind moves the flow back to
+// its default alternative, so its load moves with it.
+func (e *BandwidthEvaluator) Revert(it Item, alt, def int) {
+	for _, li := range e.view.pathLinks(it, alt) {
+		e.Load[li] -= it.Flow.Size
+	}
+	for _, li := range e.view.pathLinks(it, def) {
+		e.Load[li] += it.Flow.Size
+	}
+}
+
+// FortzThorupEvaluator scores alternatives by the increase in total
+// Fortz–Thorup link cost on the ISP's own network — the paper's alternate
+// bandwidth metric ("a metric based on a linear programming formulation
+// of optimal routing [10] ... the sum of link costs, where the cost is a
+// piecewise linear function of load with increasing slope").
+type FortzThorupEvaluator struct {
+	view    view
+	P       int
+	Mapping Mapping
+	Scale   Scale
+	Load    []float64
+	Cap     []float64
+}
+
+// NewFortzThorupEvaluator builds the evaluator.
+func NewFortzThorupEvaluator(s *pairsim.System, side Side, p int, load, capv []float64) *FortzThorupEvaluator {
+	v := newView(s, side)
+	if len(load) != len(v.table.ISP.Links) || len(capv) != len(v.table.ISP.Links) {
+		panic("nexit: load/cap vectors do not match link count")
+	}
+	return &FortzThorupEvaluator{
+		view: v, P: p,
+		Load: append([]float64(nil), load...),
+		Cap:  append([]float64(nil), capv...),
+	}
+}
+
+// alternativeCost is the marginal Fortz–Thorup cost of placing the flow
+// on alternative k.
+func (e *FortzThorupEvaluator) alternativeCost(it Item, k int) float64 {
+	var cost float64
+	for _, li := range e.view.pathLinks(it, k) {
+		cost += metrics.FortzThorupLink(e.Load[li]+it.Flow.Size, e.Cap[li]) -
+			metrics.FortzThorupLink(e.Load[li], e.Cap[li])
+	}
+	return cost
+}
+
+// Prefs implements Evaluator.
+func (e *FortzThorupEvaluator) Prefs(items []Item, defaults []int) [][]int {
+	deltas := make([][]float64, len(items))
+	for i, it := range items {
+		na := len(e.view.ixOwn)
+		deltas[i] = make([]float64, na)
+		base := e.alternativeCost(it, defaults[i])
+		for k := 0; k < na; k++ {
+			deltas[i][k] = base - e.alternativeCost(it, k)
+		}
+	}
+	return mapDeltas(deltas, e.P, e.Mapping, e.Scale)
+}
+
+// Commit implements Evaluator.
+func (e *FortzThorupEvaluator) Commit(it Item, alt int) {
+	for _, li := range e.view.pathLinks(it, alt) {
+		e.Load[li] += it.Flow.Size
+	}
+}
+
+// Revert implements Reverter.
+func (e *FortzThorupEvaluator) Revert(it Item, alt, def int) {
+	for _, li := range e.view.pathLinks(it, alt) {
+		e.Load[li] -= it.Flow.Size
+	}
+	for _, li := range e.view.pathLinks(it, def) {
+		e.Load[li] += it.Flow.Size
+	}
+}
+
+// StaticEvaluator discloses fixed preference lists; it is used by tests
+// and by the worked example of the paper's Figure 3, where preference
+// tables are given directly.
+type StaticEvaluator struct {
+	NumAlts int
+	// Table maps item ID to its preference list. Missing items get
+	// all-zero preferences (indifferent).
+	Table map[int][]int
+}
+
+// Prefs implements Evaluator.
+func (e *StaticEvaluator) Prefs(items []Item, defaults []int) [][]int {
+	out := make([][]int, len(items))
+	for i, it := range items {
+		if p, ok := e.Table[it.ID]; ok {
+			out[i] = append([]int(nil), p...)
+		} else {
+			out[i] = make([]int, e.NumAlts)
+		}
+	}
+	return out
+}
+
+// Commit implements Evaluator.
+func (e *StaticEvaluator) Commit(Item, int) {}

@@ -1,0 +1,628 @@
+// Package nexit implements the paper's primary contribution: the Nexit
+// negotiation framework (§4), in which two neighboring ISPs disclose only
+// coarse, opaque preference classes in [-P, P] and jointly agree on an
+// interconnection for every traffic flow they exchange.
+//
+// The package separates three concerns:
+//
+//   - Evaluators (evaluator.go) map an ISP's private optimization metric
+//     (distance, bandwidth headroom, Fortz–Thorup cost, ...) to opaque
+//     preference classes, relative to the default alternative (class 0).
+//   - Policies (policies.go) are the five contractually agreed knobs of
+//     the round protocol: decide turn, propose, accept, reassign, stop.
+//   - The engine (this file) runs the rounds and produces the negotiated
+//     assignment plus a full transcript.
+//
+// The engine is used directly by simulations and, via internal/nexitwire,
+// by negotiation agents speaking a TCP protocol (paper §6, Figure 12).
+package nexit
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/traffic"
+)
+
+// Direction orients a flow between the two ISPs of a pair.
+type Direction int
+
+// Flow directions. The pair's ISP A is upstream for AtoB flows and
+// downstream for BtoA flows.
+const (
+	AtoB Direction = iota
+	BtoA
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == AtoB {
+		return "a->b"
+	}
+	return "b->a"
+}
+
+// Side identifies one of the two negotiating ISPs.
+type Side int
+
+// The two sides of a negotiation.
+const (
+	SideA Side = iota
+	SideB
+)
+
+// String names the side.
+func (s Side) String() string {
+	if s == SideA {
+		return "A"
+	}
+	return "B"
+}
+
+// Other returns the opposite side.
+func (s Side) Other() Side {
+	if s == SideA {
+		return SideB
+	}
+	return SideA
+}
+
+// Item is one negotiable flow. ID is a dense index in the negotiation
+// (distinct from Flow.ID, which indexes the flow within its directional
+// workload). Negotiating over flows of both directions at once is
+// deliberate: the paper finds that mutual wins require "keeping all the
+// traffic on the negotiating table" (§3).
+type Item struct {
+	ID   int
+	Flow traffic.Flow
+	Dir  Direction
+}
+
+// Items builds the negotiation set from the two directional workloads.
+// Either may be nil.
+func Items(ab, ba []traffic.Flow) []Item {
+	items := make([]Item, 0, len(ab)+len(ba))
+	for _, f := range ab {
+		items = append(items, Item{ID: len(items), Flow: f, Dir: AtoB})
+	}
+	for _, f := range ba {
+		items = append(items, Item{ID: len(items), Flow: f, Dir: BtoA})
+	}
+	return items
+}
+
+// Config collects the contractually agreed parameters of a negotiation.
+type Config struct {
+	PrefBound int // P: preferences live in [-P, P]; the paper uses 10
+
+	Turn    TurnPolicy
+	Propose ProposePolicy
+	Accept  AcceptPolicy
+	Stop    StopPolicy
+	// ReassignFraction, when positive, triggers preference reassignment
+	// after each such fraction of the total traffic size has been
+	// negotiated (the paper reassigns every 5% for bandwidth metrics and
+	// never for distance metrics).
+	ReassignFraction float64
+
+	// Rng drives coin-toss turn decisions and random tie-breaks. Nil
+	// selects fully deterministic behavior (lowest index wins ties).
+	Rng *rand.Rand
+
+	// AcceptHook, when non-nil, replaces the accept policy: it is asked
+	// whether the given side accepts the proposal. The wire protocol
+	// uses this to forward accept/veto decisions to the remote agent.
+	AcceptHook func(acceptor Side, p Proposal) bool
+
+	// ExtraDeficitA and ExtraDeficitB widen the respective side's
+	// cumulative-deficit allowance under early termination. They
+	// implement the credit mechanism the paper sketches in §3
+	// ("compromises can be decoupled in time using credits"): a side
+	// that banked a surplus in earlier sessions extends its deficit
+	// bound in later ones to repay. See internal/credits.
+	ExtraDeficitA, ExtraDeficitB int
+}
+
+// DefaultDistanceConfig returns the configuration the paper uses for the
+// distance experiments (§5.1): P=10, alternating turns, max-sum
+// proposals with local tie-break, always accept, no reassignment, early
+// termination.
+func DefaultDistanceConfig() Config {
+	return Config{
+		PrefBound: 10,
+		Turn:      Alternate,
+		Propose:   MaxSum,
+		Accept:    AlwaysAccept,
+		Stop:      StopEarly,
+	}
+}
+
+// DefaultBandwidthConfig returns the §5.2 configuration: as distance,
+// plus preference reassignment after each 5% of traffic.
+func DefaultBandwidthConfig() Config {
+	c := DefaultDistanceConfig()
+	c.ReassignFraction = 0.05
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PrefBound <= 0 {
+		return fmt.Errorf("nexit: PrefBound must be positive")
+	}
+	if c.ReassignFraction < 0 || c.ReassignFraction > 1 {
+		return fmt.Errorf("nexit: ReassignFraction must be in [0,1]")
+	}
+	if c.Turn == CoinToss && c.Rng == nil {
+		return fmt.Errorf("nexit: CoinToss turn policy requires an Rng")
+	}
+	return nil
+}
+
+// Proposal records one round of the negotiation transcript.
+type Proposal struct {
+	Round    int
+	Proposer Side
+	ItemID   int
+	Alt      int
+	PrefA    int // A's disclosed preference for the chosen alternative
+	PrefB    int
+	Accepted bool
+}
+
+// Result is the outcome of a negotiation.
+type Result struct {
+	// Assign maps Item.ID to the agreed interconnection. Items left on
+	// the table when negotiation stopped keep their default.
+	Assign []int
+	// GainA and GainB are cumulative disclosed preference gains.
+	GainA, GainB int
+	// Rounds is the number of proposal rounds executed.
+	Rounds int
+	// Negotiated counts items agreed through proposals (as opposed to
+	// falling back to the default at termination).
+	Negotiated int
+	// Reverted counts trades undone by the terminal unwind (see below):
+	// when negotiation ends with one side in its bounded deficit and no
+	// way to recover, its most harmful trades are rolled back to the
+	// default until neither side is below zero. With floor-rounded
+	// classes this guarantees no real loss for either ISP.
+	Reverted int
+	// Transcript lists every proposal in order. Nil unless
+	// Config.RecordTranscript was set... recorded always (small).
+	Transcript []Proposal
+	// Stopped describes why negotiation ended.
+	Stopped StopReason
+}
+
+// StopReason says why the negotiation terminated.
+type StopReason int
+
+// Termination causes.
+const (
+	StopAllNegotiated  StopReason = iota // every item was agreed
+	StopNoJointGain                      // best remaining combined gain <= 0
+	StopSideCannotGain                   // one side has no positive preference left
+	StopCumulativeLoss                   // continuing would push a side's cumulative gain negative
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopAllNegotiated:
+		return "all-negotiated"
+	case StopNoJointGain:
+		return "no-joint-gain"
+	case StopSideCannotGain:
+		return "side-cannot-gain"
+	case StopCumulativeLoss:
+		return "cumulative-loss"
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
+}
+
+// Evaluator is one ISP's private view: it maps flow alternatives to
+// opaque preference classes and tracks internal state (such as link
+// loads) as flows are committed.
+type Evaluator interface {
+	// Prefs returns, for each item, the preference class of every
+	// alternative, relative to the item's default alternative (which
+	// must map to class 0). Preferences must lie in [-P, P].
+	Prefs(items []Item, defaults []int) [][]int
+	// Commit informs the evaluator that an item was agreed to use alt.
+	Commit(item Item, alt int)
+}
+
+// Reverter is implemented by stateful evaluators that can undo a Commit
+// when the terminal unwind moves an item back to its default
+// alternative.
+type Reverter interface {
+	// Revert undoes a prior Commit of alt and re-commits the item to
+	// def.
+	Revert(item Item, alt, def int)
+}
+
+// negotiation is the engine's mutable state.
+type negotiation struct {
+	cfg      Config
+	items    []Item
+	defaults []int
+	evalA    Evaluator
+	evalB    Evaluator
+
+	prefsA, prefsB [][]int
+	remaining      []bool
+	vetoed         map[[2]int]bool // (itemID, alt) pairs rejected by veto
+	numAlts        int
+
+	// order holds remaining item IDs sorted by best combined gain,
+	// descending; rebuilt after reassignment or veto.
+	order []int
+
+	// commits records accepted trades with their historical classes for
+	// the terminal unwind.
+	commits []commitRecord
+
+	result *Result
+
+	totalSize      float64
+	negotiatedSize float64
+	sinceReassign  float64
+	lastTurn       Side
+	haveTurn       bool
+}
+
+// Negotiate runs the protocol and returns the result. numAlts is the
+// number of interconnections (alternatives per item); defaults[i] is the
+// default alternative of items[i] (what the flow uses absent agreement).
+func Negotiate(cfg Config, evalA, evalB Evaluator, items []Item, defaults []int, numAlts int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(items) != len(defaults) {
+		return nil, fmt.Errorf("nexit: %d items but %d defaults", len(items), len(defaults))
+	}
+	if numAlts <= 0 {
+		return nil, fmt.Errorf("nexit: numAlts must be positive")
+	}
+	for i, it := range items {
+		if it.ID != i {
+			return nil, fmt.Errorf("nexit: item %d has ID %d; IDs must be dense", i, it.ID)
+		}
+		if defaults[i] < 0 || defaults[i] >= numAlts {
+			return nil, fmt.Errorf("nexit: item %d default %d out of range", i, defaults[i])
+		}
+	}
+
+	n := &negotiation{
+		cfg:      cfg,
+		items:    items,
+		defaults: defaults,
+		evalA:    evalA,
+		evalB:    evalB,
+		numAlts:  numAlts,
+		vetoed:   make(map[[2]int]bool),
+		result:   &Result{Assign: append([]int(nil), defaults...)},
+	}
+	n.remaining = make([]bool, len(items))
+	for i := range n.remaining {
+		n.remaining[i] = true
+	}
+	for _, it := range items {
+		n.totalSize += it.Flow.Size
+	}
+	n.refreshPrefs()
+	n.run()
+	n.unwindDeficits()
+	return n.result, nil
+}
+
+// commitRecord pairs a committed item with the classes it was accepted
+// at (preferences may be reassigned later, so gains must be reverted at
+// their historical values).
+type commitRecord struct {
+	id, alt  int
+	pA, pB   int
+	reverted bool
+}
+
+// unwindDeficits rolls back trades at termination while either side's
+// cumulative gain is negative: the deficit side's most harmful committed
+// trade (ties: cheapest for the other side) reverts to the default. Each
+// record reverts at most once, so the loop terminates; afterwards both
+// gains are >= 0 because a negative cumulative gain always contains a
+// negative-class trade. Combined with floor-rounded classes (every class
+// is a lower bound on the real improvement), non-negative final class
+// gains imply neither ISP's real metric ends worse than the default.
+func (n *negotiation) unwindDeficits() {
+	if n.cfg.Stop == StopNever {
+		return // all-flows mode trades social welfare deliberately
+	}
+	for {
+		var deficit *int
+		sideA := false
+		switch {
+		case n.result.GainA < -n.cfg.ExtraDeficitA:
+			deficit, sideA = &n.result.GainA, true
+		case n.result.GainB < -n.cfg.ExtraDeficitB:
+			deficit, sideA = &n.result.GainB, false
+		default:
+			return
+		}
+		_ = deficit
+		best := -1
+		for i, rec := range n.commits {
+			if rec.reverted || n.result.Assign[rec.id] != rec.alt || rec.alt == n.defaults[rec.id] {
+				continue
+			}
+			own, other := rec.pA, rec.pB
+			if !sideA {
+				own, other = rec.pB, rec.pA
+			}
+			if own >= 0 {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			bOwn, bOther := n.commits[best].pA, n.commits[best].pB
+			if !sideA {
+				bOwn, bOther = n.commits[best].pB, n.commits[best].pA
+			}
+			if own < bOwn || (own == bOwn && other < bOther) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return // no revertible harmful trade (cannot happen with gains < 0 over non-reverted trades)
+		}
+		rec := &n.commits[best]
+		rec.reverted = true
+		n.result.Assign[rec.id] = n.defaults[rec.id]
+		n.result.GainA -= rec.pA
+		n.result.GainB -= rec.pB
+		n.result.Reverted++
+		it := n.items[rec.id]
+		if r, ok := n.evalA.(Reverter); ok {
+			r.Revert(it, rec.alt, n.defaults[rec.id])
+		}
+		if r, ok := n.evalB.(Reverter); ok {
+			r.Revert(it, rec.alt, n.defaults[rec.id])
+		}
+	}
+}
+
+// refreshPrefs (re)collects preference lists from both evaluators for
+// the remaining items and rebuilds the selection order.
+func (n *negotiation) refreshPrefs() {
+	var rem []Item
+	for _, it := range n.items {
+		if n.remaining[it.ID] {
+			rem = append(rem, it)
+		}
+	}
+	defaults := make([]int, len(rem))
+	for i, it := range rem {
+		defaults[i] = n.defaults[it.ID]
+	}
+	pa := n.evalA.Prefs(rem, defaults)
+	pb := n.evalB.Prefs(rem, defaults)
+	if n.prefsA == nil {
+		n.prefsA = make([][]int, len(n.items))
+		n.prefsB = make([][]int, len(n.items))
+	}
+	for i, it := range rem {
+		n.prefsA[it.ID] = clampPrefs(pa[i], n.cfg.PrefBound)
+		n.prefsB[it.ID] = clampPrefs(pb[i], n.cfg.PrefBound)
+	}
+	n.rebuildOrder()
+}
+
+func clampPrefs(p []int, bound int) []int {
+	out := make([]int, len(p))
+	for i, v := range p {
+		if v > bound {
+			v = bound
+		}
+		if v < -bound {
+			v = -bound
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// bestAlt returns the best non-vetoed alternative of an item under the
+// max-sum criterion and its combined gain.
+func (n *negotiation) bestAlt(id int) (alt, sum int) {
+	alt, sum = n.defaults[id], 0
+	bestSum := -1 << 30
+	for k := 0; k < n.numAlts; k++ {
+		if n.vetoed[[2]int{id, k}] {
+			continue
+		}
+		s := n.prefsA[id][k] + n.prefsB[id][k]
+		if s > bestSum {
+			bestSum, alt = s, k
+		}
+	}
+	return alt, bestSum
+}
+
+// rebuildOrder sorts remaining item IDs by best combined gain descending
+// (ties by ID for determinism).
+func (n *negotiation) rebuildOrder() {
+	n.order = n.order[:0]
+	for id := range n.items {
+		if n.remaining[id] {
+			n.order = append(n.order, id)
+		}
+	}
+	sums := make(map[int]int, len(n.order))
+	for _, id := range n.order {
+		_, s := n.bestAlt(id)
+		sums[id] = s
+	}
+	sort.SliceStable(n.order, func(i, j int) bool {
+		if sums[n.order[i]] != sums[n.order[j]] {
+			return sums[n.order[i]] > sums[n.order[j]]
+		}
+		return n.order[i] < n.order[j]
+	})
+}
+
+// run executes rounds until a stop condition fires or everything is
+// negotiated.
+func (n *negotiation) run() {
+	for {
+		n.compactOrder()
+		if len(n.order) == 0 {
+			n.result.Stopped = StopAllNegotiated
+			return
+		}
+		proposer := n.decideTurn()
+		id, alt, ok := n.propose(proposer)
+		if !ok {
+			// The proposer has nothing it can afford to propose; give
+			// the other side one chance before concluding.
+			proposer = proposer.Other()
+			n.lastTurn = proposer
+			id, alt, ok = n.propose(proposer)
+		}
+		if !ok {
+			// No proposable alternative left on either side.
+			n.result.Stopped = StopNoJointGain
+			return
+		}
+		if reason, stop := n.shouldStop(id, alt); stop {
+			n.result.Stopped = reason
+			return
+		}
+		pA, pB := n.prefsA[id][alt], n.prefsB[id][alt]
+		accepted := n.accept(proposer.Other(), id, alt)
+		n.result.Transcript = append(n.result.Transcript, Proposal{
+			Round: n.result.Rounds, Proposer: proposer, ItemID: id, Alt: alt,
+			PrefA: pA, PrefB: pB, Accepted: accepted,
+		})
+		n.result.Rounds++
+		if !accepted {
+			// Veto: exclude this (item, alt) pair and re-evaluate.
+			n.vetoed[[2]int{id, alt}] = true
+			n.rebuildOrder()
+			continue
+		}
+		n.commit(id, alt, pA, pB)
+	}
+}
+
+// compactOrder drops already-negotiated IDs from the head of the order.
+func (n *negotiation) compactOrder() {
+	live := n.order[:0]
+	for _, id := range n.order {
+		if n.remaining[id] {
+			live = append(live, id)
+		}
+	}
+	n.order = live
+}
+
+// maxSelectedPref returns each side's highest preference class over the
+// alternatives that WOULD be selected for the remaining items under the
+// agreed (max-sum) criterion. This is what an ISP "perceives" about the
+// rest of the negotiation: alternatives the criterion will never pick do
+// not count as potential gain. With a cheating counterpart this is what
+// makes the truthful ISP walk away — its favorable alternatives are
+// still on the table but the distorted sums ensure they are never
+// selected (paper §5.4: "the negotiation terminates prematurely as the
+// truthful ISP stops when it sees no benefit for itself").
+func (n *negotiation) maxSelectedPref() (maxA, maxB int) {
+	maxA, maxB = -1<<30, -1<<30
+	for _, id := range n.order {
+		alt, _ := n.bestAlt(id)
+		if p := n.prefsA[id][alt]; p > maxA {
+			maxA = p
+		}
+		if p := n.prefsB[id][alt]; p > maxB {
+			maxB = p
+		}
+	}
+	return maxA, maxB
+}
+
+// shouldStop applies the stop policy to the concrete next proposal
+// (id, alt). See policies.go for the semantics.
+func (n *negotiation) shouldStop(id, alt int) (StopReason, bool) {
+	if n.cfg.Stop == StopNever {
+		return 0, false
+	}
+	pA, pB := n.prefsA[id][alt], n.prefsB[id][alt]
+	// If even the best remaining combined gain is strictly negative, no
+	// joint gain remains. (Neutral, sum-zero proposals are allowed
+	// through: the default alternative always sums to zero, and with
+	// reassignment a neutral commitment can unlock later gains — the
+	// paper's Figure 3 walkthrough starts with exactly such a proposal.)
+	bestSum := pA + pB
+	if n.cfg.Propose != MaxSum && len(n.order) > 0 {
+		_, bestSum = n.bestAlt(n.order[0])
+		for _, cand := range n.order[1:] {
+			if _, s := n.bestAlt(cand); s > bestSum {
+				bestSum = s
+			}
+		}
+	}
+	if bestSum < 0 {
+		return StopNoJointGain, true
+	}
+	switch n.cfg.Stop {
+	case StopEarly:
+		// "Negotiation stops when one of the ISPs cannot gain more": a
+		// side that has no positive preference anywhere left on the
+		// table stops rather than absorb a strictly negative proposal.
+		// Neutral proposals (class 0) are let through — the paper's
+		// Figure 3 walkthrough depends on an indifferent ISP accepting.
+		maxA, maxB := n.maxSelectedPref()
+		walkA := maxA <= 0 && pA < 0
+		if walkA && n.cfg.ExtraDeficitA > 0 {
+			// The side is repaying credit banked in earlier sessions
+			// (internal/credits): it keeps conceding down to its
+			// extended deficit bound instead of stopping at its peak.
+			walkA = n.result.GainA+pA < -n.cfg.ExtraDeficitA
+		}
+		walkB := maxB <= 0 && pB < 0
+		if walkB && n.cfg.ExtraDeficitB > 0 {
+			walkB = n.result.GainB+pB < -n.cfg.ExtraDeficitB
+		}
+		if walkA || walkB {
+			return StopSideCannotGain, true
+		}
+	case StopWhilePositive:
+		// Full termination: continue while both cumulative gains would
+		// stay non-negative after this proposal.
+		if n.result.GainA+pA < 0 || n.result.GainB+pB < 0 {
+			return StopCumulativeLoss, true
+		}
+	}
+	return 0, false
+}
+
+// commit finalizes an accepted proposal.
+func (n *negotiation) commit(id, alt, pA, pB int) {
+	n.commits = append(n.commits, commitRecord{id: id, alt: alt, pA: pA, pB: pB})
+	n.remaining[id] = false
+	n.result.Assign[id] = alt
+	n.result.GainA += pA
+	n.result.GainB += pB
+	n.result.Negotiated++
+	it := n.items[id]
+	n.evalA.Commit(it, alt)
+	n.evalB.Commit(it, alt)
+	n.negotiatedSize += it.Flow.Size
+	n.sinceReassign += it.Flow.Size
+	if n.cfg.ReassignFraction > 0 && n.totalSize > 0 &&
+		n.sinceReassign >= n.cfg.ReassignFraction*n.totalSize {
+		n.sinceReassign = 0
+		n.refreshPrefs()
+	}
+}

@@ -1,0 +1,307 @@
+package nexit
+
+import "fmt"
+
+// TurnPolicy decides which ISP proposes in a round (paper §4, "Decide
+// turn").
+type TurnPolicy int
+
+// Turn policies.
+const (
+	// Alternate has the ISPs take turns, A first (the paper's choice
+	// for its experiments).
+	Alternate TurnPolicy = iota
+	// LowerGain gives the turn to the ISP with the lower cumulative
+	// gain, letting it catch up (the paper notes this approximates
+	// max-min fairness when metrics are compatible).
+	LowerGain
+	// CoinToss picks the proposer uniformly at random each round.
+	CoinToss
+)
+
+// String names the policy.
+func (p TurnPolicy) String() string {
+	switch p {
+	case Alternate:
+		return "alternate"
+	case LowerGain:
+		return "lower-gain"
+	case CoinToss:
+		return "coin-toss"
+	}
+	return fmt.Sprintf("turn(%d)", int(p))
+}
+
+// ProposePolicy decides which (flow, alternative) the proposer offers
+// (paper §4, "Propose an alternative").
+type ProposePolicy int
+
+// Propose policies.
+const (
+	// MaxSum proposes from the set that maximizes the sum of both ISPs'
+	// preferences, breaking ties with the proposer's own preference
+	// (the paper's choice; approximates Pareto-optimal outcomes).
+	MaxSum ProposePolicy = iota
+	// BestLocal proposes the proposer's best local alternative with
+	// minimal negative impact on the other ISP (the paper's listed
+	// alternative).
+	BestLocal
+)
+
+// String names the policy.
+func (p ProposePolicy) String() string {
+	switch p {
+	case MaxSum:
+		return "max-sum"
+	case BestLocal:
+		return "best-local"
+	}
+	return fmt.Sprintf("propose(%d)", int(p))
+}
+
+// AcceptPolicy decides whether the non-proposing ISP accepts (paper §4,
+// "Accept alternative?").
+type AcceptPolicy int
+
+// Accept policies.
+const (
+	// AlwaysAccept accepts every proposal (the paper's experimental
+	// setting, evaluating fully cooperative ISPs).
+	AlwaysAccept AcceptPolicy = iota
+	// VetoIfLoss rejects a proposal whose acceptance would make the
+	// acceptor's cumulative gain negative. This is the veto power the
+	// paper gives ISPs so that "negotiating carries no risk": a truthful
+	// ISP can never end below the default.
+	VetoIfLoss
+)
+
+// String names the policy.
+func (p AcceptPolicy) String() string {
+	switch p {
+	case AlwaysAccept:
+		return "always-accept"
+	case VetoIfLoss:
+		return "veto-if-loss"
+	}
+	return fmt.Sprintf("accept(%d)", int(p))
+}
+
+// StopPolicy decides when negotiation ends (paper §4, "Stop?").
+type StopPolicy int
+
+// Stop policies.
+const (
+	// StopEarly is the paper's "early termination": an ISP stops when it
+	// perceives no additional gain in continuing — implemented as no
+	// positive preference class remaining anywhere on its table.
+	// Negotiation also stops when no remaining alternative has positive
+	// combined gain.
+	StopEarly StopPolicy = iota
+	// StopWhilePositive is the paper's "full termination": ISPs continue
+	// as long as their cumulative gain stays positive, even if lower
+	// than under early termination — preferred for social welfare.
+	StopWhilePositive
+	// StopNever negotiates every flow on the table ("the socially best
+	// outcome occurs when ISPs negotiate for all the flows").
+	StopNever
+)
+
+// String names the policy.
+func (p StopPolicy) String() string {
+	switch p {
+	case StopEarly:
+		return "early"
+	case StopWhilePositive:
+		return "while-positive"
+	case StopNever:
+		return "never"
+	}
+	return fmt.Sprintf("stop(%d)", int(p))
+}
+
+// decideTurn applies the turn policy.
+func (n *negotiation) decideTurn() Side {
+	var s Side
+	switch n.cfg.Turn {
+	case LowerGain:
+		switch {
+		case n.result.GainA < n.result.GainB:
+			s = SideA
+		case n.result.GainB < n.result.GainA:
+			s = SideB
+		default:
+			if n.haveTurn {
+				s = n.lastTurn.Other()
+			} else {
+				s = SideA
+			}
+		}
+	case CoinToss:
+		if n.cfg.Rng.Intn(2) == 0 {
+			s = SideA
+		} else {
+			s = SideB
+		}
+	default: // Alternate
+		if n.haveTurn {
+			s = n.lastTurn.Other()
+		} else {
+			s = SideA
+		}
+	}
+	n.lastTurn, n.haveTurn = s, true
+	return s
+}
+
+// affordable reports whether (item, alt) may be proposed given the
+// cumulative-gain protections in force.
+//
+// Under early termination, a side may dip into a bounded cumulative
+// deficit — at most one full class unit (-P) below the default — and the
+// propose scan then prioritizes its recovery. The dip-and-recover
+// pattern is the paper's "trade minor losses on some flows for
+// significant gains on others" realized with alternating turns; the
+// bound keeps the worst case at one class unit, which in real-metric
+// terms is a single q90 delta — negligible against a whole workload, so
+// "negotiating carries no risk" holds in practice even though proposals
+// are always accepted.
+//
+// Under VetoIfLoss the proposer additionally self-censors candidates it
+// cannot strictly afford (the acceptor protects itself in accept()).
+func (n *negotiation) affordable(proposer Side, id, alt int) bool {
+	if n.cfg.Stop == StopEarly {
+		pa, pb := n.prefsA[id][alt], n.prefsB[id][alt]
+		boundA := -n.cfg.PrefBound - n.cfg.ExtraDeficitA
+		boundB := -n.cfg.PrefBound - n.cfg.ExtraDeficitB
+		if n.result.GainA+pa < boundA || n.result.GainB+pb < boundB {
+			return false
+		}
+	}
+	if n.cfg.Accept == VetoIfLoss {
+		if proposer == SideA {
+			return n.result.GainA+n.prefsA[id][alt] >= 0
+		}
+		return n.result.GainB+n.prefsB[id][alt] >= 0
+	}
+	return true
+}
+
+// propose applies the propose policy for the given proposer and returns
+// the chosen (item, alternative). ok is false when nothing proposable
+// remains.
+func (n *negotiation) propose(proposer Side) (id, alt int, ok bool) {
+	own, other := n.prefsA, n.prefsB
+	if proposer == SideB {
+		own, other = n.prefsB, n.prefsA
+	}
+	switch n.cfg.Propose {
+	case BestLocal:
+		// Maximize own preference; break ties by minimizing harm to the
+		// other ISP, then by item/alternative index.
+		bestOwn, bestOther := -1<<30, -1<<30
+		id, alt = -1, -1
+		for _, cand := range n.order {
+			for k := 0; k < n.numAlts; k++ {
+				if n.vetoed[[2]int{cand, k}] || !n.affordable(proposer, cand, k) {
+					continue
+				}
+				o, t := own[cand][k], other[cand][k]
+				if o > bestOwn || (o == bestOwn && t > bestOther) {
+					bestOwn, bestOther, id, alt = o, t, cand, k
+				}
+			}
+		}
+		return id, alt, id >= 0
+	default: // MaxSum
+		// When a side is in cumulative deficit (it dipped to enable a
+		// large joint win), recovery comes first: restrict the scan to
+		// candidates strictly positive for the deficit side so its gain
+		// is repaired before further trades. Fall back to the normal
+		// scan if no recovery candidate is proposable.
+		if n.cfg.Stop == StopEarly {
+			var deficit [][]int
+			if n.result.GainA < 0 {
+				deficit = n.prefsA
+			} else if n.result.GainB < 0 {
+				deficit = n.prefsB
+			}
+			if deficit != nil {
+				if id, alt, ok := n.scanMaxSum(proposer, own, other, func(cand, k int) bool {
+					return deficit[cand][k] > 0
+				}); ok {
+					return id, alt, true
+				}
+			}
+		}
+		return n.scanMaxSum(proposer, own, other, nil)
+	}
+}
+
+// scanMaxSum finds the affordable, non-vetoed candidate maximizing the
+// combined preference sum, breaking ties with the proposer's own
+// preference, then the lowest item/alternative index. An optional extra
+// filter restricts the candidate set.
+func (n *negotiation) scanMaxSum(proposer Side, own, other [][]int, filter func(cand, k int) bool) (id, alt int, ok bool) {
+	// The order slice is sorted by best combined gain; once a candidate
+	// group can no longer match the best affordable sum found, stop
+	// scanning.
+	id, alt = -1, -1
+	bestSum, bestOwn := -1<<30, -1<<30
+	for _, cand := range n.order {
+		if id >= 0 {
+			if _, s := n.bestAlt(cand); s < bestSum {
+				break
+			}
+		}
+		for k := 0; k < n.numAlts; k++ {
+			if n.vetoed[[2]int{cand, k}] || !n.affordable(proposer, cand, k) {
+				continue
+			}
+			if filter != nil && !filter(cand, k) {
+				continue
+			}
+			s := own[cand][k] + other[cand][k]
+			// Moving a flow off its default requires non-negative joint
+			// gain. (With the asymmetric cardinal rounding, a class is
+			// never an underestimate of a loss, so a sum-zero move is
+			// at worst marginally harmful and usually beneficial.)
+			if k != n.defaults[cand] && s < 0 {
+				continue
+			}
+			// Sum-zero trades bring no joint class gain, so unlike
+			// positive-sum trades they may not dip either side into a
+			// deficit: both cumulative gains must stay non-negative.
+			if k != n.defaults[cand] && s == 0 &&
+				(n.result.GainA+n.prefsA[cand][k] < 0 || n.result.GainB+n.prefsB[cand][k] < 0) {
+				continue
+			}
+			if s > bestSum || (s == bestSum && own[cand][k] > bestOwn) {
+				bestSum, bestOwn, id, alt = s, own[cand][k], cand, k
+			}
+		}
+	}
+	return id, alt, id >= 0
+}
+
+// accept applies the accept policy for the given acceptor.
+func (n *negotiation) accept(acceptor Side, id, alt int) bool {
+	if n.cfg.AcceptHook != nil {
+		return n.cfg.AcceptHook(acceptor, Proposal{
+			Round: n.result.Rounds, ItemID: id, Alt: alt,
+			Proposer: acceptor.Other(),
+			PrefA:    n.prefsA[id][alt], PrefB: n.prefsB[id][alt],
+		})
+	}
+	if n.cfg.Accept == AlwaysAccept {
+		return true
+	}
+	// VetoIfLoss: reject if acceptance would push cumulative gain
+	// negative.
+	var pref, gain int
+	if acceptor == SideA {
+		pref, gain = n.prefsA[id][alt], n.result.GainA
+	} else {
+		pref, gain = n.prefsB[id][alt], n.result.GainB
+	}
+	return gain+pref >= 0
+}

@@ -1,0 +1,474 @@
+// Package nexitwire implements the out-of-band negotiation-agent
+// protocol of the paper's §6 (Figure 12): negotiation agents sit on top
+// of each ISP's routing infrastructure, exchange opaque preference
+// classes over a TCP connection, and drive the Nexit protocol to an
+// agreed assignment that is then pushed into the routing state.
+//
+// The protocol is asymmetric, like a BGP session: the initiator runs the
+// contractually agreed deterministic round engine (internal/nexit) and
+// the responder serves its private preferences and accept/veto decisions
+// over the wire. Because the full preference lists are exchanged, the
+// responder can re-verify the entire transcript afterwards with
+// VerifyTranscript — a mis-computing (or cheating) initiator is caught.
+//
+// Wire format: length-prefixed frames over any net.Conn. Each frame is
+//
+//	uint32 length (big endian, excludes itself)  |  uint8 type  |  payload
+//
+// All multi-byte integers are big endian. Preference classes are int8
+// (the paper's P=10 fits comfortably).
+package nexitwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	// Version is the protocol version carried in Hello frames.
+	Version = 1
+	// MaxFrameSize bounds incoming frames; a peer advertising more is
+	// rejected rather than buffered (defense against resource
+	// exhaustion, and no legitimate frame approaches it).
+	MaxFrameSize = 16 << 20
+)
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+// Frame types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgHelloAck
+	MsgPrefsRequest
+	MsgPrefsResponse
+	MsgAcceptRequest
+	MsgAcceptResponse
+	MsgCommit
+	MsgRevert
+	MsgDone
+	MsgError
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "hello-ack"
+	case MsgPrefsRequest:
+		return "prefs-request"
+	case MsgPrefsResponse:
+		return "prefs-response"
+	case MsgAcceptRequest:
+		return "accept-request"
+	case MsgAcceptResponse:
+		return "accept-response"
+	case MsgCommit:
+		return "commit"
+	case MsgRevert:
+		return "revert"
+	case MsgDone:
+		return "done"
+	case MsgError:
+		return "error"
+	}
+	return fmt.Sprintf("msg(%d)", uint8(t))
+}
+
+// Hello opens a session. Both agents must agree on the negotiation
+// universe: the number of alternatives and items, and a hash of the
+// workload so that mismatched configurations fail fast.
+type Hello struct {
+	Version      uint16
+	Name         string // agent name, diagnostic only
+	NumAlts      uint16
+	NumItems     uint32
+	WorkloadHash uint64
+}
+
+// PrefsRequest asks the responder for its preference classes over the
+// listed items (identified by negotiation item ID), with the default
+// alternative of each.
+type PrefsRequest struct {
+	ItemIDs  []uint32
+	Defaults []uint16
+}
+
+// PrefsResponse carries the responder's preference classes: one row per
+// requested item, one int8 class per alternative.
+type PrefsResponse struct {
+	Prefs [][]int8
+}
+
+// AcceptRequest asks the responder whether it accepts a proposal.
+type AcceptRequest struct {
+	Round  uint32
+	ItemID uint32
+	Alt    uint16
+	// PrefInitiator is the initiator's disclosed class for the proposed
+	// alternative (the responder already knows its own).
+	PrefInitiator int8
+}
+
+// AcceptResponse answers an AcceptRequest.
+type AcceptResponse struct {
+	Accepted bool
+}
+
+// Commit informs the responder that an item was agreed.
+type Commit struct {
+	ItemID uint32
+	Alt    uint16
+}
+
+// Revert informs the responder that the terminal unwind moved an item
+// back to its default alternative.
+type Revert struct {
+	ItemID uint32
+	Alt    uint16 // the alternative being undone
+	Def    uint16 // the default the item returns to
+}
+
+// Done closes the session with the final assignment and the initiator's
+// view of the transcript for verification.
+type Done struct {
+	Assign     []uint16
+	GainA      int32
+	GainB      int32
+	StopReason uint8
+	Rounds     uint32
+}
+
+// ErrorMsg aborts the session with a reason.
+type ErrorMsg struct {
+	Reason string
+}
+
+// frameWriter serializes frames onto a writer.
+type frameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (fw *frameWriter) writeFrame(t MsgType, payload []byte) error {
+	n := 1 + len(payload)
+	if cap(fw.buf) < 4+n {
+		fw.buf = make([]byte, 4+n)
+	}
+	b := fw.buf[:4+n]
+	binary.BigEndian.PutUint32(b, uint32(n))
+	b[4] = byte(t)
+	copy(b[5:], payload)
+	_, err := fw.w.Write(b)
+	return err
+}
+
+// readFrame reads one frame from r.
+func readFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("nexitwire: empty frame")
+	}
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("nexitwire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(body[0]), body[1:], nil
+}
+
+// --- payload encoding ------------------------------------------------
+
+// enc is a tiny append-based encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.BigEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) i8(v int8)    { e.b = append(e.b, byte(v)) }
+func (e *enc) str(s string) {
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// dec is the matching decoder; it records the first error and returns
+// zero values afterwards.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("nexitwire: truncated payload")
+	}
+}
+func (d *dec) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+func (d *dec) u16() uint16 {
+	if d.err != nil || len(d.b) < 2 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+func (d *dec) i8() int8 { return int8(d.u8()) }
+func (d *dec) str() string {
+	n := int(d.u16())
+	if d.err != nil || len(d.b) < n {
+		d.fail()
+		return ""
+	}
+	v := string(d.b[:n])
+	d.b = d.b[n:]
+	return v
+}
+func (d *dec) boolean() bool { return d.u8() != 0 }
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("nexitwire: %d trailing bytes in payload", len(d.b))
+	}
+	return nil
+}
+
+// Message marshaling.
+
+func encodeHello(h *Hello) []byte {
+	var e enc
+	e.u16(h.Version)
+	e.str(h.Name)
+	e.u16(h.NumAlts)
+	e.u32(h.NumItems)
+	e.u64(h.WorkloadHash)
+	return e.b
+}
+
+func decodeHello(b []byte) (*Hello, error) {
+	d := dec{b: b}
+	h := &Hello{
+		Version:      d.u16(),
+		Name:         d.str(),
+		NumAlts:      d.u16(),
+		NumItems:     d.u32(),
+		WorkloadHash: d.u64(),
+	}
+	return h, d.done()
+}
+
+func encodePrefsRequest(m *PrefsRequest) []byte {
+	var e enc
+	e.u32(uint32(len(m.ItemIDs)))
+	for i := range m.ItemIDs {
+		e.u32(m.ItemIDs[i])
+		e.u16(m.Defaults[i])
+	}
+	return e.b
+}
+
+func decodePrefsRequest(b []byte) (*PrefsRequest, error) {
+	d := dec{b: b}
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > len(b)/6+1 {
+		return nil, fmt.Errorf("nexitwire: prefs request claims %d items", n)
+	}
+	m := &PrefsRequest{ItemIDs: make([]uint32, 0, n), Defaults: make([]uint16, 0, n)}
+	for i := 0; i < n; i++ {
+		m.ItemIDs = append(m.ItemIDs, d.u32())
+		m.Defaults = append(m.Defaults, d.u16())
+	}
+	return m, d.done()
+}
+
+func encodePrefsResponse(m *PrefsResponse) []byte {
+	var e enc
+	e.u32(uint32(len(m.Prefs)))
+	if len(m.Prefs) > 0 {
+		e.u16(uint16(len(m.Prefs[0])))
+		for _, row := range m.Prefs {
+			for _, p := range row {
+				e.i8(p)
+			}
+		}
+	} else {
+		e.u16(0)
+	}
+	return e.b
+}
+
+func decodePrefsResponse(b []byte) (*PrefsResponse, error) {
+	d := dec{b: b}
+	rows := int(d.u32())
+	cols := int(d.u16())
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Guard allocations against lying headers: every row costs at least
+	// max(cols, 1) payload bytes' worth of memory, and a zero-column
+	// response can only legitimately have zero rows.
+	if rows > len(b) || (rows > 0 && cols == 0) || (cols > 0 && rows > len(b)/cols) {
+		return nil, fmt.Errorf("nexitwire: prefs response claims %dx%d classes", rows, cols)
+	}
+	m := &PrefsResponse{Prefs: make([][]int8, rows)}
+	for i := 0; i < rows; i++ {
+		m.Prefs[i] = make([]int8, cols)
+		for j := 0; j < cols; j++ {
+			m.Prefs[i][j] = d.i8()
+		}
+	}
+	return m, d.done()
+}
+
+func encodeAcceptRequest(m *AcceptRequest) []byte {
+	var e enc
+	e.u32(m.Round)
+	e.u32(m.ItemID)
+	e.u16(m.Alt)
+	e.i8(m.PrefInitiator)
+	return e.b
+}
+
+func decodeAcceptRequest(b []byte) (*AcceptRequest, error) {
+	d := dec{b: b}
+	m := &AcceptRequest{
+		Round:         d.u32(),
+		ItemID:        d.u32(),
+		Alt:           d.u16(),
+		PrefInitiator: d.i8(),
+	}
+	return m, d.done()
+}
+
+func encodeAcceptResponse(m *AcceptResponse) []byte {
+	var e enc
+	e.boolean(m.Accepted)
+	return e.b
+}
+
+func decodeAcceptResponse(b []byte) (*AcceptResponse, error) {
+	d := dec{b: b}
+	m := &AcceptResponse{Accepted: d.boolean()}
+	return m, d.done()
+}
+
+func encodeCommit(m *Commit) []byte {
+	var e enc
+	e.u32(m.ItemID)
+	e.u16(m.Alt)
+	return e.b
+}
+
+func decodeCommit(b []byte) (*Commit, error) {
+	d := dec{b: b}
+	m := &Commit{ItemID: d.u32(), Alt: d.u16()}
+	return m, d.done()
+}
+
+func encodeRevert(m *Revert) []byte {
+	var e enc
+	e.u32(m.ItemID)
+	e.u16(m.Alt)
+	e.u16(m.Def)
+	return e.b
+}
+
+func decodeRevert(b []byte) (*Revert, error) {
+	d := dec{b: b}
+	m := &Revert{ItemID: d.u32(), Alt: d.u16(), Def: d.u16()}
+	return m, d.done()
+}
+
+func encodeDone(m *Done) []byte {
+	var e enc
+	e.u32(uint32(len(m.Assign)))
+	for _, a := range m.Assign {
+		e.u16(a)
+	}
+	e.u32(uint32(m.GainA))
+	e.u32(uint32(m.GainB))
+	e.u8(m.StopReason)
+	e.u32(m.Rounds)
+	return e.b
+}
+
+func decodeDone(b []byte) (*Done, error) {
+	d := dec{b: b}
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > len(b)/2 {
+		return nil, fmt.Errorf("nexitwire: done claims %d assignments", n)
+	}
+	m := &Done{Assign: make([]uint16, 0, n)}
+	for i := 0; i < n; i++ {
+		m.Assign = append(m.Assign, d.u16())
+	}
+	m.GainA = int32(d.u32())
+	m.GainB = int32(d.u32())
+	m.StopReason = d.u8()
+	m.Rounds = d.u32()
+	return m, d.done()
+}
+
+func encodeError(m *ErrorMsg) []byte {
+	var e enc
+	e.str(m.Reason)
+	return e.b
+}
+
+func decodeError(b []byte) (*ErrorMsg, error) {
+	d := dec{b: b}
+	m := &ErrorMsg{Reason: d.str()}
+	return m, d.done()
+}

@@ -1,0 +1,485 @@
+package nexitwire
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net"
+	"time"
+
+	"repro/internal/nexit"
+)
+
+// DefaultTimeout bounds each blocking wire exchange.
+const DefaultTimeout = 30 * time.Second
+
+// WorkloadHash fingerprints the negotiation universe (items, defaults,
+// alternative count) so two agents configured differently fail fast at
+// Hello time instead of negotiating nonsense.
+func WorkloadHash(items []nexit.Item, defaults []int, numAlts int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (56 - 8*i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(numAlts))
+	put(uint64(len(items)))
+	for i, it := range items {
+		put(uint64(it.ID))
+		put(uint64(it.Flow.Src))
+		put(uint64(it.Flow.Dst))
+		put(math.Float64bits(it.Flow.Size))
+		put(uint64(it.Dir))
+		put(uint64(defaults[i]))
+	}
+	return h.Sum64()
+}
+
+// SessionResult is what the responder learns from a completed session.
+type SessionResult struct {
+	Assign     []int
+	GainA      int // initiator's cumulative disclosed gain
+	GainB      int // responder's cumulative disclosed gain
+	Rounds     int
+	StopReason nexit.StopReason
+}
+
+// Initiator drives a negotiation session over a connection. It runs the
+// contractually agreed round engine locally, fetching the responder's
+// preferences and accept decisions over the wire.
+type Initiator struct {
+	Name string
+	Cfg  nexit.Config
+	// Eval is the initiator's own evaluator (protocol side A).
+	Eval nexit.Evaluator
+	// Accept, when non-nil, decides the initiator's own accept/veto
+	// choices; nil accepts everything (the paper's experimental mode).
+	Accept func(p nexit.Proposal) bool
+	// Timeout bounds each wire exchange (DefaultTimeout when zero).
+	Timeout time.Duration
+}
+
+func (in *Initiator) timeout() time.Duration {
+	if in.Timeout > 0 {
+		return in.Timeout
+	}
+	return DefaultTimeout
+}
+
+// Run negotiates the items over conn and returns the engine result. The
+// responder must be configured with the same items, defaults, and
+// alternative count.
+func (in *Initiator) Run(conn net.Conn, items []nexit.Item, defaults []int, numAlts int) (*nexit.Result, error) {
+	if in.Cfg.PrefBound > 127 {
+		return nil, fmt.Errorf("nexitwire: preference bound %d exceeds the wire format's int8 classes", in.Cfg.PrefBound)
+	}
+	s := &session{conn: conn, fw: frameWriter{w: conn}, timeout: in.timeout()}
+
+	if err := s.send(MsgHello, encodeHello(&Hello{
+		Version:      Version,
+		Name:         in.Name,
+		NumAlts:      uint16(numAlts),
+		NumItems:     uint32(len(items)),
+		WorkloadHash: WorkloadHash(items, defaults, numAlts),
+	})); err != nil {
+		return nil, err
+	}
+	t, body, err := s.recv()
+	if err != nil {
+		return nil, err
+	}
+	if t != MsgHelloAck {
+		return nil, s.unexpected(t)
+	}
+	ack, err := decodeHello(body)
+	if err != nil {
+		return nil, err
+	}
+	if ack.Version != Version {
+		return nil, s.abort(fmt.Errorf("nexitwire: peer version %d, want %d", ack.Version, Version))
+	}
+
+	remote := &remoteEvaluator{s: s, own: in.Eval, numAlts: numAlts}
+	cfg := in.Cfg
+	cfg.AcceptHook = func(acceptor nexit.Side, p nexit.Proposal) bool {
+		// The remote agent ratifies every proposal: when it is the
+		// acceptor this is the paper's veto; when the engine proposed on
+		// its behalf, ratification confirms the simulated turn. A wire
+		// failure counts as a veto so the engine winds down cleanly.
+		accepted, err := remote.askAccept(p)
+		if err != nil {
+			remote.err = err
+			return false
+		}
+		if !accepted {
+			return false
+		}
+		if acceptor == nexit.SideA && in.Accept != nil {
+			return in.Accept(p)
+		}
+		return true
+	}
+
+	res, err := nexit.Negotiate(cfg, in.Eval, remote, items, defaults, numAlts)
+	if err != nil {
+		_ = s.abort(err)
+		return nil, err
+	}
+	if remote.err != nil {
+		return nil, remote.err
+	}
+
+	done := &Done{
+		Assign:     make([]uint16, len(res.Assign)),
+		GainA:      int32(res.GainA),
+		GainB:      int32(res.GainB),
+		StopReason: uint8(res.Stopped),
+		Rounds:     uint32(res.Rounds),
+	}
+	for i, a := range res.Assign {
+		done.Assign[i] = uint16(a)
+	}
+	if err := s.send(MsgDone, encodeDone(done)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// remoteEvaluator proxies the responder's evaluator over the wire. Its
+// Prefs call also discloses the initiator's own preferences for the same
+// items, mirroring the paper's two-way information exchange and letting
+// the responder audit the session.
+type remoteEvaluator struct {
+	s       *session
+	own     nexit.Evaluator
+	numAlts int
+	err     error
+}
+
+// Prefs implements nexit.Evaluator.
+func (r *remoteEvaluator) Prefs(items []nexit.Item, defaults []int) [][]int {
+	out := make([][]int, len(items))
+	for i := range out {
+		out[i] = make([]int, r.numAlts)
+	}
+	if r.err != nil {
+		return out
+	}
+	req := &PrefsRequest{
+		ItemIDs:  make([]uint32, len(items)),
+		Defaults: make([]uint16, len(items)),
+	}
+	for i, it := range items {
+		req.ItemIDs[i] = uint32(it.ID)
+		req.Defaults[i] = uint16(defaults[i])
+	}
+	if err := r.s.send(MsgPrefsRequest, encodePrefsRequest(req)); err != nil {
+		r.err = err
+		return out
+	}
+	t, body, err := r.s.recv()
+	if err != nil {
+		r.err = err
+		return out
+	}
+	if t != MsgPrefsResponse {
+		r.err = r.s.unexpected(t)
+		return out
+	}
+	resp, err := decodePrefsResponse(body)
+	if err != nil {
+		r.err = err
+		return out
+	}
+	if len(resp.Prefs) != len(items) {
+		r.err = fmt.Errorf("nexitwire: peer sent %d pref rows for %d items", len(resp.Prefs), len(items))
+		return out
+	}
+	for i, row := range resp.Prefs {
+		if len(row) != r.numAlts {
+			r.err = fmt.Errorf("nexitwire: peer sent %d classes for %d alternatives", len(row), r.numAlts)
+			return out
+		}
+		for k, p := range row {
+			out[i][k] = int(p)
+		}
+	}
+	return out
+}
+
+// Commit implements nexit.Evaluator.
+func (r *remoteEvaluator) Commit(it nexit.Item, alt int) {
+	if r.err != nil {
+		return
+	}
+	if err := r.s.send(MsgCommit, encodeCommit(&Commit{ItemID: uint32(it.ID), Alt: uint16(alt)})); err != nil {
+		r.err = err
+	}
+}
+
+// Revert implements nexit.Reverter, forwarding terminal unwinds so the
+// responder's assignment view and gain accounting stay in sync.
+func (r *remoteEvaluator) Revert(it nexit.Item, alt, def int) {
+	if r.err != nil {
+		return
+	}
+	if err := r.s.send(MsgRevert, encodeRevert(&Revert{
+		ItemID: uint32(it.ID), Alt: uint16(alt), Def: uint16(def),
+	})); err != nil {
+		r.err = err
+	}
+}
+
+// askAccept forwards an accept decision to the responder.
+func (r *remoteEvaluator) askAccept(p nexit.Proposal) (bool, error) {
+	if r.err != nil {
+		return false, r.err
+	}
+	req := &AcceptRequest{
+		Round:         uint32(p.Round),
+		ItemID:        uint32(p.ItemID),
+		Alt:           uint16(p.Alt),
+		PrefInitiator: int8(p.PrefA),
+	}
+	if err := r.s.send(MsgAcceptRequest, encodeAcceptRequest(req)); err != nil {
+		return false, err
+	}
+	t, body, err := r.s.recv()
+	if err != nil {
+		return false, err
+	}
+	if t != MsgAcceptResponse {
+		return false, r.s.unexpected(t)
+	}
+	resp, err := decodeAcceptResponse(body)
+	if err != nil {
+		return false, err
+	}
+	return resp.Accepted, nil
+}
+
+// Responder serves one side of a negotiation: it answers preference and
+// accept queries from its private evaluator and tracks the committed
+// assignment.
+type Responder struct {
+	Name string
+	// Eval is the responder's evaluator (protocol side B).
+	Eval nexit.Evaluator
+	// Accept, when non-nil, decides accept/veto; nil accepts everything.
+	Accept func(p AcceptRequest) bool
+	// Timeout bounds each wire exchange (DefaultTimeout when zero).
+	Timeout time.Duration
+
+	// Items, Defaults, and NumAlts define the negotiation universe; they
+	// must match the initiator's.
+	Items    []nexit.Item
+	Defaults []int
+	NumAlts  int
+}
+
+func (r *Responder) timeout() time.Duration {
+	if r.Timeout > 0 {
+		return r.Timeout
+	}
+	return DefaultTimeout
+}
+
+// ServeConn handles one session and returns the final result. It
+// validates the Hello against the locally configured universe, then
+// serves preference, accept, and commit frames until Done.
+func (r *Responder) ServeConn(conn net.Conn) (*SessionResult, error) {
+	s := &session{conn: conn, fw: frameWriter{w: conn}, timeout: r.timeout()}
+
+	t, body, err := s.recv()
+	if err != nil {
+		return nil, err
+	}
+	if t != MsgHello {
+		return nil, s.unexpected(t)
+	}
+	hello, err := decodeHello(body)
+	if err != nil {
+		return nil, err
+	}
+	wantHash := WorkloadHash(r.Items, r.Defaults, r.NumAlts)
+	switch {
+	case hello.Version != Version:
+		return nil, s.abort(fmt.Errorf("nexitwire: peer version %d, want %d", hello.Version, Version))
+	case int(hello.NumAlts) != r.NumAlts:
+		return nil, s.abort(fmt.Errorf("nexitwire: peer has %d alternatives, we have %d", hello.NumAlts, r.NumAlts))
+	case int(hello.NumItems) != len(r.Items):
+		return nil, s.abort(fmt.Errorf("nexitwire: peer has %d items, we have %d", hello.NumItems, len(r.Items)))
+	case hello.WorkloadHash != wantHash:
+		return nil, s.abort(fmt.Errorf("nexitwire: workload hash mismatch"))
+	}
+	if err := s.send(MsgHelloAck, encodeHello(&Hello{
+		Version: Version, Name: r.Name,
+		NumAlts: uint16(r.NumAlts), NumItems: uint32(len(r.Items)),
+		WorkloadHash: wantHash,
+	})); err != nil {
+		return nil, err
+	}
+
+	assign := append([]int(nil), r.Defaults...)
+	gainB := 0
+	// lastPrefs remembers the classes most recently disclosed per item,
+	// for accounting the cumulative gain as commits arrive.
+	lastPrefs := make(map[int][]int, len(r.Items))
+
+	for {
+		t, body, err := s.recv()
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case MsgPrefsRequest:
+			req, err := decodePrefsRequest(body)
+			if err != nil {
+				return nil, err
+			}
+			items := make([]nexit.Item, len(req.ItemIDs))
+			defaults := make([]int, len(req.ItemIDs))
+			for i, id := range req.ItemIDs {
+				if int(id) >= len(r.Items) {
+					return nil, s.abort(fmt.Errorf("nexitwire: peer referenced unknown item %d", id))
+				}
+				items[i] = r.Items[id]
+				defaults[i] = int(req.Defaults[i])
+			}
+			prefs := r.Eval.Prefs(items, defaults)
+			resp := &PrefsResponse{Prefs: make([][]int8, len(prefs))}
+			for i, row := range prefs {
+				resp.Prefs[i] = make([]int8, r.NumAlts)
+				for k := 0; k < r.NumAlts && k < len(row); k++ {
+					p := row[k]
+					if p > 127 {
+						p = 127
+					}
+					if p < -128 {
+						p = -128
+					}
+					resp.Prefs[i][k] = int8(p)
+				}
+				lastPrefs[items[i].ID] = row
+			}
+			if err := s.send(MsgPrefsResponse, encodePrefsResponse(resp)); err != nil {
+				return nil, err
+			}
+		case MsgAcceptRequest:
+			req, err := decodeAcceptRequest(body)
+			if err != nil {
+				return nil, err
+			}
+			accepted := true
+			if r.Accept != nil {
+				accepted = r.Accept(*req)
+			}
+			if err := s.send(MsgAcceptResponse, encodeAcceptResponse(&AcceptResponse{Accepted: accepted})); err != nil {
+				return nil, err
+			}
+		case MsgCommit:
+			c, err := decodeCommit(body)
+			if err != nil {
+				return nil, err
+			}
+			if int(c.ItemID) >= len(r.Items) || int(c.Alt) >= r.NumAlts {
+				return nil, s.abort(fmt.Errorf("nexitwire: commit out of range"))
+			}
+			assign[c.ItemID] = int(c.Alt)
+			if row, ok := lastPrefs[int(c.ItemID)]; ok && int(c.Alt) < len(row) {
+				gainB += row[c.Alt]
+			}
+			r.Eval.Commit(r.Items[c.ItemID], int(c.Alt))
+		case MsgRevert:
+			c, err := decodeRevert(body)
+			if err != nil {
+				return nil, err
+			}
+			if int(c.ItemID) >= len(r.Items) || int(c.Alt) >= r.NumAlts || int(c.Def) >= r.NumAlts {
+				return nil, s.abort(fmt.Errorf("nexitwire: revert out of range"))
+			}
+			if assign[c.ItemID] != int(c.Alt) {
+				return nil, s.abort(fmt.Errorf("nexitwire: revert of item %d does not match committed alternative", c.ItemID))
+			}
+			assign[c.ItemID] = int(c.Def)
+			if row, ok := lastPrefs[int(c.ItemID)]; ok && int(c.Alt) < len(row) {
+				gainB -= row[c.Alt]
+			}
+			if rev, ok := r.Eval.(nexit.Reverter); ok {
+				rev.Revert(r.Items[c.ItemID], int(c.Alt), int(c.Def))
+			}
+		case MsgDone:
+			done, err := decodeDone(body)
+			if err != nil {
+				return nil, err
+			}
+			if len(done.Assign) != len(r.Items) {
+				return nil, fmt.Errorf("nexitwire: done carries %d assignments for %d items", len(done.Assign), len(r.Items))
+			}
+			// Audit: the initiator's reported assignment must match the
+			// commits we observed, and its claim of our gain must match
+			// our own accounting.
+			for i, a := range done.Assign {
+				if int(a) != assign[i] {
+					return nil, fmt.Errorf("nexitwire: assignment mismatch at item %d: peer says %d, we committed %d", i, a, assign[i])
+				}
+			}
+			if int(done.GainB) != gainB {
+				return nil, fmt.Errorf("nexitwire: peer reports our gain as %d, we account %d", done.GainB, gainB)
+			}
+			return &SessionResult{
+				Assign: assign,
+				GainA:  int(done.GainA),
+				GainB:  gainB,
+				Rounds: int(done.Rounds),
+
+				StopReason: nexit.StopReason(done.StopReason),
+			}, nil
+		case MsgError:
+			em, err := decodeError(body)
+			if err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("nexitwire: peer error: %s", em.Reason)
+		default:
+			return nil, s.unexpected(t)
+		}
+	}
+}
+
+// session wraps a connection with framed, deadline-bounded exchanges.
+type session struct {
+	conn    net.Conn
+	fw      frameWriter
+	timeout time.Duration
+}
+
+func (s *session) send(t MsgType, payload []byte) error {
+	if err := s.conn.SetWriteDeadline(time.Now().Add(s.timeout)); err != nil {
+		return err
+	}
+	return s.fw.writeFrame(t, payload)
+}
+
+func (s *session) recv() (MsgType, []byte, error) {
+	if err := s.conn.SetReadDeadline(time.Now().Add(s.timeout)); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(s.conn)
+}
+
+// unexpected reports a protocol violation.
+func (s *session) unexpected(t MsgType) error {
+	err := fmt.Errorf("nexitwire: unexpected %v frame", t)
+	_ = s.abort(err)
+	return err
+}
+
+// abort best-effort notifies the peer before failing.
+func (s *session) abort(err error) error {
+	_ = s.send(MsgError, encodeError(&ErrorMsg{Reason: err.Error()}))
+	return err
+}

@@ -1,0 +1,255 @@
+// Package optimal computes the paper's globally optimal routing, which
+// treats the two ISPs as one larger system with complete information.
+//
+// For the distance metric (§5.1) the optimum decomposes per flow: each
+// flow independently uses the interconnection minimizing its end-to-end
+// distance. For the bandwidth metric (§5.2) the paper minimizes the
+// maximum increase in link load across both ISPs, allowing flows to be
+// fractionally divided among interconnections for computational
+// tractability; we formulate that LP exactly and solve it with the
+// internal simplex solver. As in the paper, the fractional optimum is an
+// upper bound on the quality of any unsplittable routing.
+package optimal
+
+import (
+	"fmt"
+
+	"repro/internal/pairsim"
+	"repro/internal/simplex"
+	"repro/internal/traffic"
+)
+
+// Distance returns the assignment that minimizes the total end-to-end
+// distance of the flows — the globally optimal routing for the §5.1
+// metric. (Each flow's optimum is independent, so this is exact.)
+func Distance(s *pairsim.System, flows []traffic.Flow) pairsim.Assignment {
+	maxID := -1
+	for _, f := range flows {
+		if f.ID > maxID {
+			maxID = f.ID
+		}
+	}
+	assign := pairsim.NewAssignment(maxID + 1)
+	for _, f := range flows {
+		assign[f.ID] = s.BestTotal(f)
+	}
+	return assign
+}
+
+// BandwidthResult is the outcome of the fractional min-max-load LP.
+type BandwidthResult struct {
+	// MEL is the optimal maximum excess load across both ISPs.
+	MEL float64
+	// MELUp and MELDown are the maximum excess loads within the
+	// upstream and downstream ISP under the optimal fractional routing.
+	MELUp, MELDown float64
+	// Fractions[i][k] is the fraction of flows[i] routed over
+	// interconnection k.
+	Fractions [][]float64
+}
+
+// Bandwidth solves the fractional min-max-load problem for rerouting the
+// given flows: minimize the maximum over links (in both ISPs) of
+// (fixed load + rerouted load) / capacity.
+//
+// fixedUp/fixedDown are per-link loads from traffic that is not being
+// rerouted (indexed like the respective ISP's Links slice); capUp/capDown
+// are the link capacities. The LP is formulated in shifted single-phase
+// form (see package simplex) so no artificial variables are needed.
+func Bandwidth(s *pairsim.System, flows []traffic.Flow, fixedUp, fixedDown, capUp, capDown []float64) (*BandwidthResult, error) {
+	nf := len(flows)
+	na := s.NumAlternatives()
+	if na == 0 {
+		return nil, fmt.Errorf("optimal: pair has no interconnections")
+	}
+	if nf == 0 {
+		r := &BandwidthResult{}
+		r.MEL, r.MELUp, r.MELDown = fixedMELs(fixedUp, fixedDown, capUp, capDown)
+		return r, nil
+	}
+
+	nUp := len(capUp)
+	nLinks := nUp + len(capDown)
+	capAll := make([]float64, 0, nLinks)
+	capAll = append(capAll, capUp...)
+	capAll = append(capAll, capDown...)
+	fixedAll := make([]float64, 0, nLinks)
+	fixedAll = append(fixedAll, fixedUp...)
+	fixedAll = append(fixedAll, fixedDown...)
+
+	// coef[l][i*na+k]: load placed on link l when flow i fully uses
+	// interconnection k. Stored sparsely per (flow, alt).
+	type flowAlt struct{ links []int }
+	fa := make([][]flowAlt, nf)
+	for i, f := range flows {
+		fa[i] = make([]flowAlt, na)
+		for k := 0; k < na; k++ {
+			ix := s.Pair.Interconnections[k]
+			var links []int
+			for _, li := range s.Up.PathLinks(f.Src, ix.APoP) {
+				links = append(links, li)
+			}
+			for _, li := range s.Down.PathLinks(ix.BPoP, f.Dst) {
+				links = append(links, nUp+li)
+			}
+			fa[i][k] = flowAlt{links: links}
+		}
+	}
+
+	// Baseline: every flow fully on alternative 0.
+	load0 := make([]float64, nLinks)
+	for i, f := range flows {
+		for _, l := range fa[i][0].links {
+			load0[l] += f.Size
+		}
+	}
+	t0 := 0.0
+	maxFixedRatio := 0.0
+	for l := 0; l < nLinks; l++ {
+		if capAll[l] <= 0 {
+			continue
+		}
+		if r := (fixedAll[l] + load0[l]) / capAll[l]; r > t0 {
+			t0 = r
+		}
+		if r := fixedAll[l] / capAll[l]; r > maxFixedRatio {
+			maxFixedRatio = r
+		}
+	}
+
+	// Variables: x[i][k] for k=1..na-1 (alt 0 eliminated), then tShift.
+	// Minimizing t is maximizing tShift where t = t0 - tShift.
+	nv := nf*(na-1) + 1
+	tCol := nv - 1
+	xCol := func(i, k int) int { return i*(na-1) + (k - 1) }
+
+	var aub [][]float64
+	var bub []float64
+
+	// Link rows: sum_i sum_{k>0} (c_{l,i,k} - c_{l,i,0}) x + cap_l*tShift
+	// <= cap_l*t0 - fixed_l - load0_l.
+	for l := 0; l < nLinks; l++ {
+		if capAll[l] <= 0 {
+			continue
+		}
+		row := make([]float64, nv)
+		touched := false
+		for i, f := range flows {
+			on0 := contains(fa[i][0].links, l)
+			for k := 1; k < na; k++ {
+				onK := contains(fa[i][k].links, l)
+				switch {
+				case onK && !on0:
+					row[xCol(i, k)] += f.Size
+					touched = true
+				case !onK && on0:
+					row[xCol(i, k)] -= f.Size
+					touched = true
+				}
+			}
+		}
+		if !touched {
+			continue // covered by the global tShift bound below
+		}
+		row[tCol] = capAll[l]
+		aub = append(aub, row)
+		bub = append(bub, capAll[l]*t0-fixedAll[l]-load0[l])
+	}
+
+	// Global bound: t >= maxFixedRatio (links untouched by rerouting
+	// cannot drop below their fixed ratio), i.e. tShift <= t0 - maxFixedRatio.
+	bound := make([]float64, nv)
+	bound[tCol] = 1
+	aub = append(aub, bound)
+	bub = append(bub, t0-maxFixedRatio)
+
+	// Flow rows: sum_{k>0} x[i][k] <= 1.
+	for i := 0; i < nf; i++ {
+		row := make([]float64, nv)
+		for k := 1; k < na; k++ {
+			row[xCol(i, k)] = 1
+		}
+		aub = append(aub, row)
+		bub = append(bub, 1)
+	}
+
+	c := make([]float64, nv)
+	c[tCol] = -1 // maximize tShift
+
+	sol, err := simplex.Solve(simplex.Problem{C: c, AUb: aub, BUb: bub})
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != simplex.Optimal {
+		return nil, fmt.Errorf("optimal: LP status %v", sol.Status)
+	}
+
+	res := &BandwidthResult{MEL: t0 - sol.X[tCol]}
+	res.Fractions = make([][]float64, nf)
+	loadUp := append([]float64(nil), fixedUp...)
+	loadDown := append([]float64(nil), fixedDown...)
+	for i, f := range flows {
+		res.Fractions[i] = make([]float64, na)
+		rest := 1.0
+		for k := 1; k < na; k++ {
+			x := sol.X[xCol(i, k)]
+			if x < 0 {
+				x = 0
+			}
+			res.Fractions[i][k] = x
+			rest -= x
+		}
+		if rest < 0 {
+			rest = 0
+		}
+		res.Fractions[i][0] = rest
+		for k := 0; k < na; k++ {
+			frac := res.Fractions[i][k]
+			if frac == 0 {
+				continue
+			}
+			for _, l := range fa[i][k].links {
+				if l < nUp {
+					loadUp[l] += frac * f.Size
+				} else {
+					loadDown[l-nUp] += frac * f.Size
+				}
+			}
+		}
+	}
+	res.MELUp = melOf(loadUp, capUp)
+	res.MELDown = melOf(loadDown, capDown)
+	return res, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func melOf(load, capv []float64) float64 {
+	var m float64
+	for i := range load {
+		if capv[i] <= 0 {
+			continue
+		}
+		if r := load[i] / capv[i]; r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+func fixedMELs(fixedUp, fixedDown, capUp, capDown []float64) (all, up, down float64) {
+	up = melOf(fixedUp, capUp)
+	down = melOf(fixedDown, capDown)
+	all = up
+	if down > all {
+		all = down
+	}
+	return all, up, down
+}

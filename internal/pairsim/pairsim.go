@@ -1,0 +1,219 @@
+// Package pairsim ties a pair of neighboring ISPs to their intra-ISP
+// routing tables and evaluates flow alternatives: for a flow and a choice
+// of interconnection it computes the distance traversed inside each ISP,
+// the links used, and per-link loads for whole assignments.
+//
+// In the paper's terms (§4), "an alternative corresponds to an
+// interconnection for a flow"; everything the negotiation, baselines, and
+// globally optimal routing need to know about an alternative is computed
+// here.
+package pairsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TableCache memoizes routing tables per ISP so that the many pairs
+// sharing an ISP reuse its (expensive) all-pairs computation.
+type TableCache struct {
+	tables map[*topology.ISP]*routing.Table
+}
+
+// NewTableCache returns an empty cache.
+func NewTableCache() *TableCache {
+	return &TableCache{tables: make(map[*topology.ISP]*routing.Table)}
+}
+
+// Get returns the routing table for isp, computing it on first use.
+func (c *TableCache) Get(isp *topology.ISP) *routing.Table {
+	if t, ok := c.tables[isp]; ok {
+		return t
+	}
+	t := routing.New(isp)
+	c.tables[isp] = t
+	return t
+}
+
+// System is a directed view of an ISP pair: traffic flows from Up
+// (upstream, contains flow sources) to Down (downstream, contains flow
+// destinations) across the pair's interconnections.
+type System struct {
+	Pair *topology.Pair // Pair.A is the upstream, Pair.B the downstream
+	Up   *routing.Table // routing inside the upstream ISP
+	Down *routing.Table // routing inside the downstream ISP
+}
+
+// New builds a System for traffic flowing A->B in the pair. Routing
+// tables come from the cache (pass nil to compute fresh tables).
+func New(pair *topology.Pair, cache *TableCache) *System {
+	if cache == nil {
+		cache = NewTableCache()
+	}
+	return &System{
+		Pair: pair,
+		Up:   cache.Get(pair.A),
+		Down: cache.Get(pair.B),
+	}
+}
+
+// Reverse returns the System for traffic flowing in the opposite
+// direction (B->A). Routing tables are shared, not recomputed.
+func (s *System) Reverse() *System {
+	return &System{Pair: s.Pair.Reversed(), Up: s.Down, Down: s.Up}
+}
+
+// NumAlternatives returns the number of alternatives per flow (one per
+// interconnection).
+func (s *System) NumAlternatives() int { return len(s.Pair.Interconnections) }
+
+// UpDistKm returns the geographic distance flow f travels inside the
+// upstream ISP when using interconnection k: source PoP to the
+// interconnection's upstream PoP.
+func (s *System) UpDistKm(f traffic.Flow, k int) float64 {
+	return s.Up.LengthKm(f.Src, s.Pair.Interconnections[k].APoP)
+}
+
+// DownDistKm returns the geographic distance flow f travels inside the
+// downstream ISP when using interconnection k.
+func (s *System) DownDistKm(f traffic.Flow, k int) float64 {
+	return s.Down.LengthKm(s.Pair.Interconnections[k].BPoP, f.Dst)
+}
+
+// TotalDistKm returns the end-to-end geographic distance for flow f over
+// interconnection k, including the interconnection link itself. This is
+// the paper's §5.1 path-length metric.
+func (s *System) TotalDistKm(f traffic.Flow, k int) float64 {
+	return s.UpDistKm(f, k) + s.Pair.Interconnections[k].LengthKm + s.DownDistKm(f, k)
+}
+
+// UpWeight returns the routing (IGP) weight from the flow's source to
+// interconnection k's upstream PoP. Early-exit routing minimizes this.
+func (s *System) UpWeight(f traffic.Flow, k int) float64 {
+	return s.Up.Dist(f.Src, s.Pair.Interconnections[k].APoP)
+}
+
+// DownWeight returns the routing weight from interconnection k's
+// downstream PoP to the flow's destination.
+func (s *System) DownWeight(f traffic.Flow, k int) float64 {
+	return s.Down.Dist(s.Pair.Interconnections[k].BPoP, f.Dst)
+}
+
+// EarlyExit returns the interconnection the upstream picks under
+// early-exit (hot-potato) routing: the one closest to the flow's source
+// by routing weight, ties broken toward the lower interconnection index.
+func (s *System) EarlyExit(f traffic.Flow) int {
+	best, bestW := -1, math.Inf(1)
+	for k := range s.Pair.Interconnections {
+		if w := s.UpWeight(f, k); w < bestW {
+			best, bestW = k, w
+		}
+	}
+	return best
+}
+
+// LateExit returns the interconnection closest to the destination by
+// routing weight — the outcome of consistently honored MEDs (Fig 1b).
+func (s *System) LateExit(f traffic.Flow) int {
+	best, bestW := -1, math.Inf(1)
+	for k := range s.Pair.Interconnections {
+		if w := s.DownWeight(f, k); w < bestW {
+			best, bestW = k, w
+		}
+	}
+	return best
+}
+
+// BestTotal returns the interconnection minimizing the end-to-end
+// distance for flow f — the per-flow globally optimal choice for the
+// distance metric.
+func (s *System) BestTotal(f traffic.Flow) int {
+	best, bestD := -1, math.Inf(1)
+	for k := range s.Pair.Interconnections {
+		if d := s.TotalDistKm(f, k); d < bestD {
+			best, bestD = k, d
+		}
+	}
+	return best
+}
+
+// Assignment maps flow ID -> interconnection index for a workload.
+type Assignment []int
+
+// NewAssignment allocates an assignment for n flows, initialized to -1
+// (unassigned).
+func NewAssignment(n int) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = -1
+	}
+	return a
+}
+
+// Clone copies the assignment.
+func (a Assignment) Clone() Assignment { return append(Assignment(nil), a...) }
+
+// AddFlowLoad adds flow f's size to every upstream link on the path from
+// its source to interconnection k and every downstream link from the
+// interconnection to its destination. loadUp/loadDown are indexed like
+// the respective ISP's Links slice.
+func (s *System) AddFlowLoad(loadUp, loadDown []float64, f traffic.Flow, k int) {
+	ix := s.Pair.Interconnections[k]
+	s.Up.AddLoad(loadUp, f.Src, ix.APoP, f.Size)
+	s.Down.AddLoad(loadDown, ix.BPoP, f.Dst, f.Size)
+}
+
+// Loads computes per-link loads in both ISPs for the flows under the
+// given assignment. Flows assigned -1 are skipped.
+func (s *System) Loads(flows []traffic.Flow, assign Assignment) (loadUp, loadDown []float64) {
+	loadUp = make([]float64, len(s.Up.ISP.Links))
+	loadDown = make([]float64, len(s.Down.ISP.Links))
+	for _, f := range flows {
+		k := assign[f.ID]
+		if k < 0 {
+			continue
+		}
+		s.AddFlowLoad(loadUp, loadDown, f, k)
+	}
+	return loadUp, loadDown
+}
+
+// TotalDistance sums TotalDistKm over all assigned flows (unweighted by
+// size, as in the paper's §5.1 metric where every PoP pair contributes
+// one flow).
+func (s *System) TotalDistance(flows []traffic.Flow, assign Assignment) float64 {
+	var sum float64
+	for _, f := range flows {
+		if k := assign[f.ID]; k >= 0 {
+			sum += s.TotalDistKm(f, k)
+		}
+	}
+	return sum
+}
+
+// SplitDistance returns the distance traversed inside the upstream and
+// downstream ISPs separately, summed over assigned flows.
+func (s *System) SplitDistance(flows []traffic.Flow, assign Assignment) (up, down float64) {
+	for _, f := range flows {
+		if k := assign[f.ID]; k >= 0 {
+			up += s.UpDistKm(f, k)
+			down += s.DownDistKm(f, k)
+		}
+	}
+	return up, down
+}
+
+// Validate checks that the system's interconnection endpoints resolve.
+func (s *System) Validate() error {
+	if err := s.Pair.Validate(); err != nil {
+		return err
+	}
+	if s.Up.ISP != s.Pair.A || s.Down.ISP != s.Pair.B {
+		return fmt.Errorf("pairsim: routing tables do not match pair ISPs")
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package routing computes intra-ISP routing state: shortest paths over
+// link weights (OSPF-style), path extraction, and per-link load
+// accumulation.
+//
+// The paper assumes each ISP routes internally along its IGP shortest
+// paths; a flow's path through the two-ISP system is the concatenation of
+// the upstream's internal path to the chosen interconnection, the
+// interconnection link, and the downstream's internal path from the
+// interconnection to the destination. This package supplies the internal
+// halves; interconnection choice is made by the negotiation, baseline, or
+// optimal routing layers.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Table holds all-pairs shortest-path state for one ISP. Shortest paths
+// minimize the sum of link weights; ties are broken deterministically
+// (prefer the path whose previous hop has the smaller PoP ID) so the
+// entire simulator is reproducible.
+type Table struct {
+	ISP *topology.ISP
+
+	dist   [][]float64 // dist[src][dst]: sum of link weights
+	length [][]float64 // length[src][dst]: geographic km along the chosen path
+	parent [][]int32   // parent[src][dst]: previous hop on the path from src, -1 at src/unreachable
+	plink  [][]int32   // plink[src][dst]: link index used to reach dst from parent
+}
+
+// New builds the routing table by running Dijkstra from every PoP.
+func New(isp *topology.ISP) *Table {
+	n := len(isp.PoPs)
+	t := &Table{
+		ISP:    isp,
+		dist:   make([][]float64, n),
+		length: make([][]float64, n),
+		parent: make([][]int32, n),
+		plink:  make([][]int32, n),
+	}
+	adj := isp.Adjacency()
+	for src := 0; src < n; src++ {
+		t.dist[src], t.length[src], t.parent[src], t.plink[src] = dijkstra(isp, adj, src)
+	}
+	return t
+}
+
+// dijkstra computes single-source shortest paths with deterministic
+// tie-breaking on (distance, previous-hop ID).
+func dijkstra(isp *topology.ISP, adj [][]topology.Edge, src int) ([]float64, []float64, []int32, []int32) {
+	n := len(isp.PoPs)
+	dist := make([]float64, n)
+	length := make([]float64, n)
+	parent := make([]int32, n)
+	plink := make([]int32, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+		plink[i] = -1
+	}
+	dist[src] = 0
+	pq := &popHeap{{dist: 0, pop: src}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(popItem)
+		u := item.pop
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, e := range adj[u] {
+			l := isp.Links[e.Link]
+			nd := dist[u] + l.Weight
+			v := e.To
+			if done[v] {
+				continue
+			}
+			better := nd < dist[v]
+			// Deterministic tie-break: equal distance, smaller previous hop.
+			if !better && nd == dist[v] && (parent[v] == -1 || int32(u) < parent[v]) {
+				better = true
+			}
+			if better {
+				dist[v] = nd
+				length[v] = length[u] + l.LengthKm
+				parent[v] = int32(u)
+				plink[v] = int32(e.Link)
+				heap.Push(pq, popItem{dist: nd, pop: v})
+			}
+		}
+	}
+	return dist, length, parent, plink
+}
+
+type popItem struct {
+	dist float64
+	pop  int
+}
+
+type popHeap []popItem
+
+func (h popHeap) Len() int { return len(h) }
+func (h popHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].pop < h[j].pop
+}
+func (h popHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *popHeap) Push(x interface{}) { *h = append(*h, x.(popItem)) }
+func (h *popHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dist returns the shortest-path weight between src and dst.
+// It is +Inf if dst is unreachable.
+func (t *Table) Dist(src, dst int) float64 { return t.dist[src][dst] }
+
+// LengthKm returns the geographic length in kilometers of the chosen
+// shortest (by weight) path between src and dst. This is the paper's
+// distance metric for the portion of a flow inside one ISP (§5.1).
+func (t *Table) LengthKm(src, dst int) float64 { return t.length[src][dst] }
+
+// Reachable reports whether dst is reachable from src.
+func (t *Table) Reachable(src, dst int) bool { return !math.IsInf(t.dist[src][dst], 1) }
+
+// Path returns the PoP sequence of the shortest path from src to dst,
+// inclusive of both endpoints. It returns nil if dst is unreachable.
+func (t *Table) Path(src, dst int) []int {
+	if !t.Reachable(src, dst) {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != src; {
+		rev = append(rev, v)
+		v = int(t.parent[src][v])
+	}
+	out := make([]int, 0, len(rev)+1)
+	out = append(out, src)
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// PathLinks returns the indices (into ISP.Links) of the links along the
+// shortest path from src to dst, in order. It returns nil for src == dst
+// or unreachable destinations.
+func (t *Table) PathLinks(src, dst int) []int {
+	if src == dst || !t.Reachable(src, dst) {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != src; {
+		rev = append(rev, int(t.plink[src][v]))
+		v = int(t.parent[src][v])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// AddLoad adds amount to every link on the shortest path from src to dst
+// in the per-link load vector (indexed like ISP.Links).
+func (t *Table) AddLoad(load []float64, src, dst int, amount float64) {
+	if len(load) != len(t.ISP.Links) {
+		panic(fmt.Sprintf("routing: load vector has %d entries for %d links", len(load), len(t.ISP.Links)))
+	}
+	for _, li := range t.PathLinks(src, dst) {
+		load[li] += amount
+	}
+}
+
+// MaxLinkRatio returns the maximum over links of load[i]/cap[i], skipping
+// links with non-positive capacity. It is the building block for the MEL
+// metric (§5.2).
+func MaxLinkRatio(load, capacity []float64) float64 {
+	var maxRatio float64
+	for i := range load {
+		if capacity[i] <= 0 {
+			continue
+		}
+		if r := load[i] / capacity[i]; r > maxRatio {
+			maxRatio = r
+		}
+	}
+	return maxRatio
+}

@@ -1,0 +1,343 @@
+// Package simplex is a from-scratch dense linear-programming solver used
+// to compute the paper's globally optimal bandwidth routing (§5.2), which
+// minimizes the maximum increase in link load while allowing flows to be
+// fractionally divided among interconnections.
+//
+// The solver minimizes c·x subject to Aub·x <= bub, Aeq·x = beq, x >= 0,
+// using the two-phase primal simplex method on a dense tableau. Pivoting
+// uses Dantzig's rule (most negative reduced cost) and falls back to
+// Bland's anti-cycling rule if the objective stalls, so termination is
+// guaranteed. When the problem has only <= rows with non-negative
+// right-hand sides, phase one is skipped entirely — the optimal-routing
+// LP is formulated that way (see internal/optimal) to keep it fast.
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Solution is the result of Solve. X and Objective are meaningful only
+// when Status == Optimal.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+// Problem is an LP in the form: minimize C·x subject to
+// AUb·x <= BUb, AEq·x = BEq, x >= 0.
+type Problem struct {
+	C   []float64
+	AUb [][]float64
+	BUb []float64
+	AEq [][]float64
+	BEq []float64
+}
+
+const (
+	eps         = 1e-9
+	stallWindow = 64 // pivots without improvement before switching to Bland's rule
+)
+
+// Validate checks the problem dimensions.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("simplex: empty objective")
+	}
+	if len(p.AUb) != len(p.BUb) {
+		return fmt.Errorf("simplex: %d inequality rows but %d bounds", len(p.AUb), len(p.BUb))
+	}
+	if len(p.AEq) != len(p.BEq) {
+		return fmt.Errorf("simplex: %d equality rows but %d bounds", len(p.AEq), len(p.BEq))
+	}
+	for i, row := range p.AUb {
+		if len(row) != n {
+			return fmt.Errorf("simplex: inequality row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	for i, row := range p.AEq {
+		if len(row) != n {
+			return fmt.Errorf("simplex: equality row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// tableau is the dense simplex tableau. Rows 0..m-1 are constraints with
+// the right-hand side in the last column; basis[i] is the column basic in
+// row i.
+type tableau struct {
+	a     [][]float64 // m x (cols+1)
+	basis []int
+	m     int
+	cols  int // number of structural+slack+artificial columns (excludes RHS)
+}
+
+// Solve runs the two-phase simplex method.
+func Solve(p Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.C)
+	mUb, mEq := len(p.AUb), len(p.AEq)
+	m := mUb + mEq
+
+	if m == 0 {
+		// No constraints: optimum is 0 if c >= 0, else unbounded.
+		for _, ci := range p.C {
+			if ci < -eps {
+				return &Solution{Status: Unbounded}, nil
+			}
+		}
+		return &Solution{Status: Optimal, X: make([]float64, n)}, nil
+	}
+
+	// Column layout: [0,n) structural, [n, n+mUb) slacks,
+	// [n+mUb, n+mUb+numArt) artificials.
+	numArt := 0
+	needsArt := make([]bool, m)
+	for i := 0; i < mUb; i++ {
+		if p.BUb[i] < 0 {
+			needsArt[i] = true
+			numArt++
+		}
+	}
+	for i := 0; i < mEq; i++ {
+		needsArt[mUb+i] = true
+		numArt++
+	}
+	cols := n + mUb + numArt
+	t := &tableau{m: m, cols: cols, basis: make([]int, m)}
+	t.a = make([][]float64, m)
+	artCol := n + mUb
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols+1)
+		var src []float64
+		var b float64
+		if i < mUb {
+			src, b = p.AUb[i], p.BUb[i]
+		} else {
+			src, b = p.AEq[i-mUb], p.BEq[i-mUb]
+		}
+		sign := 1.0
+		if b < 0 {
+			sign = -1
+			b = -b
+		}
+		for j := 0; j < n; j++ {
+			row[j] = sign * src[j]
+		}
+		if i < mUb {
+			row[n+i] = sign // slack (+1, or -1 for negated rows → surplus)
+		}
+		row[cols] = b
+		if needsArt[i] {
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		} else {
+			t.basis[i] = n + i
+		}
+		t.a[i] = row
+	}
+
+	if numArt > 0 {
+		// Phase 1: minimize the sum of artificials.
+		obj := make([]float64, cols)
+		for j := n + mUb; j < cols; j++ {
+			obj[j] = 1
+		}
+		val, status := t.optimize(obj)
+		if status == Unbounded {
+			// Phase-1 objective is bounded below by 0; this indicates a bug.
+			return nil, fmt.Errorf("simplex: phase 1 reported unbounded")
+		}
+		if val > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		t.driveOutArtificials(n + mUb)
+	}
+
+	// Phase 2: original objective over structural + slack columns only.
+	obj := make([]float64, cols)
+	copy(obj, p.C)
+	forbidden := n + mUb // artificial columns may not re-enter
+	val, status := t.optimizeRestricted(obj, forbidden)
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			x[b] = t.a[i][cols]
+		}
+	}
+	return &Solution{Status: Optimal, X: x, Objective: val}, nil
+}
+
+// optimize minimizes obj over all columns. Returns the objective value.
+func (t *tableau) optimize(obj []float64) (float64, Status) {
+	return t.optimizeRestricted(obj, t.cols)
+}
+
+// optimizeRestricted minimizes obj using only columns < limit as entering
+// candidates.
+func (t *tableau) optimizeRestricted(obj []float64, limit int) (float64, Status) {
+	// Reduced costs: start from obj, then price out the current basis.
+	red := make([]float64, t.cols+1)
+	copy(red, obj)
+	for i, b := range t.basis {
+		cb := obj[b]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			red[j] -= cb * t.a[i][j]
+		}
+	}
+
+	bland := false
+	stall := 0
+	lastObj := math.Inf(1)
+	maxIter := 50 * (t.m + t.cols + 10)
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column.
+		enter := -1
+		if bland {
+			for j := 0; j < limit; j++ {
+				if red[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -eps
+			for j := 0; j < limit; j++ {
+				if red[j] < best {
+					best = red[j]
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			return -red[t.cols], Optimal
+		}
+		// Leaving row: minimum ratio test, ties to smallest basis index
+		// (harmless normally, required under Bland's rule).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij > eps {
+				r := t.a[i][t.cols] / aij
+				if r < bestRatio-eps || (r < bestRatio+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, Unbounded
+		}
+		t.pivot(leave, enter, red)
+
+		// Stall detection → Bland's rule for guaranteed termination.
+		cur := -red[t.cols]
+		if cur < lastObj-eps {
+			lastObj = cur
+			stall = 0
+		} else {
+			stall++
+			if stall > stallWindow {
+				bland = true
+			}
+		}
+	}
+	// Iteration limit under Bland's rule should be unreachable; treat as
+	// optimal-so-far to avoid wedging callers.
+	return -red[t.cols], Optimal
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the
+// reduced-cost row.
+func (t *tableau) pivot(row, col int, red []float64) {
+	piv := t.a[row][col]
+	inv := 1 / piv
+	ar := t.a[row]
+	for j := 0; j <= t.cols; j++ {
+		ar[j] *= inv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ai := t.a[i]
+		for j := 0; j <= t.cols; j++ {
+			ai[j] -= f * ar[j]
+		}
+	}
+	if f := red[col]; f != 0 {
+		for j := 0; j <= t.cols; j++ {
+			red[j] -= f * ar[j]
+		}
+	}
+	t.basis[row] = col
+}
+
+// driveOutArtificials pivots basic artificial variables (value ~0 after a
+// successful phase 1) out of the basis where a non-artificial pivot
+// column exists; rows that cannot pivot are redundant and are zeroed.
+func (t *tableau) driveOutArtificials(firstArt int) {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < firstArt {
+			continue
+		}
+		pivCol := -1
+		for j := 0; j < firstArt; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				pivCol = j
+				break
+			}
+		}
+		if pivCol == -1 {
+			// Redundant row: keep it inert.
+			for j := 0; j <= t.cols; j++ {
+				if j != t.basis[i] {
+					t.a[i][j] = 0
+				}
+			}
+			continue
+		}
+		dummy := make([]float64, t.cols+1)
+		t.pivot(i, pivCol, dummy)
+	}
+}

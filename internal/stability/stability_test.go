@@ -1,0 +1,126 @@
+package stability
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/pairsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// chainPair builds two 3-city chains (north, mid, south) meeting at
+// north and south.
+func chainPair(t *testing.T) *pairsim.System {
+	t.Helper()
+	mk := func(name string, asn int) *topology.ISP {
+		isp := &topology.ISP{Name: name, ASN: asn}
+		for i, c := range []struct {
+			city string
+			lat  float64
+		}{{"north", 47}, {"mid", 40}, {"south", 33}} {
+			isp.PoPs = append(isp.PoPs, topology.PoP{
+				ID: i, City: c.city, Loc: geo.Point{Lat: c.lat, Lon: -100}, Population: 1e6,
+			})
+		}
+		d := geo.DistanceKm(isp.PoPs[0].Loc, isp.PoPs[1].Loc)
+		isp.Links = []topology.Link{
+			{A: 0, B: 1, Weight: d, LengthKm: d},
+			{A: 1, B: 2, Weight: d, LengthKm: d},
+		}
+		return isp
+	}
+	pair := topology.NewPair(mk("a", 1), mk("b", 2))
+	// Drop the "mid" interconnection so only north/south remain.
+	for k, ix := range pair.Interconnections {
+		if ix.City == "mid" {
+			pair = pair.WithoutInterconnection(k)
+			break
+		}
+	}
+	return pairsim.New(pair, nil)
+}
+
+func TestConvergesWhenUncontended(t *testing.T) {
+	s := chainPair(t)
+	flows := []traffic.Flow{{ID: 0, Src: 1, Dst: 1, Size: 0.5}}
+	sim := &Simulator{
+		S: s, Flows: flows,
+		FixedUp: []float64{0, 0}, FixedDown: []float64{0, 0},
+		CapUp: []float64{1, 1}, CapDown: []float64{1, 1},
+	}
+	res := sim.Run([]int{0})
+	if res.Outcome != Converged {
+		t.Fatalf("outcome = %v, want converged", res.Outcome)
+	}
+	if res.FinalWorstMEL > 1 {
+		t.Errorf("final MEL %.2f with ample capacity", res.FinalWorstMEL)
+	}
+}
+
+func TestOscillatesUnderConflict(t *testing.T) {
+	// The failover example's structure: two flows that B cannot tell
+	// apart, where A can only tolerate one of them on the north link —
+	// and whichever B pushes north, A pushes back.
+	s := chainPair(t)
+	// f2 from A's south PoP (exits south free; north crosses all of A),
+	// f3 from A's mid PoP; both to B's mid PoP.
+	f2 := traffic.Flow{ID: 0, Src: 2, Dst: 1, Size: 0.6}
+	f3 := traffic.Flow{ID: 1, Src: 1, Dst: 1, Size: 0.6}
+	sim := &Simulator{
+		S:     s,
+		Flows: []traffic.Flow{f2, f3},
+		// A's backbone is partially loaded; B's south entry is tight.
+		FixedUp: []float64{0.5, 0.6}, FixedDown: []float64{0, 0},
+		CapUp: []float64{1.2, 1.0}, CapDown: []float64{2.0, 1.0},
+		// B reacts first, as in the paper's incident; from its local
+		// view f2 and f3 are identical, and it keeps picking the one A
+		// must push back.
+		DownstreamFirst: true,
+	}
+	// Start from both flows entering south (the early-exit default).
+	south := 1
+	if s.Pair.Interconnections[1].City != "south" {
+		south = 0
+	}
+	res := sim.Run([]int{south, south})
+	if res.Outcome == Converged && res.FinalWorstMEL > 1 {
+		t.Fatalf("converged to an overloaded state: MEL %.2f", res.FinalWorstMEL)
+	}
+	// This instance is engineered to cycle (see examples/failover).
+	if res.Outcome != Oscillated {
+		t.Fatalf("outcome = %v (rounds %d), want oscillation", res.Outcome, res.Rounds)
+	}
+	if res.CycleLength == 0 {
+		t.Error("oscillation with zero cycle length")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for _, o := range []Outcome{Converged, Oscillated, Exhausted} {
+		if o.String() == "" {
+			t.Error("empty outcome name")
+		}
+	}
+	if Outcome(9).String() == "" {
+		t.Error("unknown outcome should stringify")
+	}
+}
+
+func TestExhaustedBudget(t *testing.T) {
+	s := chainPair(t)
+	flows := []traffic.Flow{
+		{ID: 0, Src: 2, Dst: 1, Size: 0.6},
+		{ID: 1, Src: 1, Dst: 1, Size: 0.6},
+	}
+	sim := &Simulator{
+		S: s, Flows: flows,
+		FixedUp: []float64{0.5, 0.6}, FixedDown: []float64{0, 0},
+		CapUp: []float64{1.2, 1.0}, CapDown: []float64{2.0, 1.0},
+		MaxRounds: 1, // too few rounds to detect the cycle
+	}
+	res := sim.Run([]int{1, 1})
+	if res.Outcome == Converged {
+		t.Fatalf("cannot converge in one round here: %+v", res)
+	}
+}

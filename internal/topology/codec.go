@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+)
+
+// The .topo text format is a line-oriented serialization of one or more
+// ISP topologies, analogous to the Rocketfuel file formats the paper's
+// dataset ships in:
+//
+//	isp <name> <asn>
+//	pop <id> <city> <lat> <lon> <population>
+//	link <a> <b> <weight> <lengthKm>
+//	end
+//
+// Blank lines and lines starting with '#' are ignored. City names use
+// underscores in place of spaces.
+
+// Write serializes the ISPs to w in .topo format.
+func Write(w io.Writer, isps []*ISP) error {
+	bw := bufio.NewWriter(w)
+	for _, n := range isps {
+		fmt.Fprintf(bw, "isp %s %d\n", escapeCity(n.Name), n.ASN)
+		for _, p := range n.PoPs {
+			fmt.Fprintf(bw, "pop %d %s %.6f %.6f %.0f\n",
+				p.ID, escapeCity(p.City), p.Loc.Lat, p.Loc.Lon, p.Population)
+		}
+		for _, l := range n.Links {
+			fmt.Fprintf(bw, "link %d %d %.6f %.6f\n", l.A, l.B, l.Weight, l.LengthKm)
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// Read parses .topo data from r. Each parsed ISP is validated.
+func Read(r io.Reader) ([]*ISP, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var (
+		isps []*ISP
+		cur  *ISP
+		line int
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "isp":
+			if cur != nil {
+				return nil, fmt.Errorf("topology: line %d: 'isp' before 'end'", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topology: line %d: isp wants 2 args", line)
+			}
+			asn, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad ASN: %v", line, err)
+			}
+			cur = &ISP{Name: unescapeCity(fields[1]), ASN: asn}
+		case "pop":
+			if cur == nil {
+				return nil, fmt.Errorf("topology: line %d: 'pop' outside isp block", line)
+			}
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("topology: line %d: pop wants 5 args", line)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			lat, err2 := strconv.ParseFloat(fields[3], 64)
+			lon, err3 := strconv.ParseFloat(fields[4], 64)
+			pop, err4 := strconv.ParseFloat(fields[5], 64)
+			if err := firstErr(err1, err2, err3, err4); err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad pop: %v", line, err)
+			}
+			cur.PoPs = append(cur.PoPs, PoP{
+				ID: id, City: unescapeCity(fields[2]),
+				Loc: geo.Point{Lat: lat, Lon: lon}, Population: pop,
+			})
+		case "link":
+			if cur == nil {
+				return nil, fmt.Errorf("topology: line %d: 'link' outside isp block", line)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("topology: line %d: link wants 4 args", line)
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			b, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			lkm, err4 := strconv.ParseFloat(fields[4], 64)
+			if err := firstErr(err1, err2, err3, err4); err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad link: %v", line, err)
+			}
+			cur.Links = append(cur.Links, Link{A: a, B: b, Weight: w, LengthKm: lkm})
+		case "end":
+			if cur == nil {
+				return nil, fmt.Errorf("topology: line %d: 'end' outside isp block", line)
+			}
+			if err := cur.Validate(); err != nil {
+				return nil, fmt.Errorf("topology: line %d: %v", line, err)
+			}
+			isps = append(isps, cur)
+			cur = nil
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("topology: unterminated isp block %q", cur.Name)
+	}
+	return isps, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func escapeCity(s string) string   { return strings.ReplaceAll(s, " ", "_") }
+func unescapeCity(s string) string { return strings.ReplaceAll(s, "_", " ") }

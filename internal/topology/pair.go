@@ -1,0 +1,137 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// Interconnection is one inter-ISP link between a pair of ISPs. In
+// practice neighboring ISPs interconnect at shared exchange points, so an
+// interconnection joins the two ISPs' PoPs in the same city and its
+// geographic length is (near) zero.
+type Interconnection struct {
+	APoP     int     // PoP ID in the first ISP
+	BPoP     int     // PoP ID in the second ISP
+	City     string  // city where the ISPs meet
+	LengthKm float64 // geographic length of the interconnection link
+}
+
+// Pair is a pair of neighboring ISPs together with the set of
+// interconnections between them. Traffic flows in both directions; the
+// "upstream" ISP for a flow is the one containing its source PoP.
+type Pair struct {
+	A, B             *ISP
+	Interconnections []Interconnection
+}
+
+// NewPair discovers the interconnections between two ISPs as the cities
+// where both have a PoP, mirroring how the paper's dataset derives
+// peering locations. The interconnections are sorted by city name for
+// determinism.
+func NewPair(a, b *ISP) *Pair {
+	p := &Pair{A: a, B: b}
+	bByCity := make(map[string]int, len(b.PoPs))
+	for _, pop := range b.PoPs {
+		bByCity[pop.City] = pop.ID
+	}
+	for _, pop := range a.PoPs {
+		if bID, ok := bByCity[pop.City]; ok {
+			p.Interconnections = append(p.Interconnections, Interconnection{
+				APoP:     pop.ID,
+				BPoP:     bID,
+				City:     pop.City,
+				LengthKm: geo.DistanceKm(pop.Loc, b.PoPs[bID].Loc),
+			})
+		}
+	}
+	sort.Slice(p.Interconnections, func(i, j int) bool {
+		return p.Interconnections[i].City < p.Interconnections[j].City
+	})
+	return p
+}
+
+// NumInterconnections returns the number of interconnections.
+func (p *Pair) NumInterconnections() int { return len(p.Interconnections) }
+
+// Validate checks that interconnection endpoints are in range and cities
+// are distinct.
+func (p *Pair) Validate() error {
+	if p.A == nil || p.B == nil {
+		return fmt.Errorf("topology: pair with nil ISP")
+	}
+	seen := make(map[string]bool)
+	for i, ix := range p.Interconnections {
+		if ix.APoP < 0 || ix.APoP >= len(p.A.PoPs) {
+			return fmt.Errorf("topology: pair %s-%s interconnection %d APoP out of range", p.A.Name, p.B.Name, i)
+		}
+		if ix.BPoP < 0 || ix.BPoP >= len(p.B.PoPs) {
+			return fmt.Errorf("topology: pair %s-%s interconnection %d BPoP out of range", p.A.Name, p.B.Name, i)
+		}
+		if seen[ix.City] {
+			return fmt.Errorf("topology: pair %s-%s duplicate interconnection city %q", p.A.Name, p.B.Name, ix.City)
+		}
+		seen[ix.City] = true
+		if ix.LengthKm < 0 {
+			return fmt.Errorf("topology: pair %s-%s interconnection %d negative length", p.A.Name, p.B.Name, i)
+		}
+	}
+	return nil
+}
+
+// Reversed returns the pair with the roles of A and B swapped (and
+// interconnection endpoints swapped accordingly). The underlying ISPs are
+// shared, not copied.
+func (p *Pair) Reversed() *Pair {
+	r := &Pair{A: p.B, B: p.A}
+	r.Interconnections = make([]Interconnection, len(p.Interconnections))
+	for i, ix := range p.Interconnections {
+		r.Interconnections[i] = Interconnection{
+			APoP: ix.BPoP, BPoP: ix.APoP, City: ix.City, LengthKm: ix.LengthKm,
+		}
+	}
+	return r
+}
+
+// WithoutInterconnection returns a copy of the pair with interconnection
+// index k removed, simulating the failure scenario of paper §5.2. The
+// underlying ISPs are shared.
+func (p *Pair) WithoutInterconnection(k int) *Pair {
+	if k < 0 || k >= len(p.Interconnections) {
+		panic(fmt.Sprintf("topology: WithoutInterconnection index %d out of range", k))
+	}
+	r := &Pair{A: p.A, B: p.B}
+	r.Interconnections = append(r.Interconnections, p.Interconnections[:k]...)
+	r.Interconnections = append(r.Interconnections, p.Interconnections[k+1:]...)
+	return r
+}
+
+// String identifies the pair by ISP names and interconnection count.
+func (p *Pair) String() string {
+	return fmt.Sprintf("%s<->%s (%d interconnections)", p.A.Name, p.B.Name, len(p.Interconnections))
+}
+
+// AllPairs forms every pair among the given ISPs that has at least
+// minInterconnections interconnections and where neither topology is a
+// logical mesh (the paper excludes mesh ISPs from distance experiments
+// and requires >=2 interconnections for distance, >=3 for the bandwidth
+// failure experiments).
+func AllPairs(isps []*ISP, minInterconnections int, excludeMesh bool) []*Pair {
+	var out []*Pair
+	for i := 0; i < len(isps); i++ {
+		if excludeMesh && isps[i].IsMesh() {
+			continue
+		}
+		for j := i + 1; j < len(isps); j++ {
+			if excludeMesh && isps[j].IsMesh() {
+				continue
+			}
+			p := NewPair(isps[i], isps[j])
+			if len(p.Interconnections) >= minInterconnections {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
