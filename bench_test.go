@@ -8,6 +8,8 @@
 package main
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -350,6 +352,39 @@ func negotiatedGainWithScale(b *testing.B, ds *experiments.Dataset, pair *topolo
 		return t
 	}
 	return metrics.GainPercent(dist(defaults), dist(res.Assign))
+}
+
+// BenchmarkRunnerWorkers measures the concurrent pair-runner's
+// experiment throughput (ISP pairs negotiated per second) at 1, 2, and
+// GOMAXPROCS workers, so later PRs have a perf trajectory for the
+// parallel layer. Every worker count produces identical results; only
+// wall-clock changes.
+func BenchmarkRunnerWorkers(b *testing.B) {
+	ds := dataset(b)
+	// Warm the shared routing-table cache so the benchmark measures
+	// negotiation throughput, not one-time Dijkstra cost.
+	if _, err := experiments.Distance(ds, distanceOpts); err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		counts = append(counts, p)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := distanceOpts
+			opt.Workers = w
+			pairs := 0
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Distance(ds, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pairs += res.Pairs
+			}
+			b.ReportMetric(float64(pairs)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
 }
 
 // BenchmarkExtraScalability regenerates the §6 claim that negotiating

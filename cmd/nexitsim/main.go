@@ -5,8 +5,8 @@
 // Usage:
 //
 //	nexitsim [-fig all|4|5|6|7|8|9|10|11|extras] [-max-pairs N]
-//	         [-max-failures N] [-seed N] [-points N] [-dataset FILE]
-//	         [-inventory]
+//	         [-max-failures N] [-seed N] [-points N] [-workers N]
+//	         [-dataset FILE] [-inventory]
 //
 // Each printed block corresponds to one figure panel of the paper; the
 // x-grid matches the paper's axes. EXPERIMENTS.md records a full run.
@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/experiments"
@@ -31,8 +32,10 @@ func main() {
 		maxFailures = flag.Int("max-failures", 0, "limit bandwidth failure cases (0 = all)")
 		seed        = flag.Int64("seed", 1, "experiment seed")
 		points      = flag.Int("points", 16, "points per CDF series")
-		dataset     = flag.String("dataset", "", "load .topo dataset instead of generating")
-		inventory   = flag.Bool("inventory", false, "print dataset inventory and exit")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"goroutines evaluating ISP pairs (results are identical for any value)")
+		dataset   = flag.String("dataset", "", "load .topo dataset instead of generating")
+		inventory = flag.Bool("inventory", false, "print dataset inventory and exit")
 	)
 	flag.Parse()
 
@@ -45,7 +48,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{MaxPairs: *maxPairs, Seed: *seed}
+	opt := experiments.Options{MaxPairs: *maxPairs, Seed: *seed, Workers: *workers}
 	bopt := experiments.BandwidthOptions{
 		Options:     opt,
 		Workload:    traffic.Gravity,

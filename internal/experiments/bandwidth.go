@@ -163,25 +163,28 @@ func (fc *failureCase) newBandwidthEvaluator(side nexit.Side, p int, useFT bool)
 	return nexit.NewBandwidthEvaluator(fc.s2, side, p, load, capv)
 }
 
+// bandwidthCaseOut is one failure case's contribution to
+// BandwidthResult, computed concurrently and folded in case order.
+type bandwidthCaseOut struct {
+	upDef, upNeg, downDef, downNeg float64
+	nonDefault                     float64
+	unilateralDownRatio            float64
+	diverseUpDef, diverseUpNeg     float64
+	diverseDownGain                float64
+	cheatUp, cheatDown             float64
+}
+
 // Bandwidth runs the §5.2 failure experiments (Figures 7, 8, 9, 11).
+// Failure cases are evaluated concurrently per pair (Options.Workers)
+// with identical results for every worker count.
 func Bandwidth(ds *Dataset, opt BandwidthOptions) (*BandwidthResult, error) {
 	opt.Options = opt.Options.withDefaults()
-	pairs := selectPairs(ds.BandwidthPairs(), opt.Options)
-	rng := rand.New(rand.NewSource(opt.Seed + 2))
 	res := &BandwidthResult{}
 	cfg := nexit.DefaultBandwidthConfig()
 	cfg.PrefBound = opt.PrefBound
 
-	for _, pair := range pairs {
-		for k := 0; k < pair.NumInterconnections(); k++ {
-			if opt.MaxFailures > 0 && res.FailureCases >= opt.MaxFailures {
-				return res, nil
-			}
-			fc := buildFailureCase(pair, ds.Cache, k, opt.Workload, opt.Capacity, rng)
-			if fc == nil {
-				continue
-			}
-
+	cases, err := forEachFailureCase(ds, opt, saltBandwidth,
+		func(fc *failureCase, rng *rand.Rand) (*bandwidthCaseOut, error) {
 			// Globally optimal (fractional LP across both ISPs).
 			lp, err := optimal.Bandwidth(fc.s2, fc.impacted, fc.fixedUp, fc.fixedDown, fc.capUp, fc.capDown)
 			if err != nil {
@@ -197,25 +200,24 @@ func Bandwidth(ds *Dataset, opt BandwidthOptions) (*BandwidthResult, error) {
 			}
 			negUp, negDown := fc.mels(neg.Assign)
 
-			res.UpDef = append(res.UpDef, metrics.Ratio(fc.defUp, lp.MELUp, 1))
-			res.UpNeg = append(res.UpNeg, metrics.Ratio(negUp, lp.MELUp, 1))
-			res.DownDef = append(res.DownDef, metrics.Ratio(fc.defDown, lp.MELDown, 1))
-			res.DownNeg = append(res.DownNeg, metrics.Ratio(negDown, lp.MELDown, 1))
-
+			out := &bandwidthCaseOut{
+				upDef:   metrics.Ratio(fc.defUp, lp.MELUp, 1),
+				upNeg:   metrics.Ratio(negUp, lp.MELUp, 1),
+				downDef: metrics.Ratio(fc.defDown, lp.MELDown, 1),
+				downNeg: metrics.Ratio(negDown, lp.MELDown, 1),
+			}
 			nonDef := 0
 			for i := range fc.items {
 				if neg.Assign[i] != fc.defaults[i] {
 					nonDef++
 				}
 			}
-			res.NegotiatedNonDefault = append(res.NegotiatedNonDefault,
-				float64(nonDef)/float64(len(fc.items)))
+			out.nonDefault = float64(nonDef) / float64(len(fc.items))
 
 			// Figure 8: unilateral upstream optimization.
 			uni := baseline.UnilateralUpstream(fc.s2, fc.impacted, fc.fixedUp, fc.capUp)
 			_, uniDown := fc.mels(uni)
-			res.UnilateralDownRatio = append(res.UnilateralDownRatio,
-				metrics.Ratio(uniDown, fc.defDown, 1))
+			out.unilateralDownRatio = metrics.Ratio(uniDown, fc.defDown, 1)
 
 			// Figure 9: diverse criteria — upstream bandwidth,
 			// downstream distance.
@@ -226,10 +228,10 @@ func Bandwidth(ds *Dataset, opt BandwidthOptions) (*BandwidthResult, error) {
 				return nil, err
 			}
 			divUp, _ := fc.mels(div.Assign)
-			res.DiverseUpDef = append(res.DiverseUpDef, metrics.Ratio(fc.defUp, lp.MELUp, 1))
-			res.DiverseUpNeg = append(res.DiverseUpNeg, metrics.Ratio(divUp, lp.MELUp, 1))
-			res.DiverseDownGain = append(res.DiverseDownGain,
-				metrics.GainPercent(fc.downDistance(fc.defAssign), fc.downDistance(div.Assign)))
+			out.diverseUpDef = metrics.Ratio(fc.defUp, lp.MELUp, 1)
+			out.diverseUpNeg = metrics.Ratio(divUp, lp.MELUp, 1)
+			out.diverseDownGain = metrics.GainPercent(
+				fc.downDistance(fc.defAssign), fc.downDistance(div.Assign))
 
 			// Figure 11: the upstream cheats.
 			// The cheater's "perfect knowledge" reads the victim's live
@@ -245,11 +247,26 @@ func Bandwidth(ds *Dataset, opt BandwidthOptions) (*BandwidthResult, error) {
 				return nil, err
 			}
 			cheatUp, cheatDown := fc.mels(cheat.Assign)
-			res.CheatUpNeg = append(res.CheatUpNeg, metrics.Ratio(cheatUp, lp.MELUp, 1))
-			res.CheatDownNeg = append(res.CheatDownNeg, metrics.Ratio(cheatDown, lp.MELDown, 1))
-
-			res.FailureCases++
-		}
+			out.cheatUp = metrics.Ratio(cheatUp, lp.MELUp, 1)
+			out.cheatDown = metrics.Ratio(cheatDown, lp.MELDown, 1)
+			return out, nil
+		},
+		func(o *bandwidthCaseOut) {
+			res.UpDef = append(res.UpDef, o.upDef)
+			res.UpNeg = append(res.UpNeg, o.upNeg)
+			res.DownDef = append(res.DownDef, o.downDef)
+			res.DownNeg = append(res.DownNeg, o.downNeg)
+			res.NegotiatedNonDefault = append(res.NegotiatedNonDefault, o.nonDefault)
+			res.UnilateralDownRatio = append(res.UnilateralDownRatio, o.unilateralDownRatio)
+			res.DiverseUpDef = append(res.DiverseUpDef, o.diverseUpDef)
+			res.DiverseUpNeg = append(res.DiverseUpNeg, o.diverseUpNeg)
+			res.DiverseDownGain = append(res.DiverseDownGain, o.diverseDownGain)
+			res.CheatUpNeg = append(res.CheatUpNeg, o.cheatUp)
+			res.CheatDownNeg = append(res.CheatDownNeg, o.cheatDown)
+		})
+	if err != nil {
+		return nil, err
 	}
+	res.FailureCases = cases
 	return res, nil
 }

@@ -65,6 +65,12 @@ type Options struct {
 	// PrefBound is the preference class bound P (default 10, as in the
 	// paper).
 	PrefBound int
+	// Workers is the number of goroutines evaluating ISP pairs
+	// concurrently (0 = runtime.GOMAXPROCS(0)). Results are identical
+	// for every worker count: each pair draws from its own
+	// (Seed, pair index)-derived RNG and results are reduced in pair
+	// order. See internal/runner.
+	Workers int
 }
 
 // withDefaults fills unset options.

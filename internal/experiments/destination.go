@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/metrics"
 	"repro/internal/nexit"
+	"repro/internal/traffic"
 )
 
 // The paper's footnote 2: "By using more flexible flow definitions,
@@ -62,98 +63,111 @@ type DestinationResult struct {
 	Pairs                   int
 }
 
+// destinationPairOut is one pair's contribution to DestinationResult.
+type destinationPairOut struct {
+	gainSrcDst, gainDstOnly float64
+}
+
 // DestinationBased runs the footnote-2 comparison over the dataset.
+// Pairs are evaluated concurrently (Options.Workers) with identical
+// results for every worker count.
 func DestinationBased(ds *Dataset, opt Options) (*DestinationResult, error) {
 	opt = opt.withDefaults()
 	pairs := selectPairs(ds.DistancePairs(), opt)
 	res := &DestinationResult{}
-	for _, pair := range pairs {
-		ps := newPairSetup(pair, ds.Cache)
-		na := ps.s.NumAlternatives()
-		defTotal, _, _ := ps.distances(ps.defaults)
-		if defTotal == 0 {
-			continue
-		}
-		cfg := nexit.DefaultDistanceConfig()
-		cfg.PrefBound = opt.PrefBound
+	err := forEachPair(pairs, ds, opt, saltDestination, traffic.Identical,
+		func(job pairJob) (*destinationPairOut, error) {
+			ps := job.ps
+			na := ps.s.NumAlternatives()
+			cfg := nexit.DefaultDistanceConfig()
+			cfg.PrefBound = opt.PrefBound
 
-		// Source-destination (per-flow) negotiation.
-		evalA := nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound)
-		evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
-		perFlow, err := nexit.Negotiate(cfg, evalA, evalB, ps.items, ps.defaults, na)
-		if err != nil {
-			return nil, err
-		}
+			// Source-destination (per-flow) negotiation.
+			evalA := nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound)
+			evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
+			perFlow, err := nexit.Negotiate(cfg, evalA, evalB, ps.items, ps.defaults, na)
+			if err != nil {
+				return nil, err
+			}
 
-		// Destination-based: group items by (direction, destination).
-		// A group's default is the majority default of its members (a
-		// destination-routed network has ONE current exit per
-		// destination; majority is the closest single approximation of
-		// the per-flow early-exit state).
-		type gkey struct {
-			dir nexit.Direction
-			dst int
-		}
-		groupIdx := map[gkey]int{}
-		var groups [][]nexit.Item
-		var groupDefaultVotes []map[int]int
-		for i, it := range ps.items {
-			k := gkey{dir: it.Dir, dst: it.Flow.Dst}
-			gi, ok := groupIdx[k]
-			if !ok {
-				gi = len(groups)
-				groupIdx[k] = gi
-				groups = append(groups, nil)
-				groupDefaultVotes = append(groupDefaultVotes, map[int]int{})
+			// Destination-based: group items by (direction, destination).
+			// A group's default is the majority default of its members (a
+			// destination-routed network has ONE current exit per
+			// destination; majority is the closest single approximation of
+			// the per-flow early-exit state).
+			type gkey struct {
+				dir nexit.Direction
+				dst int
 			}
-			groups[gi] = append(groups[gi], it)
-			groupDefaultVotes[gi][ps.defaults[i]]++
-		}
-		groupItems := make([]nexit.Item, len(groups))
-		groupDefaults := make([]int, len(groups))
-		for gi, members := range groups {
-			var size float64
-			for _, m := range members {
-				size += m.Flow.Size
-			}
-			groupItems[gi] = nexit.Item{
-				ID:   gi,
-				Flow: members[0].Flow, // representative; evaluators use groups
-				Dir:  members[0].Dir,
-			}
-			groupItems[gi].Flow.ID = gi
-			groupItems[gi].Flow.Size = size
-			best, bestVotes := 0, -1
-			for alt, votes := range groupDefaultVotes[gi] {
-				if votes > bestVotes || (votes == bestVotes && alt < best) {
-					best, bestVotes = alt, votes
+			groupIdx := map[gkey]int{}
+			var groups [][]nexit.Item
+			var groupDefaultVotes []map[int]int
+			for i, it := range ps.items {
+				k := gkey{dir: it.Dir, dst: it.Flow.Dst}
+				gi, ok := groupIdx[k]
+				if !ok {
+					gi = len(groups)
+					groupIdx[k] = gi
+					groups = append(groups, nil)
+					groupDefaultVotes = append(groupDefaultVotes, map[int]int{})
 				}
+				groups[gi] = append(groups[gi], it)
+				groupDefaultVotes[gi][ps.defaults[i]]++
 			}
-			groupDefaults[gi] = best
-		}
-		gEvalA := &destEvaluator{inner: nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound), groups: groups, p: opt.PrefBound}
-		gEvalB := &destEvaluator{inner: nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound), groups: groups, p: opt.PrefBound}
-		grouped, err := nexit.Negotiate(cfg, gEvalA, gEvalB, groupItems, groupDefaults, na)
-		if err != nil {
-			return nil, err
-		}
-
-		// Expand group assignments (negotiated and default) to flows.
-		expand := func(groupAssign []int) []int {
-			flowAssign := make([]int, len(ps.items))
+			groupItems := make([]nexit.Item, len(groups))
+			groupDefaults := make([]int, len(groups))
 			for gi, members := range groups {
+				var size float64
 				for _, m := range members {
-					flowAssign[m.ID] = groupAssign[gi]
+					size += m.Flow.Size
 				}
+				groupItems[gi] = nexit.Item{
+					ID:   gi,
+					Flow: members[0].Flow, // representative; evaluators use groups
+					Dir:  members[0].Dir,
+				}
+				groupItems[gi].Flow.ID = gi
+				groupItems[gi].Flow.Size = size
+				best, bestVotes := 0, -1
+				for alt, votes := range groupDefaultVotes[gi] {
+					if votes > bestVotes || (votes == bestVotes && alt < best) {
+						best, bestVotes = alt, votes
+					}
+				}
+				groupDefaults[gi] = best
 			}
-			return flowAssign
-		}
-		perFlowTotal, _, _ := ps.distances(perFlow.Assign)
-		groupedTotal, _, _ := ps.distances(expand(grouped.Assign))
-		groupedDefTotal, _, _ := ps.distances(expand(groupDefaults))
-		res.GainSrcDst = append(res.GainSrcDst, metrics.GainPercent(defTotal, perFlowTotal))
-		res.GainDstOnly = append(res.GainDstOnly, metrics.GainPercent(groupedDefTotal, groupedTotal))
-		res.Pairs++
+			gEvalA := &destEvaluator{inner: nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound), groups: groups, p: opt.PrefBound}
+			gEvalB := &destEvaluator{inner: nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound), groups: groups, p: opt.PrefBound}
+			grouped, err := nexit.Negotiate(cfg, gEvalA, gEvalB, groupItems, groupDefaults, na)
+			if err != nil {
+				return nil, err
+			}
+
+			// Expand group assignments (negotiated and default) to flows.
+			expand := func(groupAssign []int) []int {
+				flowAssign := make([]int, len(ps.items))
+				for gi, members := range groups {
+					for _, m := range members {
+						flowAssign[m.ID] = groupAssign[gi]
+					}
+				}
+				return flowAssign
+			}
+			perFlowTotal, _, _ := ps.distances(perFlow.Assign)
+			groupedTotal, _, _ := ps.distances(expand(grouped.Assign))
+			groupedDefTotal, _, _ := ps.distances(expand(groupDefaults))
+			return &destinationPairOut{
+				gainSrcDst:  metrics.GainPercent(job.defTotal, perFlowTotal),
+				gainDstOnly: metrics.GainPercent(groupedDefTotal, groupedTotal),
+			}, nil
+		},
+		func(o *destinationPairOut) {
+			res.GainSrcDst = append(res.GainSrcDst, o.gainSrcDst)
+			res.GainDstOnly = append(res.GainDstOnly, o.gainDstOnly)
+			res.Pairs++
+		})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

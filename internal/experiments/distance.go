@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 
 	"repro/internal/baseline"
@@ -50,14 +49,10 @@ type pairSetup struct {
 	defaults []int
 }
 
-// newPairSetup builds flows in both directions with early-exit defaults
-// and unit flow sizes (distance metrics are size-independent).
-func newPairSetup(pair *topology.Pair, cache *pairsim.TableCache) pairSetup {
-	return newPairSetupWithModel(pair, cache, traffic.Identical)
-}
-
-// newPairSetupWithModel is newPairSetup with a selectable flow-size
-// model (the scalability analysis needs skewed gravity sizes).
+// newPairSetupWithModel builds flows in both directions with early-exit
+// defaults under the given flow-size model (distance metrics use
+// traffic.Identical since they are size-independent; the scalability
+// analysis needs skewed gravity sizes).
 func newPairSetupWithModel(pair *topology.Pair, cache *pairsim.TableCache, model traffic.Model) pairSetup {
 	s := pairsim.New(pair, cache)
 	rev := s.Reverse()
@@ -98,93 +93,117 @@ func (ps pairSetup) distances(assign []int) (total, inA, inB float64) {
 	return total, inA, inB
 }
 
+// distancePairOut is one pair's contribution to DistanceResult,
+// computed concurrently and folded in pair order.
+type distancePairOut struct {
+	gainOpt, gainNeg, gainPareto, gainBoth, gainGroup float64
+	indOptA, indOptB, indNegA, indNegB                float64
+	flowGainNeg, flowGainOpt                          []float64
+	nonDefaultFraction                                float64
+	interconnections                                  int
+}
+
 // Distance runs the §5.1 experiments (Figures 4, 5, 6 and text analyses)
-// over the dataset.
+// over the dataset. Pairs are evaluated concurrently (Options.Workers)
+// with identical results for every worker count.
 func Distance(ds *Dataset, opt Options) (*DistanceResult, error) {
 	opt = opt.withDefaults()
 	pairs := selectPairs(ds.DistancePairs(), opt)
-	rng := rand.New(rand.NewSource(opt.Seed + 1))
 	res := &DistanceResult{GainVsInterconnections: map[int][]float64{}}
 
-	for _, pair := range pairs {
-		ps := newPairSetup(pair, ds.Cache)
-		na := ps.s.NumAlternatives()
+	err := forEachPair(pairs, ds, opt, saltDistance, traffic.Identical,
+		func(job pairJob) (*distancePairOut, error) {
+			ps := job.ps
+			na := ps.s.NumAlternatives()
 
-		defTotal, defA, defB := ps.distances(ps.defaults)
-		if defTotal == 0 {
-			continue // degenerate co-located pair
-		}
+			// Globally optimal: per-item best end-to-end alternative.
+			optAssign := make([]int, len(ps.items))
+			for i, it := range ps.items {
+				best, bestD := 0, math.Inf(1)
+				for k := 0; k < na; k++ {
+					if d, _, _ := ps.itemDist(it, k); d < bestD {
+						best, bestD = k, d
+					}
+				}
+				optAssign[i] = best
+			}
 
-		// Globally optimal: per-item best end-to-end alternative.
-		optAssign := make([]int, len(ps.items))
-		for i, it := range ps.items {
-			best, bestD := 0, math.Inf(1)
-			for k := 0; k < na; k++ {
-				if d, _, _ := ps.itemDist(it, k); d < bestD {
-					best, bestD = k, d
+			// Negotiated: Nexit with distance evaluators on both sides.
+			cfg := nexit.DefaultDistanceConfig()
+			cfg.PrefBound = opt.PrefBound
+			evalA := nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound)
+			evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
+			neg, err := nexit.Negotiate(cfg, evalA, evalB, ps.items, ps.defaults, na)
+			if err != nil {
+				return nil, err
+			}
+
+			// Flow-local strategies (Figure 5), drawing from the pair's
+			// private RNG.
+			dA, dB := baseline.DistanceDeltas(ps.s, ps.items, ps.defaults)
+			paretoAssign := baseline.FlowLocal(baseline.FlowPareto, dA, dB, ps.defaults, job.rng)
+			bothAssign := baseline.FlowLocal(baseline.FlowBothBetter, dA, dB, ps.defaults, job.rng)
+
+			// Group negotiation ablation (4 groups).
+			groupAssign, err := baseline.GroupNegotiate(cfg,
+				nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound),
+				nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound),
+				ps.items, ps.defaults, na, 4)
+			if err != nil {
+				return nil, err
+			}
+
+			optTotal, optA, optB := ps.distances(optAssign)
+			negTotal, negA, negB := ps.distances(neg.Assign)
+			parTotal, _, _ := ps.distances(paretoAssign)
+			bothTotal, _, _ := ps.distances(bothAssign)
+			grpTotal, _, _ := ps.distances(groupAssign)
+
+			out := &distancePairOut{
+				interconnections: na,
+				gainOpt:          metrics.GainPercent(job.defTotal, optTotal),
+				gainNeg:          metrics.GainPercent(job.defTotal, negTotal),
+				gainPareto:       metrics.GainPercent(job.defTotal, parTotal),
+				gainBoth:         metrics.GainPercent(job.defTotal, bothTotal),
+				gainGroup:        metrics.GainPercent(job.defTotal, grpTotal),
+				indOptA:          metrics.GainPercent(job.defA, optA),
+				indOptB:          metrics.GainPercent(job.defB, optB),
+				indNegA:          metrics.GainPercent(job.defA, negA),
+				indNegB:          metrics.GainPercent(job.defB, negB),
+			}
+			nonDefault := 0
+			for i, it := range ps.items {
+				dDef, _, _ := ps.itemDist(it, ps.defaults[i])
+				dNeg, _, _ := ps.itemDist(it, neg.Assign[i])
+				dOpt, _, _ := ps.itemDist(it, optAssign[i])
+				if dDef > 0 {
+					out.flowGainNeg = append(out.flowGainNeg, metrics.GainPercent(dDef, dNeg))
+					out.flowGainOpt = append(out.flowGainOpt, metrics.GainPercent(dDef, dOpt))
+				}
+				if neg.Assign[i] != ps.defaults[i] {
+					nonDefault++
 				}
 			}
-			optAssign[i] = best
-		}
-
-		// Negotiated: Nexit with distance evaluators on both sides.
-		cfg := nexit.DefaultDistanceConfig()
-		cfg.PrefBound = opt.PrefBound
-		evalA := nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound)
-		evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
-		neg, err := nexit.Negotiate(cfg, evalA, evalB, ps.items, ps.defaults, na)
-		if err != nil {
-			return nil, err
-		}
-
-		// Flow-local strategies (Figure 5).
-		dA, dB := baseline.DistanceDeltas(ps.s, ps.items, ps.defaults)
-		paretoAssign := baseline.FlowLocal(baseline.FlowPareto, dA, dB, ps.defaults, rng)
-		bothAssign := baseline.FlowLocal(baseline.FlowBothBetter, dA, dB, ps.defaults, rng)
-
-		// Group negotiation ablation (4 groups).
-		groupAssign, err := baseline.GroupNegotiate(cfg,
-			nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound),
-			nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound),
-			ps.items, ps.defaults, na, 4)
-		if err != nil {
-			return nil, err
-		}
-
-		optTotal, optA, optB := ps.distances(optAssign)
-		negTotal, negA, negB := ps.distances(neg.Assign)
-		parTotal, _, _ := ps.distances(paretoAssign)
-		bothTotal, _, _ := ps.distances(bothAssign)
-		grpTotal, _, _ := ps.distances(groupAssign)
-
-		res.PairGainOpt = append(res.PairGainOpt, metrics.GainPercent(defTotal, optTotal))
-		totalGainNeg := metrics.GainPercent(defTotal, negTotal)
-		res.PairGainNeg = append(res.PairGainNeg, totalGainNeg)
-		res.PairGainPareto = append(res.PairGainPareto, metrics.GainPercent(defTotal, parTotal))
-		res.PairGainBothBetter = append(res.PairGainBothBetter, metrics.GainPercent(defTotal, bothTotal))
-		res.GroupGain4 = append(res.GroupGain4, metrics.GainPercent(defTotal, grpTotal))
-		res.IndGainOpt = append(res.IndGainOpt,
-			metrics.GainPercent(defA, optA), metrics.GainPercent(defB, optB))
-		res.IndGainNeg = append(res.IndGainNeg,
-			metrics.GainPercent(defA, negA), metrics.GainPercent(defB, negB))
-		res.GainVsInterconnections[na] = append(res.GainVsInterconnections[na], totalGainNeg)
-
-		nonDefault := 0
-		for i, it := range ps.items {
-			dDef, _, _ := ps.itemDist(it, ps.defaults[i])
-			dNeg, _, _ := ps.itemDist(it, neg.Assign[i])
-			dOpt, _, _ := ps.itemDist(it, optAssign[i])
-			if dDef > 0 {
-				res.FlowGainNeg = append(res.FlowGainNeg, metrics.GainPercent(dDef, dNeg))
-				res.FlowGainOpt = append(res.FlowGainOpt, metrics.GainPercent(dDef, dOpt))
-			}
-			if neg.Assign[i] != ps.defaults[i] {
-				nonDefault++
-			}
-		}
-		res.NonDefaultFraction = append(res.NonDefaultFraction,
-			float64(nonDefault)/float64(len(ps.items)))
-		res.Pairs++
+			out.nonDefaultFraction = float64(nonDefault) / float64(len(ps.items))
+			return out, nil
+		},
+		func(o *distancePairOut) {
+			res.PairGainOpt = append(res.PairGainOpt, o.gainOpt)
+			res.PairGainNeg = append(res.PairGainNeg, o.gainNeg)
+			res.PairGainPareto = append(res.PairGainPareto, o.gainPareto)
+			res.PairGainBothBetter = append(res.PairGainBothBetter, o.gainBoth)
+			res.GroupGain4 = append(res.GroupGain4, o.gainGroup)
+			res.IndGainOpt = append(res.IndGainOpt, o.indOptA, o.indOptB)
+			res.IndGainNeg = append(res.IndGainNeg, o.indNegA, o.indNegB)
+			res.GainVsInterconnections[o.interconnections] = append(
+				res.GainVsInterconnections[o.interconnections], o.gainNeg)
+			res.FlowGainNeg = append(res.FlowGainNeg, o.flowGainNeg...)
+			res.FlowGainOpt = append(res.FlowGainOpt, o.flowGainOpt...)
+			res.NonDefaultFraction = append(res.NonDefaultFraction, o.nonDefaultFraction)
+			res.Pairs++
+		})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -203,50 +222,65 @@ type DistanceCheatResult struct {
 	Pairs        int
 }
 
+// cheatPairOut is one pair's contribution to DistanceCheatResult.
+type cheatPairOut struct {
+	totalTruthful, totalCheat           float64
+	indTruthfulA, indTruthfulB          float64
+	indCheater, indVictim, cheaterDelta float64
+}
+
 // DistanceCheat runs the §5.4 distance experiment: ISP A cheats using
 // the inflate-best strategy with perfect knowledge of B's preferences.
 func DistanceCheat(ds *Dataset, opt Options) (*DistanceCheatResult, error) {
 	opt = opt.withDefaults()
 	pairs := selectPairs(ds.DistancePairs(), opt)
 	res := &DistanceCheatResult{}
-	for _, pair := range pairs {
-		ps := newPairSetup(pair, ds.Cache)
-		na := ps.s.NumAlternatives()
-		defTotal, defA, defB := ps.distances(ps.defaults)
-		if defTotal == 0 {
-			continue
-		}
+	err := forEachPair(pairs, ds, opt, saltCheat, traffic.Identical,
+		func(job pairJob) (*cheatPairOut, error) {
+			ps := job.ps
+			na := ps.s.NumAlternatives()
+			cfg := nexit.DefaultDistanceConfig()
+			cfg.PrefBound = opt.PrefBound
+			run := func(evalA nexit.Evaluator) (*nexit.Result, error) {
+				evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
+				return nexit.Negotiate(cfg, evalA, evalB, ps.items, ps.defaults, na)
+			}
+			honest, err := run(nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound))
+			if err != nil {
+				return nil, err
+			}
+			cheat, err := run(&nexit.CheatEvaluator{
+				Truthful: nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound),
+				Other:    nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound),
+				P:        opt.PrefBound,
+			})
+			if err != nil {
+				return nil, err
+			}
 
-		cfg := nexit.DefaultDistanceConfig()
-		cfg.PrefBound = opt.PrefBound
-		run := func(evalA nexit.Evaluator) (*nexit.Result, error) {
-			evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
-			return nexit.Negotiate(cfg, evalA, evalB, ps.items, ps.defaults, na)
-		}
-		honest, err := run(nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound))
-		if err != nil {
-			return nil, err
-		}
-		cheat, err := run(&nexit.CheatEvaluator{
-			Truthful: nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound),
-			Other:    nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound),
-			P:        opt.PrefBound,
+			hTotal, hA, hB := ps.distances(honest.Assign)
+			cTotal, cA, cB := ps.distances(cheat.Assign)
+			return &cheatPairOut{
+				totalTruthful: metrics.GainPercent(job.defTotal, hTotal),
+				totalCheat:    metrics.GainPercent(job.defTotal, cTotal),
+				indTruthfulA:  metrics.GainPercent(job.defA, hA),
+				indTruthfulB:  metrics.GainPercent(job.defB, hB),
+				indCheater:    metrics.GainPercent(job.defA, cA),
+				indVictim:     metrics.GainPercent(job.defB, cB),
+				cheaterDelta:  metrics.GainPercent(job.defA, cA) - metrics.GainPercent(job.defA, hA),
+			}, nil
+		},
+		func(o *cheatPairOut) {
+			res.TotalTruthful = append(res.TotalTruthful, o.totalTruthful)
+			res.TotalCheat = append(res.TotalCheat, o.totalCheat)
+			res.IndTruthful = append(res.IndTruthful, o.indTruthfulA, o.indTruthfulB)
+			res.IndCheater = append(res.IndCheater, o.indCheater)
+			res.IndVictim = append(res.IndVictim, o.indVictim)
+			res.CheaterDelta = append(res.CheaterDelta, o.cheaterDelta)
+			res.Pairs++
 		})
-		if err != nil {
-			return nil, err
-		}
-
-		hTotal, hA, hB := ps.distances(honest.Assign)
-		cTotal, cA, cB := ps.distances(cheat.Assign)
-		res.TotalTruthful = append(res.TotalTruthful, metrics.GainPercent(defTotal, hTotal))
-		res.TotalCheat = append(res.TotalCheat, metrics.GainPercent(defTotal, cTotal))
-		res.IndTruthful = append(res.IndTruthful,
-			metrics.GainPercent(defA, hA), metrics.GainPercent(defB, hB))
-		res.IndCheater = append(res.IndCheater, metrics.GainPercent(defA, cA))
-		res.IndVictim = append(res.IndVictim, metrics.GainPercent(defB, cB))
-		res.CheaterDelta = append(res.CheaterDelta,
-			metrics.GainPercent(defA, cA)-metrics.GainPercent(defA, hA))
-		res.Pairs++
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

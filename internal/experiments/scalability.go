@@ -26,9 +26,16 @@ type ScalabilityResult struct {
 	Pairs     int
 }
 
+// scalabilityPairOut is one pair's per-fraction gain and flow shares.
+type scalabilityPairOut struct {
+	shares, flowShares []float64
+}
+
 // Scalability runs the distance experiment negotiating only the largest
 // flows covering each traffic fraction; flow sizes follow the gravity
-// model so sizes are skewed as in real traffic.
+// model so sizes are skewed as in real traffic. Pairs are evaluated
+// concurrently (Options.Workers) with identical results for every
+// worker count.
 func Scalability(ds *Dataset, opt Options, fractions []float64) (*ScalabilityResult, error) {
 	opt = opt.withDefaults()
 	pairs := selectPairs(ds.DistancePairs(), opt)
@@ -36,87 +43,102 @@ func Scalability(ds *Dataset, opt Options, fractions []float64) (*ScalabilityRes
 	shares := make([][]float64, len(fractions))
 	flowShares := make([][]float64, len(fractions))
 
-	for _, pair := range pairs {
-		ps := newPairSetupWithModel(pair, ds.Cache, traffic.Gravity)
-		na := ps.s.NumAlternatives()
-		// The §6 claim is about optimizing most of the TRAFFIC, so the
-		// quality measure here is traffic-weighted: bytes x km.
-		weighted := func(assign []int) float64 {
-			var sum float64
-			for i, it := range ps.items {
-				d, _, _ := ps.itemDist(it, assign[i])
-				sum += it.Flow.Size * d
+	err := forEachPair(pairs, ds, opt, saltScalability, traffic.Gravity,
+		func(job pairJob) (*scalabilityPairOut, error) {
+			ps := job.ps
+			na := ps.s.NumAlternatives()
+			// The §6 claim is about optimizing most of the TRAFFIC, so
+			// the quality measure here is traffic-weighted: bytes x km.
+			weighted := func(assign []int) float64 {
+				var sum float64
+				for i, it := range ps.items {
+					d, _, _ := ps.itemDist(it, assign[i])
+					sum += it.Flow.Size * d
+				}
+				return sum
 			}
-			return sum
-		}
-		defTotal := weighted(ps.defaults)
-		if defTotal == 0 {
-			continue
-		}
-		cfg := nexit.DefaultDistanceConfig()
-		cfg.PrefBound = opt.PrefBound
+			defTotal := weighted(ps.defaults)
+			if defTotal == 0 {
+				return nil, nil
+			}
+			cfg := nexit.DefaultDistanceConfig()
+			cfg.PrefBound = opt.PrefBound
 
-		negotiate := func(items []nexit.Item, defaults []int) ([]int, error) {
-			evalA := nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound)
-			evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
-			r, err := nexit.Negotiate(cfg, evalA, evalB, items, defaults, na)
+			negotiate := func(items []nexit.Item, defaults []int) ([]int, error) {
+				evalA := nexit.NewDistanceEvaluator(ps.s, nexit.SideA, opt.PrefBound)
+				evalB := nexit.NewDistanceEvaluator(ps.s, nexit.SideB, opt.PrefBound)
+				r, err := nexit.Negotiate(cfg, evalA, evalB, items, defaults, na)
+				if err != nil {
+					return nil, err
+				}
+				return r.Assign, nil
+			}
+
+			// Full-table benchmark.
+			full, err := negotiate(ps.items, ps.defaults)
 			if err != nil {
 				return nil, err
 			}
-			return r.Assign, nil
-		}
+			fullGain := defTotal - weighted(full)
+			if fullGain <= 0 {
+				return nil, nil
+			}
 
-		// Full-table benchmark.
-		full, err := negotiate(ps.items, ps.defaults)
-		if err != nil {
-			return nil, err
-		}
-		fullGain := defTotal - weighted(full)
-		if fullGain <= 0 {
-			continue
-		}
+			// Items sorted by size, biggest first.
+			order := make([]int, len(ps.items))
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				return ps.items[order[a]].Flow.Size > ps.items[order[b]].Flow.Size
+			})
+			var totalSize float64
+			for _, it := range ps.items {
+				totalSize += it.Flow.Size
+			}
 
-		// Items sorted by size, biggest first.
-		order := make([]int, len(ps.items))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			return ps.items[order[a]].Flow.Size > ps.items[order[b]].Flow.Size
+			out := &scalabilityPairOut{
+				shares:     make([]float64, len(fractions)),
+				flowShares: make([]float64, len(fractions)),
+			}
+			for fi, frac := range fractions {
+				// Select the biggest flows covering frac of the traffic.
+				var acc float64
+				cut := 0
+				for cut < len(order) && acc < frac*totalSize {
+					acc += ps.items[order[cut]].Flow.Size
+					cut++
+				}
+				sub := make([]nexit.Item, cut)
+				subDef := make([]int, cut)
+				for i := 0; i < cut; i++ {
+					it := ps.items[order[i]]
+					sub[i] = nexit.Item{ID: i, Flow: it.Flow, Dir: it.Dir}
+					subDef[i] = ps.defaults[it.ID]
+				}
+				subAssign, err := negotiate(sub, subDef)
+				if err != nil {
+					return nil, err
+				}
+				// Apply the partial outcome on top of the defaults.
+				assign := append([]int(nil), ps.defaults...)
+				for i := 0; i < cut; i++ {
+					assign[order[i]] = subAssign[i]
+				}
+				out.shares[fi] = (defTotal - weighted(assign)) / fullGain
+				out.flowShares[fi] = float64(cut) / float64(len(ps.items))
+			}
+			return out, nil
+		},
+		func(o *scalabilityPairOut) {
+			for fi := range fractions {
+				shares[fi] = append(shares[fi], o.shares[fi])
+				flowShares[fi] = append(flowShares[fi], o.flowShares[fi])
+			}
+			res.Pairs++
 		})
-		var totalSize float64
-		for _, it := range ps.items {
-			totalSize += it.Flow.Size
-		}
-
-		for fi, frac := range fractions {
-			// Select the biggest flows covering frac of the traffic.
-			var acc float64
-			cut := 0
-			for cut < len(order) && acc < frac*totalSize {
-				acc += ps.items[order[cut]].Flow.Size
-				cut++
-			}
-			sub := make([]nexit.Item, cut)
-			subDef := make([]int, cut)
-			for i := 0; i < cut; i++ {
-				it := ps.items[order[i]]
-				sub[i] = nexit.Item{ID: i, Flow: it.Flow, Dir: it.Dir}
-				subDef[i] = ps.defaults[it.ID]
-			}
-			subAssign, err := negotiate(sub, subDef)
-			if err != nil {
-				return nil, err
-			}
-			// Apply the partial outcome on top of the defaults.
-			assign := append([]int(nil), ps.defaults...)
-			for i := 0; i < cut; i++ {
-				assign[order[i]] = subAssign[i]
-			}
-			shares[fi] = append(shares[fi], (defTotal-weighted(assign))/fullGain)
-			flowShares[fi] = append(flowShares[fi], float64(cut)/float64(len(ps.items)))
-		}
-		res.Pairs++
+	if err != nil {
+		return nil, err
 	}
 	res.GainShare = make([]float64, len(fractions))
 	res.FlowShare = make([]float64, len(fractions))

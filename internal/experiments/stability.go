@@ -20,26 +20,27 @@ type StabilityResult struct {
 	FailureCases                   int
 }
 
+// stabilityCaseOut is one failure case's contribution to
+// StabilityResult.
+type stabilityCaseOut struct {
+	outcome         stability.Outcome
+	reactiveWorst   float64
+	negotiatedWorst float64
+}
+
 // Stability replays the bandwidth failure cases under best-response
 // reactive dynamics (downstream first, as in the paper's incident) and
-// under Nexit, comparing stability and outcome quality.
+// under Nexit, comparing stability and outcome quality. Failure cases
+// are evaluated concurrently per pair (Options.Workers) with identical
+// results for every worker count.
 func Stability(ds *Dataset, opt BandwidthOptions) (*StabilityResult, error) {
 	opt.Options = opt.Options.withDefaults()
-	pairs := selectPairs(ds.BandwidthPairs(), opt.Options)
-	rng := rand.New(rand.NewSource(opt.Seed + 3))
 	res := &StabilityResult{}
 	cfg := nexit.DefaultBandwidthConfig()
 	cfg.PrefBound = opt.PrefBound
 
-	for _, pair := range pairs {
-		for k := 0; k < pair.NumInterconnections(); k++ {
-			if opt.MaxFailures > 0 && res.FailureCases >= opt.MaxFailures {
-				return res, nil
-			}
-			fc := buildFailureCase(pair, ds.Cache, k, opt.Workload, opt.Capacity, rng)
-			if fc == nil {
-				continue
-			}
+	cases, err := forEachFailureCase(ds, opt, saltStability,
+		func(fc *failureCase, rng *rand.Rand) (*stabilityCaseOut, error) {
 			sim := &stability.Simulator{
 				S:               fc.s2,
 				Flows:           fc.impacted,
@@ -50,15 +51,6 @@ func Stability(ds *Dataset, opt BandwidthOptions) (*StabilityResult, error) {
 				DownstreamFirst: true,
 			}
 			r := sim.Run(fc.defAssign)
-			switch r.Outcome {
-			case stability.Converged:
-				res.Converged++
-			case stability.Oscillated:
-				res.Oscillated++
-			default:
-				res.Exhausted++
-			}
-			res.ReactiveWorst = append(res.ReactiveWorst, r.FinalWorstMEL)
 
 			evalA := fc.newBandwidthEvaluator(nexit.SideA, opt.PrefBound, false)
 			evalB := fc.newBandwidthEvaluator(nexit.SideB, opt.PrefBound, false)
@@ -67,10 +59,28 @@ func Stability(ds *Dataset, opt BandwidthOptions) (*StabilityResult, error) {
 				return nil, err
 			}
 			up, down := fc.mels(neg.Assign)
-			res.NegotiatedWorst = append(res.NegotiatedWorst, maxFloat(up, down))
-			res.FailureCases++
-		}
+			return &stabilityCaseOut{
+				outcome:         r.Outcome,
+				reactiveWorst:   r.FinalWorstMEL,
+				negotiatedWorst: maxFloat(up, down),
+			}, nil
+		},
+		func(o *stabilityCaseOut) {
+			switch o.outcome {
+			case stability.Converged:
+				res.Converged++
+			case stability.Oscillated:
+				res.Oscillated++
+			default:
+				res.Exhausted++
+			}
+			res.ReactiveWorst = append(res.ReactiveWorst, o.reactiveWorst)
+			res.NegotiatedWorst = append(res.NegotiatedWorst, o.negotiatedWorst)
+		})
+	if err != nil {
+		return nil, err
 	}
+	res.FailureCases = cases
 	return res, nil
 }
 

@@ -1,0 +1,74 @@
+package pairsim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestTableCacheConcurrent hammers one cache from many goroutines (run
+// under -race): every caller must observe the same table pointer per
+// ISP, proving each all-pairs computation ran exactly once.
+func TestTableCacheConcurrent(t *testing.T) {
+	pair := figure1Pair()
+	isps := []*topology.ISP{pair.A, pair.B}
+	cache := NewTableCache()
+
+	const goroutines = 32
+	const gets = 200
+	results := make([][]*routing.Table, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]*routing.Table, gets)
+			for i := 0; i < gets; i++ {
+				results[g][i] = cache.Get(isps[i%len(isps)])
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	want := []*routing.Table{cache.Get(isps[0]), cache.Get(isps[1])}
+	if want[0] == want[1] {
+		t.Fatal("distinct ISPs share a table")
+	}
+	for g := range results {
+		for i, got := range results[g] {
+			if got != want[i%len(isps)] {
+				t.Fatalf("goroutine %d call %d got a different table instance", g, i)
+			}
+		}
+	}
+	for i, isp := range isps {
+		if want[i].ISP != isp {
+			t.Errorf("table %d built for wrong ISP", i)
+		}
+	}
+}
+
+// TestTableCacheConcurrentSystems exercises the cache through New, the
+// way the experiment runner uses it: many goroutines building Systems
+// for the same pair concurrently.
+func TestTableCacheConcurrentSystems(t *testing.T) {
+	pair := figure1Pair()
+	cache := NewTableCache()
+	var wg sync.WaitGroup
+	systems := make([]*System, 16)
+	for g := range systems {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			systems[g] = New(pair, cache)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(systems); g++ {
+		if systems[g].Up != systems[0].Up || systems[g].Down != systems[0].Down {
+			t.Fatalf("system %d got different routing tables", g)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package pairsim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/routing"
 	"repro/internal/topology"
@@ -19,24 +20,38 @@ import (
 )
 
 // TableCache memoizes routing tables per ISP so that the many pairs
-// sharing an ISP reuse its (expensive) all-pairs computation.
+// sharing an ISP reuse its (expensive) all-pairs computation. It is
+// safe for concurrent use: the experiment runner evaluates pairs from
+// many goroutines, and a per-ISP sync.Once guarantees each table is
+// computed exactly once even when several pairs race on the same ISP
+// (losers block until the winner's table is ready rather than
+// recomputing it).
 type TableCache struct {
-	tables map[*topology.ISP]*routing.Table
+	tables sync.Map // *topology.ISP -> *cacheEntry
+}
+
+// cacheEntry is one ISP's slot in the cache.
+type cacheEntry struct {
+	once  sync.Once
+	table *routing.Table
 }
 
 // NewTableCache returns an empty cache.
 func NewTableCache() *TableCache {
-	return &TableCache{tables: make(map[*topology.ISP]*routing.Table)}
+	return &TableCache{}
 }
 
 // Get returns the routing table for isp, computing it on first use.
 func (c *TableCache) Get(isp *topology.ISP) *routing.Table {
-	if t, ok := c.tables[isp]; ok {
-		return t
+	e, ok := c.tables.Load(isp)
+	if !ok {
+		// Miss: race to install the entry; the per-ISP Once below makes
+		// the computation itself exactly-once regardless of who wins.
+		e, _ = c.tables.LoadOrStore(isp, new(cacheEntry))
 	}
-	t := routing.New(isp)
-	c.tables[isp] = t
-	return t
+	entry := e.(*cacheEntry)
+	entry.once.Do(func() { entry.table = routing.New(isp) })
+	return entry.table
 }
 
 // System is a directed view of an ISP pair: traffic flows from Up
