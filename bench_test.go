@@ -12,9 +12,11 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/mesh"
 	"repro/internal/metrics"
 	"repro/internal/nexit"
 	"repro/internal/pairsim"
@@ -383,6 +385,42 @@ func BenchmarkRunnerWorkers(b *testing.B) {
 				pairs += res.Pairs
 			}
 			b.ReportMetric(float64(pairs)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// BenchmarkMeshSessions measures the daemon layer's negotiation
+// throughput: a 14-ISP all-pairs mesh of agentd daemons (17 pairs, 4
+// epochs = 68 wire sessions per iteration) at 1, 2, and GOMAXPROCS
+// concurrent sessions per agent. sessions/s is computed over the
+// negotiation window only (daemon startup and Dijkstra cold start
+// excluded); every bound produces identical pair outcomes, only
+// wall-clock changes. Tracked across PRs in BENCH_runner.json alongside
+// BenchmarkRunnerWorkers.
+func BenchmarkMeshSessions(b *testing.B) {
+	counts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		counts = append(counts, p)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var sessions int64
+			var window time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := mesh.Run(mesh.Options{
+					NumISPs:  14,
+					Seed:     1,
+					Epochs:   4,
+					Sessions: w,
+					Timeout:  30 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions += res.Sessions
+				window += res.Elapsed
+			}
+			b.ReportMetric(float64(sessions)/window.Seconds(), "sessions/s")
 		})
 	}
 }

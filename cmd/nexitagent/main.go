@@ -1,180 +1,271 @@
-// Command nexitagent runs one ISP's negotiation agent (paper §6, Figure
-// 12): a process that sits next to the ISP's routing infrastructure,
-// maps routing alternatives to opaque preference classes, and negotiates
-// with the neighboring ISP's agent over TCP.
+// Command nexitagent runs one ISP's negotiation daemon (paper §6,
+// Figure 12): a long-running process that represents one ISP and
+// negotiates continually with every configured neighbor over TCP, built
+// on internal/agentd. Each epoch it renegotiates the (drifting) traffic
+// of every pair through the continuous controller, settles the credit
+// ledger, and keeps per-peer statistics (expvar/JSON).
 //
-// Both agents must be configured with the same dataset seed and pair so
-// they agree on the negotiation universe (in deployment this agreement
-// comes from observing the same flows; see DESIGN.md). The responder
-// listens, the initiator dials:
+// Each neighbor pair is oriented by dataset index: the lower-index
+// agent initiates the pair's sessions, the higher-index one serves
+// them. Peers this agent initiates to need an address; peers that dial
+// in are listed bare. All daemons of a mesh must share -seed, -isps,
+// -p, and -volatility so they derive identical negotiation universes
+// (in deployment this agreement comes from observing the same flows;
+// see DESIGN.md §6). A three-ISP mesh on one machine (ISPs 1, 2, and 3
+// of the 12-ISP dataset are mutual neighbors; not every index pair
+// shares the >=2 interconnections a pair needs):
 //
-//	nexitagent -role b -listen 127.0.0.1:4179 -pair 0,1
-//	nexitagent -role a -connect 127.0.0.1:4179 -pair 0,1
+//	nexitagent -isp 3 -isps 12 -listen 127.0.0.1:4181 -peer 1 -peer 2 -epochs 8
+//	nexitagent -isp 2 -isps 12 -listen 127.0.0.1:4180 -peer 1 -peer 3=127.0.0.1:4181 -epochs 8
+//	nexitagent -isp 1 -isps 12 -peer 2=127.0.0.1:4180 -peer 3=127.0.0.1:4181 -epochs 8
 //
-// Flags -metric distance|bandwidth select the evaluator.
+// The daemon runs -epochs epochs (0 = until interrupted), pacing them
+// by -interval, and shuts down gracefully on SIGINT/SIGTERM. With
+// -debug-addr it serves live status at /debug/vars. The daemon
+// negotiates the distance metric (the continuous controller's); the
+// old one-shot agent's -metric bandwidth mode was dropped in the
+// daemon rewrite — bandwidth negotiation lives in the in-process
+// experiment drivers.
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
-	"repro/internal/baseline"
-	"repro/internal/capacity"
+	"repro/internal/agentd"
+	"repro/internal/continuous"
 	"repro/internal/gen"
 	"repro/internal/nexit"
-	"repro/internal/nexitwire"
 	"repro/internal/pairsim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
+// peerSpec is one -peer flag: a dataset index, with an address when
+// this agent initiates toward it.
+type peerSpec struct {
+	index int
+	addr  string
+}
+
 func main() {
 	var (
-		role    = flag.String("role", "", "which ISP this agent represents: a (initiator) or b (responder)")
-		listen  = flag.String("listen", "", "listen address (role b)")
-		connect = flag.String("connect", "", "peer address to dial (role a)")
-		seed    = flag.Int64("seed", 1, "dataset seed (must match the peer)")
-		isps    = flag.Int("isps", 65, "dataset size (must match the peer)")
-		pairStr = flag.String("pair", "0,1", "ISP indices forming the pair, e.g. 3,7")
-		metric  = flag.String("metric", "distance", "optimization metric: distance or bandwidth")
-		pBound  = flag.Int("p", 10, "preference class bound P")
+		ispIdx     = flag.Int("isp", 0, "dataset index of the ISP this agent represents")
+		listen     = flag.String("listen", "", "listen address for inbound peers (required when any peer dials in)")
+		seed       = flag.Int64("seed", 1, "dataset seed (must match all neighbors)")
+		isps       = flag.Int("isps", 65, "dataset size (must match all neighbors)")
+		pBound     = flag.Int("p", 10, "preference class bound P")
+		epochs     = flag.Int("epochs", 8, "negotiation epochs to run (0 = until interrupted)")
+		interval   = flag.Duration("interval", 0, "pause between epochs (set identically on serving daemons so their idle window covers the cadence)")
+		volatility = flag.Float64("volatility", 0.25, "per-epoch traffic drift (must match all neighbors)")
+		maxSess    = flag.Int("max-sessions", 0, "bound on concurrent sessions per direction (0 = GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-exchange wire deadline")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar status on this address (/debug/vars)")
+		quiet      = flag.Bool("quiet", false, "suppress per-epoch report lines")
 	)
+	var specs []peerSpec
+	flag.Func("peer", "neighbor `index[=addr]` (repeatable); addr required when our index is lower (we initiate)", func(v string) error {
+		idx, addr := v, ""
+		if eq := strings.IndexByte(v, '='); eq >= 0 {
+			idx, addr = v[:eq], v[eq+1:]
+		}
+		n, err := strconv.Atoi(idx)
+		if err != nil {
+			return fmt.Errorf("bad peer index %q", idx)
+		}
+		specs = append(specs, peerSpec{index: n, addr: addr})
+		return nil
+	})
 	flag.Parse()
+	if len(specs) == 0 {
+		fatal(fmt.Errorf("no -peer configured"))
+	}
 
-	s, items, defaults, err := buildUniverse(*seed, *isps, *pairStr)
+	cfg := gen.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumISPs = *isps
+	dataset, err := gen.Generate(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	numAlts := s.NumAlternatives()
-	fmt.Printf("pair %v: %d flows, %d interconnections\n", s.Pair, len(items), numAlts)
+	if *ispIdx < 0 || *ispIdx >= len(dataset) {
+		fatal(fmt.Errorf("-isp %d out of range for a %d-ISP dataset", *ispIdx, len(dataset)))
+	}
 
-	mkEval := func(side nexit.Side) nexit.Evaluator {
-		if *metric == "bandwidth" {
-			w := traffic.New(s.Pair.A, s.Pair.B, traffic.Gravity, nil)
-			pre := baseline.EarlyExit(s, w.Flows)
-			loadUp, loadDown := s.Loads(w.Flows, pre)
-			capUp := capacity.Assign(loadUp, capacity.Options{})
-			capDown := capacity.Assign(loadDown, capacity.Options{})
-			if side == nexit.SideA {
-				return nexit.NewBandwidthEvaluator(s, side, *pBound, loadUp, capUp)
+	// A serving connection must survive the initiator's epoch pacing:
+	// keep the idle window comfortably above -interval, or a slow
+	// cadence would time out every responder between epochs.
+	idle := agentd.DefaultIdleTimeout
+	if min := 2**interval + *timeout; min > idle {
+		idle = min
+	}
+	agent := agentd.New(agentd.Config{
+		Name:        agentd.AgentName(*ispIdx),
+		MaxSessions: *maxSess,
+		Timeout:     *timeout,
+		IdleTimeout: idle,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+
+	cache := pairsim.NewTableCache()
+	initiating, serving := 0, 0
+	for _, spec := range specs {
+		if spec.index == *ispIdx || spec.index < 0 || spec.index >= len(dataset) {
+			fatal(fmt.Errorf("peer index %d invalid", spec.index))
+		}
+		lo, hi := *ispIdx, spec.index
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pair := topology.NewPair(dataset[lo], dataset[hi])
+		if pair.NumInterconnections() < 2 {
+			fatal(fmt.Errorf("ISPs %d and %d share %d interconnections; need >=2", lo, hi, pair.NumInterconnections()))
+		}
+		side := nexit.SideA
+		if *ispIdx == hi {
+			side = nexit.SideB
+		}
+		key := agentd.PairKey(lo, hi, len(dataset))
+		peer := agentd.Peer{
+			Name: agentd.AgentName(spec.index),
+			Side: side,
+			Ctl:  continuous.New(pairsim.New(pair, cache), *pBound),
+			Workloads: func(epoch int) (*traffic.Workload, *traffic.Workload) {
+				return agentd.EpochWorkloads(pair, *seed, key, epoch, *volatility)
+			},
+		}
+		if side == nexit.SideA {
+			if spec.addr == "" {
+				fatal(fmt.Errorf("peer %d: our index is lower, we initiate — an address is required (-peer %d=host:port)", spec.index, spec.index))
 			}
-			return nexit.NewBandwidthEvaluator(s, side, *pBound, loadDown, capDown)
-		}
-		return nexit.NewDistanceEvaluator(s, side, *pBound)
-	}
-
-	switch *role {
-	case "a":
-		if *connect == "" {
-			fatal(fmt.Errorf("role a requires -connect"))
-		}
-		conn, err := net.Dial("tcp", *connect)
-		if err != nil {
-			fatal(err)
-		}
-		defer conn.Close()
-		ini := &nexitwire.Initiator{
-			Name: "agent-a",
-			Cfg:  nexit.DefaultDistanceConfig(),
-			Eval: mkEval(nexit.SideA),
-		}
-		ini.Cfg.PrefBound = *pBound
-		res, err := ini.Run(conn, items, defaults, numAlts)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("negotiated %d of %d flows in %d rounds (%v); gains A=%d B=%d\n",
-			res.Negotiated, len(items), res.Rounds, res.Stopped, res.GainA, res.GainB)
-		printMoves(res.Assign, defaults)
-	case "b":
-		if *listen == "" {
-			fatal(fmt.Errorf("role b requires -listen"))
-		}
-		ln, err := net.Listen("tcp", *listen)
-		if err != nil {
-			fatal(err)
-		}
-		defer ln.Close()
-		fmt.Printf("listening on %s\n", ln.Addr())
-		conn, err := ln.Accept()
-		if err != nil {
-			fatal(err)
-		}
-		defer conn.Close()
-		resp := &nexitwire.Responder{
-			Name:     "agent-b",
-			Eval:     mkEval(nexit.SideB),
-			Items:    items,
-			Defaults: defaults,
-			NumAlts:  numAlts,
-		}
-		sess, err := resp.ServeConn(conn)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("session complete after %d rounds (%v); our gain %d, peer gain %d\n",
-			sess.Rounds, sess.StopReason, sess.GainB, sess.GainA)
-		printMoves(sess.Assign, defaults)
-	default:
-		fatal(fmt.Errorf("role must be a or b"))
-	}
-}
-
-// buildUniverse reconstructs the shared negotiation universe from the
-// dataset seed and pair indices.
-func buildUniverse(seed int64, numISPs int, pairStr string) (*pairsim.System, []nexit.Item, []int, error) {
-	parts := strings.Split(pairStr, ",")
-	if len(parts) != 2 {
-		return nil, nil, nil, fmt.Errorf("bad -pair %q, want i,j", pairStr)
-	}
-	i, err1 := strconv.Atoi(parts[0])
-	j, err2 := strconv.Atoi(parts[1])
-	if err1 != nil || err2 != nil {
-		return nil, nil, nil, fmt.Errorf("bad -pair %q", pairStr)
-	}
-	cfg := gen.DefaultConfig()
-	cfg.Seed = seed
-	cfg.NumISPs = numISPs
-	isps, err := gen.Generate(cfg)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	if i < 0 || i >= len(isps) || j < 0 || j >= len(isps) || i == j {
-		return nil, nil, nil, fmt.Errorf("pair indices out of range")
-	}
-	pair := topology.NewPair(isps[i], isps[j])
-	if pair.NumInterconnections() < 2 {
-		return nil, nil, nil, fmt.Errorf("ISPs %d and %d share %d interconnections; need >=2",
-			i, j, pair.NumInterconnections())
-	}
-	s := pairsim.New(pair, nil)
-	rev := s.Reverse()
-	wAB := traffic.New(pair.A, pair.B, traffic.Identical, nil)
-	wBA := traffic.New(pair.B, pair.A, traffic.Identical, nil)
-	items := nexit.Items(wAB.Flows, wBA.Flows)
-	defaults := make([]int, len(items))
-	for k, it := range items {
-		if it.Dir == nexit.AtoB {
-			defaults[k] = s.EarlyExit(it.Flow)
+			addr := spec.addr
+			peer.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+			initiating++
 		} else {
-			defaults[k] = rev.EarlyExit(it.Flow)
+			if spec.addr != "" {
+				fatal(fmt.Errorf("peer %d: their index is lower, they dial us — drop the address (-peer %d) and set -listen", spec.index, spec.index))
+			}
+			serving++
+		}
+		if err := agent.AddPeer(peer); err != nil {
+			fatal(err)
 		}
 	}
-	return s, items, defaults, nil
+
+	var ln net.Listener
+	if serving > 0 || *listen != "" {
+		if *listen == "" {
+			fatal(fmt.Errorf("%d peers dial in; -listen is required", serving))
+		}
+		if ln, err = net.Listen("tcp", *listen); err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := agent.Serve(ln); err != nil {
+				fmt.Fprintln(os.Stderr, "nexitagent: serve:", err)
+			}
+		}()
+		fmt.Printf("%s listening on %s (%d inbound peers)\n", agent.Name(), ln.Addr(), serving)
+	}
+	if *debugAddr != "" {
+		agent.PublishExpvar("agentd")
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/debug/vars", expvar.Handler())
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "nexitagent: debug server:", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Drive the peers we initiate to, epoch by epoch; serving peers
+	// advance when their initiators call. -epochs 0 runs until SIGINT.
+	for epoch := 0; *epochs == 0 || epoch < *epochs; epoch++ {
+		if ctx.Err() != nil || initiating == 0 {
+			break
+		}
+		reports, err := agent.RunEpoch(ctx, epoch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexitagent: epoch %d: %v\n", epoch, err)
+		}
+		if !*quiet {
+			printEpoch(epoch, reports)
+		}
+		if *interval > 0 && (*epochs == 0 || epoch+1 < *epochs) {
+			select {
+			case <-time.After(*interval):
+			case <-ctx.Done():
+			}
+		}
+	}
+
+	// A serving agent stays up until its initiators are done (-epochs
+	// reached on every inbound peer) or it is interrupted.
+	if serving > 0 {
+		fmt.Printf("%s serving; press Ctrl-C to stop\n", agent.Name())
+		for ctx.Err() == nil && !servedAll(agent, *epochs) {
+			select {
+			case <-time.After(200 * time.Millisecond):
+			case <-ctx.Done():
+			}
+		}
+	}
+
+	if ln != nil {
+		ln.Close()
+	}
+	agent.Close()
+	agent.Wait()
+	fmt.Printf("final status:\n%s\n", agent.StatusJSON())
 }
 
-func printMoves(assign, defaults []int) {
-	moved := 0
-	for i := range assign {
-		if assign[i] != defaults[i] {
-			moved++
+// servedAll reports whether every inbound peer has completed the target
+// number of epochs (never true when the target is 0 = run forever).
+func servedAll(a *agentd.Agent, epochs int) bool {
+	if epochs <= 0 {
+		return false
+	}
+	for _, p := range a.Status().Peers {
+		if !p.Initiator && p.Epochs < epochs {
+			return false
 		}
 	}
-	fmt.Printf("%d of %d flows moved off their default interconnection\n", moved, len(assign))
+	return true
+}
+
+// printEpoch writes one line per peer for the epoch.
+func printEpoch(epoch int, reports map[string]*continuous.EpochReport) {
+	peers := make([]string, 0, len(reports))
+	for name := range reports {
+		peers = append(peers, name)
+	}
+	sort.Strings(peers)
+	for _, name := range peers {
+		rep := reports[name]
+		saving := 0.0
+		if rep.DistanceDefault > 0 {
+			saving = 100 * (rep.DistanceDefault - rep.DistanceApplied) / rep.DistanceDefault
+		}
+		fmt.Printf("epoch %2d  %s: observed %3d, negotiated %3d, moved %3d, gains %+d/%+d, ledger %+d, %+.2f%% vs early-exit\n",
+			epoch, name, rep.Observed, rep.Negotiated, rep.Moved,
+			rep.GainA, rep.GainB, rep.LedgerBalance, saving)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,524 @@
+// Package agentd is the long-running negotiation daemon of the paper's
+// §6 deployment model: one process represents one ISP and negotiates
+// *continually* with *every* neighbor. Where cmd/nexitagent used to be a
+// one-shot, single-pair demo, an Agent serves many neighbors at once —
+// a listener accepts inbound sessions, a dialer (with retry/backoff)
+// opens outbound ones, and a per-peer continuous.Controller renegotiates
+// the pair's flows epoch after epoch over the nexitwire protocol.
+//
+// Conventions. Every neighbor pair is oriented like pairsim.System:
+// Pair.A is the wire initiator (protocol side A) and Pair.B the
+// responder. Between two daemons exactly one direction of sessions
+// exists, so the dial graph is acyclic and bounded session limits
+// cannot deadlock across agents. One connection per neighbor carries
+// all epochs back to back (nexitwire session reuse); each inbound Hello
+// is dispatched to the peer it names.
+//
+// Both endpoints must assemble identical negotiation tables each epoch
+// — in deployment because both ISPs observe the same traffic, here
+// because both sides derive the epoch's workload deterministically from
+// the shared dataset seed (see Peer.Workloads). Mismatched tables fail
+// fast at Hello time via the workload hash; a stalled or aborting peer
+// surfaces as a counted, per-peer session failure rather than a hung
+// daemon.
+package agentd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/continuous"
+	"repro/internal/nexit"
+	"repro/internal/nexitwire"
+	"repro/internal/traffic"
+)
+
+// Default daemon parameters.
+const (
+	// DefaultDialAttempts bounds outbound connection retries per epoch.
+	DefaultDialAttempts = 5
+	// DefaultDialBackoff is the first retry delay; it doubles per retry.
+	DefaultDialBackoff = 20 * time.Millisecond
+	// DefaultIdleTimeout bounds how long a serving connection may sit
+	// between sessions before the agent gives up on it.
+	DefaultIdleTimeout = 5 * time.Minute
+)
+
+// WorkloadFunc supplies the two directional workloads of one epoch, in
+// the pair's A->B orientation. Both endpoints of a pair must return
+// identical flows for the same epoch (the workload hash enforces it).
+type WorkloadFunc func(epoch int) (wAB, wBA *traffic.Workload)
+
+// Peer configures one neighbor of the agent.
+type Peer struct {
+	// Name is the remote agent's name, matched against inbound Hellos.
+	Name string
+	// Side says which side of the pair's A->B oriented system this
+	// agent is. SideA initiates sessions (and needs Dial); SideB serves
+	// them.
+	Side nexit.Side
+	// Ctl drives the pair's continuous renegotiation. Its system must
+	// be oriented with this agent on Side.
+	Ctl *continuous.Controller
+	// Workloads derives the epoch workloads shared with the neighbor.
+	Workloads WorkloadFunc
+	// Dial opens the transport to the neighbor (required for SideA).
+	// The agent caches the connection across epochs and redials — with
+	// backoff — only after a failure.
+	Dial func() (net.Conn, error)
+}
+
+// Config configures an Agent.
+type Config struct {
+	// Name identifies this agent in Hello frames and status output.
+	Name string
+	// MaxSessions bounds concurrent sessions, separately for the
+	// initiated and the served direction (the two bounds are separate
+	// so that mutually negotiating daemons cannot deadlock on each
+	// other's limits). Zero selects runtime.GOMAXPROCS(0).
+	MaxSessions int
+	// Timeout bounds each wire exchange within a session
+	// (nexitwire.DefaultTimeout when zero).
+	Timeout time.Duration
+	// DialAttempts and DialBackoff shape outbound connection retries
+	// (exponential backoff starting at DialBackoff).
+	DialAttempts int
+	DialBackoff  time.Duration
+	// IdleTimeout bounds the wait for the next session on a serving
+	// connection (DefaultIdleTimeout when zero).
+	IdleTimeout time.Duration
+	// Logf, when non-nil, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+// Agent is one ISP's negotiation daemon.
+type Agent struct {
+	cfg    Config
+	outSem chan struct{}
+	inSem  chan struct{}
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+	conns map[net.Conn]struct{} // inbound connections, for Close
+
+	closed atomic.Bool
+	wg     sync.WaitGroup // inbound connection handlers
+
+	sessionsActive    atomic.Int64
+	sessionsInitiated atomic.Int64
+	sessionsServed    atomic.Int64
+	sessionsFailed    atomic.Int64
+}
+
+// peerState is one neighbor's runtime state. mu serializes the peer's
+// sessions and all access to its controller; statistics live under
+// their own mutex so Status() snapshots never wait on an in-flight
+// session (sessions hold mu for their whole — possibly slow — wire
+// exchange).
+type peerState struct {
+	Peer
+	initiate bool
+
+	mu   sync.Mutex
+	conn net.Conn // cached outbound connection (initiator only)
+
+	stats struct {
+		sync.Mutex
+		epochs   int
+		ledger   int
+		sessions int64
+		failures int64
+		rounds   int64
+		gainUs   int64
+		gainPeer int64
+		lastStop string
+		lastErr  string
+	}
+}
+
+// fail records a session failure.
+func (p *peerState) fail(err error) {
+	p.stats.Lock()
+	defer p.stats.Unlock()
+	p.stats.failures++
+	p.stats.lastErr = err.Error()
+}
+
+// New builds an agent from the configuration.
+func New(cfg Config) *Agent {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = DefaultDialAttempts
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = DefaultDialBackoff
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	return &Agent{
+		cfg:    cfg,
+		outSem: make(chan struct{}, cfg.MaxSessions),
+		inSem:  make(chan struct{}, cfg.MaxSessions),
+		peers:  make(map[string]*peerState),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Name returns the agent's name.
+func (a *Agent) Name() string { return a.cfg.Name }
+
+// AddPeer registers a neighbor. It must be called before Serve or
+// RunEpoch involves the peer.
+func (a *Agent) AddPeer(p Peer) error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("agentd: peer needs a name")
+	case p.Ctl == nil:
+		return fmt.Errorf("agentd: peer %s needs a controller", p.Name)
+	case p.Workloads == nil:
+		return fmt.Errorf("agentd: peer %s needs a workload source", p.Name)
+	case p.Side == nexit.SideA && p.Dial == nil:
+		return fmt.Errorf("agentd: peer %s: side A initiates and needs Dial", p.Name)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.peers[p.Name]; dup {
+		return fmt.Errorf("agentd: duplicate peer %s", p.Name)
+	}
+	a.peers[p.Name] = &peerState{Peer: p, initiate: p.Side == nexit.SideA}
+	return nil
+}
+
+func (a *Agent) timeout() time.Duration {
+	if a.cfg.Timeout > 0 {
+		return a.cfg.Timeout
+	}
+	return nexitwire.DefaultTimeout
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts inbound connections on ln until the listener closes
+// (return nil) or fails. Each connection is handled on its own
+// goroutine and may carry many sessions; the agent dispatches every
+// inbound Hello to the peer it names. The listener belongs to the
+// caller; close it to stop accepting, then Close to drain.
+func (a *Agent) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if a.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		a.mu.Lock()
+		if a.closed.Load() {
+			a.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		a.conns[conn] = struct{}{}
+		a.mu.Unlock()
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.handleConn(conn)
+			a.mu.Lock()
+			delete(a.conns, conn)
+			a.mu.Unlock()
+		}()
+	}
+}
+
+// handleConn serves sessions on one inbound connection until EOF, idle
+// timeout, or a session error.
+func (a *Agent) handleConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		hello, err := nexitwire.AcceptHello(conn, a.cfg.IdleTimeout)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				a.logf("agentd %s: inbound connection: %v", a.cfg.Name, err)
+			}
+			return
+		}
+		p := a.peer(hello.Name)
+		if p == nil || p.initiate {
+			a.sessionsFailed.Add(1)
+			reason := fmt.Sprintf("agent %s is not configured to serve peer %q", a.cfg.Name, hello.Name)
+			_ = nexitwire.Reject(conn, a.timeout(), reason)
+			a.logf("agentd %s: %s", a.cfg.Name, reason)
+			return
+		}
+		a.inSem <- struct{}{}
+		err = a.serveSession(p, conn, hello)
+		<-a.inSem
+		if err != nil {
+			a.sessionsFailed.Add(1)
+			a.logf("agentd %s: session from %s: %v", a.cfg.Name, p.Name, err)
+			return
+		}
+	}
+}
+
+// peer looks up a registered neighbor.
+func (a *Agent) peer(name string) *peerState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peers[name]
+}
+
+// peerList snapshots the registered neighbors.
+func (a *Agent) peerList() []*peerState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*peerState, 0, len(a.peers))
+	for _, p := range a.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// serveSession runs the responder side of one epoch: the peer's
+// controller assembles the same table the initiator will propose over,
+// the wire session supplies our preferences and audits the outcome, and
+// the controller applies and settles the result.
+func (a *Agent) serveSession(p *peerState, conn net.Conn, hello *nexitwire.Hello) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a.sessionsActive.Add(1)
+	defer a.sessionsActive.Add(-1)
+
+	wAB, wBA := p.Workloads(p.Ctl.EpochIndex())
+	var rounds int
+	var stopped nexit.StopReason
+	p.Ctl.Negotiate = func(cfg nexit.Config, items []nexit.Item, defaults []int, numAlts int) (*nexit.Result, error) {
+		resp := &nexitwire.Responder{
+			Name:     a.cfg.Name,
+			Eval:     nexit.NewDistanceEvaluator(p.Ctl.Sys, p.Side, p.Ctl.P),
+			Items:    items,
+			Defaults: defaults,
+			NumAlts:  numAlts,
+			Timeout:  a.timeout(),
+		}
+		sess, err := resp.ServeSession(conn, hello)
+		if err != nil {
+			return nil, err
+		}
+		rounds, stopped = sess.Rounds, sess.StopReason
+		return &nexit.Result{
+			Assign:  sess.Assign,
+			GainA:   sess.GainA,
+			GainB:   sess.GainB,
+			Rounds:  sess.Rounds,
+			Stopped: sess.StopReason,
+		}, nil
+	}
+	rep, err := p.Ctl.Epoch(wAB, wBA)
+	p.Ctl.Negotiate = nil
+	if err != nil {
+		p.fail(err)
+		return err
+	}
+	p.record(rep, rounds, stopped)
+	a.sessionsServed.Add(1)
+	return nil
+}
+
+// RunEpoch drives one renegotiation epoch with every peer this agent
+// initiates to, concurrently up to the session bound, and returns the
+// per-peer epoch reports keyed by peer name. Peers this agent only
+// serves are untouched (their epochs advance when their initiator
+// calls). Errors are joined, one per failing peer; successful peers
+// still report.
+func (a *Agent) RunEpoch(ctx context.Context, epoch int) (map[string]*continuous.EpochReport, error) {
+	type outcome struct {
+		peer string
+		rep  *continuous.EpochReport
+		err  error
+	}
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		out = make([]outcome, 0)
+	)
+	for _, p := range a.peerList() {
+		if !p.initiate {
+			continue
+		}
+		wg.Add(1)
+		go func(p *peerState) {
+			defer wg.Done()
+			select {
+			case a.outSem <- struct{}{}:
+			case <-ctx.Done():
+				mu.Lock()
+				out = append(out, outcome{p.Name, nil, ctx.Err()})
+				mu.Unlock()
+				return
+			}
+			rep, err := a.negotiateEpoch(p, epoch)
+			<-a.outSem
+			mu.Lock()
+			out = append(out, outcome{p.Name, rep, err})
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+
+	reports := make(map[string]*continuous.EpochReport, len(out))
+	var errs []error
+	for _, o := range out {
+		if o.err != nil {
+			errs = append(errs, fmt.Errorf("peer %s: %w", o.peer, o.err))
+			continue
+		}
+		reports[o.peer] = o.rep
+	}
+	return reports, errors.Join(errs...)
+}
+
+// negotiateEpoch runs the initiator side of one epoch against one peer.
+func (a *Agent) negotiateEpoch(p *peerState, epoch int) (*continuous.EpochReport, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a.sessionsActive.Add(1)
+	defer a.sessionsActive.Add(-1)
+
+	if at := p.Ctl.EpochIndex(); at != epoch {
+		err := fmt.Errorf("agentd: epoch skew: peer %s is at epoch %d, asked to run %d", p.Name, at, epoch)
+		p.fail(err)
+		a.sessionsFailed.Add(1)
+		return nil, err
+	}
+	conn, err := a.ensureConnLocked(p)
+	if err != nil {
+		p.fail(err)
+		a.sessionsFailed.Add(1)
+		return nil, err
+	}
+	wAB, wBA := p.Workloads(epoch)
+	var rounds int
+	var stopped nexit.StopReason
+	p.Ctl.Negotiate = func(cfg nexit.Config, items []nexit.Item, defaults []int, numAlts int) (*nexit.Result, error) {
+		ini := &nexitwire.Initiator{
+			Name:    a.cfg.Name,
+			Cfg:     cfg,
+			Eval:    nexit.NewDistanceEvaluator(p.Ctl.Sys, p.Side, p.Ctl.P),
+			Timeout: a.timeout(),
+		}
+		res, err := ini.Run(conn, items, defaults, numAlts)
+		if err != nil {
+			return nil, err
+		}
+		rounds, stopped = res.Rounds, res.Stopped
+		return res, nil
+	}
+	rep, err := p.Ctl.Epoch(wAB, wBA)
+	p.Ctl.Negotiate = nil
+	if err != nil {
+		// The connection's session state is unknown; drop it so the next
+		// epoch redials from scratch.
+		conn.Close()
+		p.conn = nil
+		p.fail(err)
+		a.sessionsFailed.Add(1)
+		return nil, err
+	}
+	p.record(rep, rounds, stopped)
+	a.sessionsInitiated.Add(1)
+	return rep, nil
+}
+
+// ensureConnLocked returns the peer's cached connection or dials a new
+// one with exponential backoff. Callers hold p.mu.
+func (a *Agent) ensureConnLocked(p *peerState) (net.Conn, error) {
+	if p.conn != nil {
+		return p.conn, nil
+	}
+	if p.Dial == nil {
+		return nil, fmt.Errorf("agentd: peer %s has no dialer", p.Name)
+	}
+	backoff := a.cfg.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < a.cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := p.Dial()
+		if err == nil {
+			p.conn = conn
+			return conn, nil
+		}
+		lastErr = err
+		a.logf("agentd %s: dial %s attempt %d: %v", a.cfg.Name, p.Name, attempt+1, err)
+	}
+	return nil, fmt.Errorf("agentd: dial %s: gave up after %d attempts: %w", p.Name, a.cfg.DialAttempts, lastErr)
+}
+
+// record folds a successful epoch into the peer's statistics. Callers
+// hold p.mu (the controller snapshot requires it).
+func (p *peerState) record(rep *continuous.EpochReport, rounds int, stopped nexit.StopReason) {
+	epochs := p.Ctl.EpochIndex()
+	ledger := p.Ctl.Ledger.Balance
+	p.stats.Lock()
+	defer p.stats.Unlock()
+	p.stats.epochs = epochs
+	p.stats.ledger = ledger
+	p.stats.sessions++
+	p.stats.rounds += int64(rounds)
+	if p.Side == nexit.SideA {
+		p.stats.gainUs += int64(rep.GainA)
+		p.stats.gainPeer += int64(rep.GainB)
+	} else {
+		p.stats.gainUs += int64(rep.GainB)
+		p.stats.gainPeer += int64(rep.GainA)
+	}
+	if rep.Negotiated > 0 {
+		p.stats.lastStop = stopped.String()
+	}
+}
+
+// Close stops the agent: the cached outbound connections are closed
+// (which ends the remote neighbors' serving loops) and so are any
+// inbound connections still open. Close does not wait; call Wait after
+// closing the agent's listener to drain in-flight handlers.
+func (a *Agent) Close() error {
+	a.closed.Store(true)
+	for _, p := range a.peerList() {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	a.mu.Lock()
+	for conn := range a.conns {
+		conn.Close()
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// Wait blocks until every inbound connection handler has exited. Close
+// the serving listener and the agent first.
+func (a *Agent) Wait() { a.wg.Wait() }

@@ -1,0 +1,264 @@
+package agentd
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/continuous"
+	"repro/internal/gen"
+	"repro/internal/nexit"
+	"repro/internal/pairsim"
+	"repro/internal/runner"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// testSystem builds a deterministic pair from the generator.
+func testSystem(t testing.TB, seed int64) *pairsim.System {
+	t.Helper()
+	cfg := gen.DefaultConfig()
+	cfg.NumISPs = 10
+	cfg.Seed = seed
+	isps, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := topology.AllPairs(isps, 2, true)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	return pairsim.New(pairs[0], nil)
+}
+
+// testWorkloads derives deterministic drifting epoch workloads; both
+// endpoints (and the serial reference) share it.
+func testWorkloads(sys *pairsim.System, seed int64) WorkloadFunc {
+	return func(epoch int) (*traffic.Workload, *traffic.Workload) {
+		baseAB := traffic.New(sys.Pair.A, sys.Pair.B, traffic.Gravity, nil)
+		baseBA := traffic.New(sys.Pair.B, sys.Pair.A, traffic.Gravity, nil)
+		rng := runner.PairRand(seed, epoch)
+		return continuous.Drift(baseAB, 0.25, rng), continuous.Drift(baseBA, 0.25, rng)
+	}
+}
+
+// startResponder builds and serves agent "b" for the given system,
+// returning the agent and its dial address.
+func startResponder(t *testing.T, sys *pairsim.System, wl WorkloadFunc) (*Agent, string) {
+	t.Helper()
+	b := New(Config{Name: "b", Timeout: 10 * time.Second, Logf: t.Logf})
+	if err := b.AddPeer(Peer{
+		Name:      "a",
+		Side:      nexit.SideB,
+		Ctl:       continuous.New(sys, 10),
+		Workloads: wl,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Serve(ln)
+	t.Cleanup(func() {
+		ln.Close()
+		b.Close()
+		b.Wait()
+	})
+	return b, ln.Addr().String()
+}
+
+// TestTwoAgentEpochs runs several epochs between two daemons over
+// loopback TCP and pins the outcome to the serial in-process controller.
+func TestTwoAgentEpochs(t *testing.T) {
+	const epochs = 4
+	sys := testSystem(t, 1)
+	wl := testWorkloads(sys, 42)
+	b, addr := startResponder(t, sys, wl)
+
+	a := New(Config{Name: "a", Timeout: 10 * time.Second, Logf: t.Logf})
+	if err := a.AddPeer(Peer{
+		Name:      "b",
+		Side:      nexit.SideA,
+		Ctl:       continuous.New(sys, 10),
+		Workloads: wl,
+		Dial:      func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Serial in-process reference: same controller inputs, no wire.
+	ref := continuous.New(sys, 10)
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		reports, err := a.RunEpoch(context.Background(), epoch)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		rep := reports["b"]
+		if rep == nil {
+			t.Fatalf("epoch %d: no report for peer b", epoch)
+		}
+		wAB, wBA := wl(epoch)
+		want, err := ref.Epoch(wAB, wBA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep, want) {
+			t.Errorf("epoch %d: wire report %+v, serial reference %+v", epoch, rep, want)
+		}
+	}
+
+	// The daemon negotiated for real in later epochs.
+	if st := a.Status(); st.SessionsInitiated != epochs || st.SessionsFailed != 0 {
+		t.Errorf("initiator status: %+v", st)
+	}
+	stB := waitServed(t, b, epochs)
+	if stB.Peers[0].Epochs != epochs {
+		t.Errorf("responder advanced to epoch %d, want %d", stB.Peers[0].Epochs, epochs)
+	}
+	if stB.Peers[0].GainUs == 0 {
+		t.Error("responder never gained; epochs likely never negotiated")
+	}
+}
+
+// waitServed polls until the responder has served n sessions (the
+// initiator returns before the responder's bookkeeping completes).
+func waitServed(t *testing.T, b *Agent, n int64) Status {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := b.Status()
+		if st.SessionsServed >= n || time.Now().After(deadline) {
+			if st.SessionsServed != n {
+				t.Errorf("responder served %d sessions, want %d", st.SessionsServed, n)
+			}
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDialRetryBackoff proves the outbound dialer retries with backoff
+// until the neighbor comes up.
+func TestDialRetryBackoff(t *testing.T) {
+	sys := testSystem(t, 1)
+	wl := testWorkloads(sys, 42)
+	_, addr := startResponder(t, sys, wl)
+
+	var attempts atomic.Int64
+	a := New(Config{
+		Name: "a", Timeout: 10 * time.Second,
+		DialAttempts: 5, DialBackoff: time.Millisecond,
+	})
+	if err := a.AddPeer(Peer{
+		Name:      "b",
+		Side:      nexit.SideA,
+		Ctl:       continuous.New(sys, 10),
+		Workloads: wl,
+		Dial: func() (net.Conn, error) {
+			if attempts.Add(1) < 3 {
+				return nil, net.ErrClosed // transient failure, twice
+			}
+			return net.Dial("tcp", addr)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	if _, err := a.RunEpoch(context.Background(), 0); err != nil {
+		t.Fatalf("epoch with flaky dialer: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("dialed %d times, want 3 (two failures, one success)", got)
+	}
+	// The connection is cached: another epoch must not redial.
+	if _, err := a.RunEpoch(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("cached connection was redialed (%d dials)", got)
+	}
+}
+
+// TestWorkloadMismatch crosses two agents configured with different
+// workload seeds: the session must fail fast at Hello time with the
+// workload-hash mismatch surfaced on both sides.
+func TestWorkloadMismatch(t *testing.T) {
+	sys := testSystem(t, 1)
+	b, addr := startResponder(t, sys, testWorkloads(sys, 42))
+
+	a := New(Config{Name: "a", Timeout: 5 * time.Second})
+	if err := a.AddPeer(Peer{
+		Name:      "b",
+		Side:      nexit.SideA,
+		Ctl:       continuous.New(sys, 10),
+		Workloads: testWorkloads(sys, 43), // different universe
+		Dial:      func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Epoch 0 tables are empty on both sides (no flows promoted yet), so
+	// the hashes agree; run it to let the registries diverge.
+	if _, err := a.RunEpoch(context.Background(), 0); err != nil {
+		t.Fatalf("empty epoch: %v", err)
+	}
+	var err error
+	for epoch := 1; epoch < 4 && err == nil; epoch++ {
+		_, err = a.RunEpoch(context.Background(), epoch)
+	}
+	if err == nil {
+		t.Fatal("mismatched universes negotiated successfully")
+	}
+	// The universes differ in table size or hash; either way the abort
+	// reason must travel back to the initiator.
+	if !strings.Contains(err.Error(), "peer error") {
+		t.Errorf("error does not surface the peer's abort reason: %v", err)
+	}
+	if st := a.Status(); st.SessionsFailed == 0 || st.Peers[0].LastError == "" {
+		t.Errorf("failure not recorded in status: %+v", st)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Status().SessionsFailed == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := b.Status(); st.SessionsFailed == 0 {
+		t.Errorf("responder did not record the aborted session: %+v", st)
+	}
+}
+
+// TestUnknownPeerRejected sends a Hello naming a peer the responder is
+// not configured for and expects a protocol-level rejection.
+func TestUnknownPeerRejected(t *testing.T) {
+	sys := testSystem(t, 1)
+	wl := testWorkloads(sys, 42)
+	_, addr := startResponder(t, sys, wl)
+
+	stranger := New(Config{Name: "stranger", Timeout: 5 * time.Second})
+	if err := stranger.AddPeer(Peer{
+		Name:      "b",
+		Side:      nexit.SideA,
+		Ctl:       continuous.New(sys, 10),
+		Workloads: wl,
+		Dial:      func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer stranger.Close()
+
+	_, err := stranger.RunEpoch(context.Background(), 0)
+	if err == nil {
+		t.Fatal("unknown peer was served")
+	}
+	if !strings.Contains(err.Error(), "not configured") {
+		t.Errorf("rejection reason not surfaced: %v", err)
+	}
+}

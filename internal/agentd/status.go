@@ -1,0 +1,103 @@
+package agentd
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+)
+
+// Status is the agent's introspection snapshot: the long-running
+// process's answer to "what has this daemon been doing" (the paper's §6
+// deployment concern, in the spirit of TerraServer's operations
+// experience — make the persistent process observable). It marshals to
+// JSON and is also what the expvar surface publishes.
+type Status struct {
+	Name              string       `json:"name"`
+	SessionsActive    int64        `json:"sessions_active"`
+	SessionsInitiated int64        `json:"sessions_initiated"`
+	SessionsServed    int64        `json:"sessions_served"`
+	SessionsFailed    int64        `json:"sessions_failed"`
+	Peers             []PeerStatus `json:"peers"`
+}
+
+// PeerStatus is one neighbor's slice of the snapshot.
+type PeerStatus struct {
+	Name      string `json:"name"`
+	Initiator bool   `json:"initiator"`
+	// Epochs counts completed negotiation epochs with this peer.
+	Epochs int `json:"epochs"`
+	// Sessions and Failures count completed and failed wire sessions.
+	Sessions int64 `json:"sessions"`
+	Failures int64 `json:"failures"`
+	// Rounds is the cumulative proposal-round count across sessions.
+	Rounds int64 `json:"rounds"`
+	// GainUs and GainPeer are the cumulative disclosed class gains,
+	// ours and the neighbor's.
+	GainUs   int64 `json:"gain_us"`
+	GainPeer int64 `json:"gain_peer"`
+	// LedgerBalance is the pair's current credit balance (positive:
+	// side A is ahead).
+	LedgerBalance int    `json:"ledger_balance"`
+	LastStop      string `json:"last_stop,omitempty"`
+	LastError     string `json:"last_error,omitempty"`
+}
+
+// Status snapshots the agent. Safe to call concurrently with sessions.
+func (a *Agent) Status() Status {
+	st := Status{
+		Name:              a.cfg.Name,
+		SessionsActive:    a.sessionsActive.Load(),
+		SessionsInitiated: a.sessionsInitiated.Load(),
+		SessionsServed:    a.sessionsServed.Load(),
+		SessionsFailed:    a.sessionsFailed.Load(),
+	}
+	for _, p := range a.peerList() {
+		// Only the stats mutex is taken — never the session mutex — so
+		// a snapshot cannot hang behind a stalled peer's session.
+		p.stats.Lock()
+		st.Peers = append(st.Peers, PeerStatus{
+			Name:          p.Name,
+			Initiator:     p.initiate,
+			Epochs:        p.stats.epochs,
+			Sessions:      p.stats.sessions,
+			Failures:      p.stats.failures,
+			Rounds:        p.stats.rounds,
+			GainUs:        p.stats.gainUs,
+			GainPeer:      p.stats.gainPeer,
+			LedgerBalance: p.stats.ledger,
+			LastStop:      p.stats.lastStop,
+			LastError:     p.stats.lastErr,
+		})
+		p.stats.Unlock()
+	}
+	return st
+}
+
+// StatusJSON renders the snapshot as indented JSON.
+func (a *Agent) StatusJSON() []byte {
+	b, err := json.MarshalIndent(a.Status(), "", "  ")
+	if err != nil {
+		return []byte(`{"error":"status marshal failed"}`)
+	}
+	return b
+}
+
+// expvarMu serializes the check-then-publish below (expvar panics on
+// duplicate names).
+var expvarMu sync.Mutex
+
+// PublishExpvar registers the agent's live status as an expvar under
+// the given name ("agentd.<agent name>" when empty), so any expvar
+// endpoint — e.g. nexitagent's -debug-addr — exposes it. Re-publishing
+// an already-taken name is a no-op.
+func (a *Agent) PublishExpvar(name string) {
+	if name == "" {
+		name = "agentd." + a.cfg.Name
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return a.Status() }))
+}

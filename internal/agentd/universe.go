@@ -1,0 +1,34 @@
+package agentd
+
+import (
+	"fmt"
+
+	"repro/internal/continuous"
+	"repro/internal/runner"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// AgentName is the canonical daemon name of the ISP at dataset index
+// i. Every party of a mesh — cmd/nexitagent daemons and the
+// internal/mesh harness alike — must use it, since inbound sessions
+// are dispatched by the name carried in the Hello.
+func AgentName(i int) string { return fmt.Sprintf("isp%03d", i) }
+
+// PairKey derives the stable drift-stream key of neighbor pair (i, j);
+// every party driving the pair — both its daemons and any serial
+// reference — must use the same key.
+func PairKey(i, j, numISPs int) int { return i*numISPs + j }
+
+// EpochWorkloads deterministically derives one epoch's directional
+// workloads for a pair: the gravity-model base traffic perturbed by the
+// epoch's private drift stream. The stream depends only on (seed, key,
+// epoch) — never on scheduling — which is what lets concurrent
+// sessions reproduce a serial reference exactly, and what stands in
+// for both ISPs observing the same traffic in deployment.
+func EpochWorkloads(pair *topology.Pair, seed int64, key, epoch int, volatility float64) (wAB, wBA *traffic.Workload) {
+	baseAB := traffic.New(pair.A, pair.B, traffic.Gravity, nil)
+	baseBA := traffic.New(pair.B, pair.A, traffic.Gravity, nil)
+	rng := runner.PairRand(seed, key*1_000_003+epoch)
+	return continuous.Drift(baseAB, volatility, rng), continuous.Drift(baseBA, volatility, rng)
+}

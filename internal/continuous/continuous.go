@@ -22,6 +22,13 @@ import (
 	"repro/internal/traffic"
 )
 
+// Negotiator runs one epoch's negotiation session over an assembled
+// table. cfg is the ledger-adjusted configuration for this epoch; items,
+// defaults, and numAlts define the universe exactly as for
+// nexit.Negotiate. The result's GainA/GainB must be oriented like the
+// controller's system (GainA is Sys.Pair.A's gain).
+type Negotiator func(cfg nexit.Config, items []nexit.Item, defaults []int, numAlts int) (*nexit.Result, error)
+
 // Controller drives continuous negotiation for one pair.
 type Controller struct {
 	Sys *pairsim.System
@@ -34,6 +41,15 @@ type Controller struct {
 	Registry *flowid.Registry
 	// Ledger carries gain imbalances across epochs.
 	Ledger *credits.Ledger
+
+	// Negotiate, when non-nil, replaces the in-process engine call for
+	// each epoch: agentd points it at a nexitwire session so the other
+	// ISP's preferences come from a remote evaluator instead of a local
+	// one. It is invoked even for an empty table, so two daemons driving
+	// the same pair stay in epoch lockstep (the empty session doubles as
+	// a heartbeat). Nil negotiates in-process with both sides' distance
+	// evaluators, as the simulations do.
+	Negotiate Negotiator
 
 	// applied is the currently installed interconnection per flow key.
 	applied map[key]int
@@ -57,6 +73,11 @@ type EpochReport struct {
 	DistanceApplied float64
 	GainA, GainB    int
 	LedgerBalance   int
+	// Assign is the negotiated table's assignment for this epoch (one
+	// interconnection index per negotiated item, in table order); nil
+	// when nothing reached the table. The mesh harness compares it
+	// pair-by-pair against the serial reference.
+	Assign []int
 }
 
 // New builds a controller with the paper's §5.1 defaults.
@@ -127,16 +148,31 @@ func (c *Controller) Epoch(wAB, wBA *traffic.Workload) (*EpochReport, error) {
 	}
 	rep.Negotiated = len(items)
 
-	// 3. Negotiate with the ledger-adjusted configuration.
-	if len(items) > 0 {
+	// 3. Negotiate with the ledger-adjusted configuration. A remote
+	// Negotiator runs even over an empty table (epoch lockstep); the
+	// in-process default skips the no-op session.
+	if len(items) > 0 || c.Negotiate != nil {
 		cfg := c.Ledger.Apply(c.Cfg)
-		evalA := nexit.NewDistanceEvaluator(c.Sys, nexit.SideA, c.P)
-		evalB := nexit.NewDistanceEvaluator(c.Sys, nexit.SideB, c.P)
-		res, err := nexit.Negotiate(cfg, evalA, evalB, items, defaults, c.Sys.NumAlternatives())
+		negotiate := c.Negotiate
+		if negotiate == nil {
+			negotiate = func(cfg nexit.Config, items []nexit.Item, defaults []int, numAlts int) (*nexit.Result, error) {
+				evalA := nexit.NewDistanceEvaluator(c.Sys, nexit.SideA, c.P)
+				evalB := nexit.NewDistanceEvaluator(c.Sys, nexit.SideB, c.P)
+				return nexit.Negotiate(cfg, evalA, evalB, items, defaults, numAlts)
+			}
+		}
+		res, err := negotiate(cfg, items, defaults, c.Sys.NumAlternatives())
 		if err != nil {
 			return nil, fmt.Errorf("continuous: epoch %d: %w", c.epoch, err)
 		}
-		c.Ledger.Settle(c.epoch, res)
+		if len(res.Assign) != len(items) {
+			return nil, fmt.Errorf("continuous: epoch %d: negotiator returned %d assignments for %d items",
+				c.epoch, len(res.Assign), len(items))
+		}
+		if len(items) > 0 {
+			c.Ledger.Settle(c.epoch, res)
+			rep.Assign = append([]int(nil), res.Assign...)
+		}
 		rep.GainA, rep.GainB = res.GainA, res.GainB
 		for i, k := range keys {
 			if res.Assign[i] != defaults[i] {
@@ -161,6 +197,10 @@ func (c *Controller) Epoch(wAB, wBA *traffic.Workload) (*EpochReport, error) {
 	c.epoch++
 	return rep, nil
 }
+
+// EpochIndex returns the number of epochs processed so far (the index
+// the next Epoch call will report).
+func (c *Controller) EpochIndex() int { return c.epoch }
 
 // currentChoice returns the installed interconnection for a flow, or its
 // early-exit default when it has never been negotiated.

@@ -1,0 +1,326 @@
+// Package mesh spins up a whole neighborhood of negotiation daemons in
+// one process and drives them to convergence: one internal/agentd Agent
+// per ISP, wired into an all-pairs (or topology-filtered) mesh over
+// in-memory pipes or loopback TCP, negotiating concurrent epochs of
+// drifting traffic. It is the test and benchmark harness for the §6
+// deployment model — Run's wire outcome must match RunSerial's
+// in-process reference pair by pair, deterministically, for every
+// concurrency bound.
+package mesh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/agentd"
+	"repro/internal/continuous"
+	"repro/internal/gen"
+	"repro/internal/nexit"
+	"repro/internal/pairsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Options configures a mesh run.
+type Options struct {
+	// NumISPs sizes the generated dataset (default 10).
+	NumISPs int
+	// Seed roots the dataset and every drift stream (default 1).
+	Seed int64
+	// P is the preference class bound (default 10).
+	P int
+	// Epochs is how many renegotiation epochs to run (default 4).
+	Epochs int
+	// MaxPairs caps the number of neighbor pairs (0 = all eligible).
+	MaxPairs int
+	// Sessions bounds each agent's concurrent sessions, per direction
+	// (0 = GOMAXPROCS). Results are identical for every bound; only
+	// wall-clock changes.
+	Sessions int
+	// Volatility is the per-epoch multiplicative traffic drift
+	// (default 0.25).
+	Volatility float64
+	// Neighbors, when non-nil, restricts the mesh to pairs whose
+	// dataset indices it approves (i < j); nil keeps every eligible
+	// pair — the paper's all-pairs evaluation.
+	Neighbors func(i, j int) bool
+	// UseTCP moves the transport from in-memory pipes to loopback TCP.
+	UseTCP bool
+	// Timeout bounds each wire exchange (nexitwire default when zero).
+	Timeout time.Duration
+	// Logf, when non-nil, receives agent diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumISPs == 0 {
+		o.NumISPs = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.P == 0 {
+		o.P = 10
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 4
+	}
+	if o.Volatility == 0 {
+		o.Volatility = 0.25
+	}
+	return o
+}
+
+// PairResult is one neighbor pair's trajectory through the run.
+type PairResult struct {
+	// I and J are the pair's dataset indices (I < J; agent I initiated).
+	I, J int
+	Pair *topology.Pair
+	// Reports holds one epoch report per epoch, in order, as seen by
+	// the initiating agent's controller.
+	Reports []*continuous.EpochReport
+}
+
+// Result is the outcome of a mesh run.
+type Result struct {
+	// ISPs counts the agents that participated (dataset members with at
+	// least one eligible neighbor).
+	ISPs int
+	// Pairs lists every negotiated pair in dataset order.
+	Pairs []PairResult
+	// Sessions counts completed wire sessions (pairs x epochs on a
+	// clean run); zero for RunSerial.
+	Sessions int64
+	// Elapsed and SessionsPerSec measure throughput (wire runs only).
+	Elapsed        time.Duration
+	SessionsPerSec float64
+	// Agents snapshots every agent's final status (wire runs only).
+	Agents []agentd.Status
+}
+
+// meshPair is the internal wiring of one neighbor pair.
+type meshPair struct {
+	i, j int
+	pair *topology.Pair
+	wl   agentd.WorkloadFunc
+}
+
+// buildPairs generates the dataset and selects the mesh's neighbor
+// pairs in deterministic dataset order.
+func buildPairs(opt Options) ([]*topology.ISP, []meshPair, error) {
+	cfg := gen.DefaultConfig()
+	cfg.Seed = opt.Seed
+	cfg.NumISPs = opt.NumISPs
+	isps, err := gen.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	index := make(map[*topology.ISP]int, len(isps))
+	for i, isp := range isps {
+		index[isp] = i
+	}
+	var pairs []meshPair
+	for _, p := range topology.AllPairs(isps, 2, true) {
+		i, j := index[p.A], index[p.B]
+		if opt.Neighbors != nil && !opt.Neighbors(i, j) {
+			continue
+		}
+		if opt.MaxPairs > 0 && len(pairs) >= opt.MaxPairs {
+			break
+		}
+		p := p
+		key := agentd.PairKey(i, j, opt.NumISPs)
+		pairs = append(pairs, meshPair{
+			i: i, j: j, pair: p,
+			wl: func(epoch int) (*traffic.Workload, *traffic.Workload) {
+				return agentd.EpochWorkloads(p, opt.Seed, key, epoch, opt.Volatility)
+			},
+		})
+	}
+	if len(pairs) == 0 {
+		return nil, nil, fmt.Errorf("mesh: no eligible neighbor pairs in a %d-ISP dataset", opt.NumISPs)
+	}
+	return isps, pairs, nil
+}
+
+// Run builds the mesh of daemons, negotiates opt.Epochs concurrent
+// epochs, and returns every pair's trajectory plus throughput.
+func Run(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	_, pairs, err := buildPairs(opt)
+	if err != nil {
+		return nil, err
+	}
+	cache := pairsim.NewTableCache()
+
+	// One agent per participating ISP, each with a listener.
+	agents := make(map[int]*agentd.Agent)
+	listeners := make(map[int]net.Listener)
+	dialers := make(map[int]func() (net.Conn, error))
+	nameToIdx := make(map[string]int)
+	defer func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+		for _, a := range agents {
+			a.Close()
+		}
+		for _, a := range agents {
+			a.Wait()
+		}
+	}()
+	for _, mp := range pairs {
+		for _, i := range []int{mp.i, mp.j} {
+			if agents[i] != nil {
+				continue
+			}
+			nameToIdx[agentd.AgentName(i)] = i
+			agents[i] = agentd.New(agentd.Config{
+				Name:        agentd.AgentName(i),
+				MaxSessions: opt.Sessions,
+				Timeout:     opt.Timeout,
+				Logf:        opt.Logf,
+			})
+			if opt.UseTCP {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					return nil, err
+				}
+				addr := ln.Addr().String()
+				listeners[i] = ln
+				dialers[i] = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+			} else {
+				ln := newPipeListener(agentd.AgentName(i))
+				listeners[i] = ln
+				dialers[i] = ln.Dial
+			}
+		}
+	}
+
+	// Wire each pair: the lower-index agent initiates (it is Pair.A,
+	// hence protocol side A), the higher-index one serves.
+	for _, mp := range pairs {
+		sys := pairsim.New(mp.pair, cache)
+		if err := agents[mp.i].AddPeer(agentd.Peer{
+			Name: agentd.AgentName(mp.j), Side: nexit.SideA,
+			Ctl: continuous.New(sys, opt.P), Workloads: mp.wl,
+			Dial: dialers[mp.j],
+		}); err != nil {
+			return nil, err
+		}
+		if err := agents[mp.j].AddPeer(agentd.Peer{
+			Name: agentd.AgentName(mp.i), Side: nexit.SideB,
+			Ctl: continuous.New(sys, opt.P), Workloads: mp.wl,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	serveErr := make(chan error, len(agents))
+	for i, a := range agents {
+		go func(a *agentd.Agent, ln net.Listener) {
+			serveErr <- a.Serve(ln)
+		}(a, listeners[i])
+	}
+
+	// Negotiate the epochs: all agents in parallel, a barrier per epoch.
+	reports := make(map[[2]int][]*continuous.EpochReport, len(pairs))
+	start := time.Now()
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			errs []error
+		)
+		for i, a := range agents {
+			wg.Add(1)
+			go func(i int, a *agentd.Agent) {
+				defer wg.Done()
+				reps, err := a.RunEpoch(context.Background(), epoch)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					errs = append(errs, fmt.Errorf("agent %s epoch %d: %w", a.Name(), epoch, err))
+				}
+				for peer, rep := range reps {
+					if j, ok := nameToIdx[peer]; ok {
+						reports[[2]int{i, j}] = append(reports[[2]int{i, j}], rep)
+					}
+				}
+			}(i, a)
+		}
+		wg.Wait()
+		// Surface listener failures (a Serve goroutine that returned an
+		// error) rather than letting them masquerade as dial timeouts.
+		for drained := false; !drained; {
+			select {
+			case err := <-serveErr:
+				if err != nil {
+					errs = append(errs, fmt.Errorf("mesh: listener: %w", err))
+				}
+			default:
+				drained = true
+			}
+		}
+		if len(errs) > 0 {
+			return nil, errors.Join(errs...)
+		}
+	}
+	elapsed := time.Since(start)
+
+	res := &Result{ISPs: len(agents), Elapsed: elapsed}
+	for _, mp := range pairs {
+		res.Pairs = append(res.Pairs, PairResult{
+			I: mp.i, J: mp.j, Pair: mp.pair,
+			Reports: reports[[2]int{mp.i, mp.j}],
+		})
+	}
+	indices := make([]int, 0, len(agents))
+	for i := range agents {
+		indices = append(indices, i)
+	}
+	sort.Ints(indices)
+	for _, i := range indices {
+		st := agents[i].Status()
+		res.Sessions += st.SessionsInitiated
+		res.Agents = append(res.Agents, st)
+	}
+	if elapsed > 0 {
+		res.SessionsPerSec = float64(res.Sessions) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// RunSerial negotiates the same mesh entirely in-process, one pair at a
+// time on one goroutine — the reference a wire run must reproduce.
+func RunSerial(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	_, pairs, err := buildPairs(opt)
+	if err != nil {
+		return nil, err
+	}
+	cache := pairsim.NewTableCache()
+	res := &Result{}
+	seen := make(map[int]bool)
+	for _, mp := range pairs {
+		seen[mp.i], seen[mp.j] = true, true
+		ctl := continuous.New(pairsim.New(mp.pair, cache), opt.P)
+		pr := PairResult{I: mp.i, J: mp.j, Pair: mp.pair}
+		for epoch := 0; epoch < opt.Epochs; epoch++ {
+			wAB, wBA := mp.wl(epoch)
+			rep, err := ctl.Epoch(wAB, wBA)
+			if err != nil {
+				return nil, fmt.Errorf("mesh: serial pair (%d,%d) epoch %d: %w", mp.i, mp.j, epoch, err)
+			}
+			pr.Reports = append(pr.Reports, rep)
+		}
+		res.Pairs = append(res.Pairs, pr)
+	}
+	res.ISPs = len(seen)
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package mesh
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// testOptions is the shared mesh configuration: a 10-ISP dataset yields
+// 12 eligible pairs across 9 agents — above the issue's N>=6 floor —
+// and 4 epochs take the registry from cold start into steady-state
+// renegotiation.
+func testOptions() Options {
+	return Options{
+		NumISPs: 10,
+		Seed:    1,
+		Epochs:  4,
+		Timeout: 20 * time.Second,
+	}
+}
+
+// checkParity requires the wire mesh to reproduce the serial reference
+// pair by pair, epoch by epoch — assignments, gains, distances, ledger.
+func checkParity(t *testing.T, serial, wire *Result) {
+	t.Helper()
+	if len(wire.Pairs) != len(serial.Pairs) {
+		t.Fatalf("wire mesh ran %d pairs, serial ran %d", len(wire.Pairs), len(serial.Pairs))
+	}
+	for k, sp := range serial.Pairs {
+		wp := wire.Pairs[k]
+		if wp.I != sp.I || wp.J != sp.J {
+			t.Fatalf("pair %d is (%d,%d) on the wire, (%d,%d) serially", k, wp.I, wp.J, sp.I, sp.J)
+		}
+		if len(wp.Reports) != len(sp.Reports) {
+			t.Fatalf("pair (%d,%d): %d wire epochs, %d serial", wp.I, wp.J, len(wp.Reports), len(sp.Reports))
+		}
+		for e := range sp.Reports {
+			if !reflect.DeepEqual(wp.Reports[e], sp.Reports[e]) {
+				t.Errorf("pair (%d,%d) epoch %d diverged:\n  wire   %+v\n  serial %+v",
+					wp.I, wp.J, e, wp.Reports[e], sp.Reports[e])
+			}
+		}
+	}
+}
+
+// TestMeshMatchesSerial is the acceptance test: a >=6-agent mesh with
+// concurrent sessions produces, for every pair, the identical
+// assignments and gains as the serial in-process negotiation for the
+// same seed — at every session bound.
+func TestMeshMatchesSerial(t *testing.T) {
+	opt := testOptions()
+	serial, err := RunSerial(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.ISPs < 6 {
+		t.Fatalf("mesh has %d agents, want >= 6", serial.ISPs)
+	}
+
+	// The steady state must negotiate for real: some pair moves flows.
+	negotiated := false
+	for _, p := range serial.Pairs {
+		last := p.Reports[len(p.Reports)-1]
+		if last.Negotiated > 0 && last.Assign != nil {
+			negotiated = true
+		}
+	}
+	if !negotiated {
+		t.Fatal("no pair ever negotiated; the mesh exercises nothing")
+	}
+
+	bounds := []int{1, runtime.GOMAXPROCS(0)}
+	for _, sessions := range bounds {
+		opt := opt
+		opt.Sessions = sessions
+		wire, err := Run(opt)
+		if err != nil {
+			t.Fatalf("sessions=%d: %v", sessions, err)
+		}
+		if wire.ISPs != serial.ISPs {
+			t.Errorf("sessions=%d: %d agents, serial had %d", sessions, wire.ISPs, serial.ISPs)
+		}
+		wantSessions := int64(len(serial.Pairs) * opt.Epochs)
+		if wire.Sessions != wantSessions {
+			t.Errorf("sessions=%d: completed %d wire sessions, want %d", sessions, wire.Sessions, wantSessions)
+		}
+		for _, st := range wire.Agents {
+			if st.SessionsFailed != 0 {
+				t.Errorf("sessions=%d: agent %s failed %d sessions", sessions, st.Name, st.SessionsFailed)
+			}
+		}
+		checkParity(t, serial, wire)
+	}
+}
+
+// TestMeshOverTCP smoke-tests the loopback-TCP transport on a reduced
+// mesh.
+func TestMeshOverTCP(t *testing.T) {
+	opt := testOptions()
+	opt.MaxPairs = 4
+	opt.Epochs = 3
+	opt.UseTCP = true
+	serial, err := RunSerial(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkParity(t, serial, wire)
+}
+
+// TestMeshNeighborGraph restricts the mesh to a sparse neighbor graph
+// and checks only approved pairs negotiate.
+func TestMeshNeighborGraph(t *testing.T) {
+	opt := testOptions()
+	opt.Epochs = 2
+	opt.Neighbors = func(i, j int) bool { return j-i <= 2 }
+	wire, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Pairs) == 0 {
+		t.Fatal("neighbor graph filtered out every pair")
+	}
+	for _, p := range wire.Pairs {
+		if p.J-p.I > 2 {
+			t.Errorf("pair (%d,%d) negotiated despite the neighbor graph", p.I, p.J)
+		}
+	}
+	serial, err := RunSerial(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkParity(t, serial, wire)
+}

@@ -1,0 +1,61 @@
+package mesh
+
+import (
+	"net"
+	"sync"
+)
+
+// pipeListener is an in-memory net.Listener over net.Pipe, so mesh
+// tests and benchmarks exercise the full listener/dialer path without
+// consuming TCP ports. Dial hands the server half of a fresh pipe to
+// Accept.
+type pipeListener struct {
+	name string
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+func newPipeListener(name string) *pipeListener {
+	return &pipeListener{name: name, ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+// Accept implements net.Listener.
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *pipeListener) Addr() net.Addr { return pipeAddr(l.name) }
+
+// Dial opens a connection to the listener.
+func (l *pipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+// pipeAddr names a pipe listener.
+type pipeAddr string
+
+// Network implements net.Addr.
+func (a pipeAddr) Network() string { return "pipe" }
+
+// String implements net.Addr.
+func (a pipeAddr) String() string { return string(a) }

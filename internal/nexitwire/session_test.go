@@ -1,0 +1,204 @@
+package nexitwire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/nexit"
+)
+
+// TestWireStalledPeerTimeout proves the per-exchange Timeout fires: a
+// peer that completes the handshake and then goes silent must fail the
+// session within the configured bound, with an error that names the
+// stall and still matches os.ErrDeadlineExceeded.
+func TestWireStalledPeerTimeout(t *testing.T) {
+	s, items, defaults, numAlts := testUniverse(t)
+	connA, connB := net.Pipe()
+	defer connA.Close()
+	defer connB.Close()
+
+	// The stalled peer: answer the Hello (echoing it back acknowledges
+	// the same universe), then swallow every frame without replying.
+	go func() {
+		typ, body, err := readFrame(connB)
+		if err != nil || typ != MsgHello {
+			return
+		}
+		hello, err := decodeHello(body)
+		if err != nil {
+			return
+		}
+		fw := frameWriter{w: connB}
+		if err := fw.writeFrame(MsgHelloAck, encodeHello(hello)); err != nil {
+			return
+		}
+		for {
+			if _, _, err := readFrame(connB); err != nil {
+				return
+			}
+		}
+	}()
+
+	ini := &Initiator{
+		Name:    "agent-a",
+		Cfg:     nexit.DefaultDistanceConfig(),
+		Eval:    nexit.NewDistanceEvaluator(s, nexit.SideA, 10),
+		Timeout: 100 * time.Millisecond,
+	}
+	start := time.Now()
+	_, err := ini.Run(connA, items, defaults, numAlts)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("session against a stalled peer succeeded")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("error does not match os.ErrDeadlineExceeded: %v", err)
+	}
+	if !strings.Contains(err.Error(), "stalled") || !strings.Contains(err.Error(), "100ms") {
+		t.Errorf("error does not name the stall and timeout: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("timeout took %v to fire with a 100ms bound", elapsed)
+	}
+}
+
+// TestWireResponderStallTimeout covers the serving side: an initiator
+// that sends the Hello and nothing else must not hang the responder.
+func TestWireResponderStallTimeout(t *testing.T) {
+	s, items, defaults, numAlts := testUniverse(t)
+	connA, connB := net.Pipe()
+	defer connA.Close()
+	defer connB.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		resp := &Responder{
+			Name:     "agent-b",
+			Eval:     nexit.NewDistanceEvaluator(s, nexit.SideB, 10),
+			Items:    items,
+			Defaults: defaults,
+			NumAlts:  numAlts,
+			Timeout:  100 * time.Millisecond,
+		}
+		_, err := resp.ServeConn(connB)
+		errCh <- err
+	}()
+
+	// Send a valid Hello, read the ack, then go silent (but keep
+	// draining so the responder's writes are not what blocks).
+	fw := frameWriter{w: connA}
+	hello := &Hello{
+		Version: Version, Name: "agent-a",
+		NumAlts: uint16(numAlts), NumItems: uint32(len(items)),
+		WorkloadHash: WorkloadHash(items, defaults, numAlts),
+	}
+	if err := fw.writeFrame(MsgHello, encodeHello(hello)); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, _, err := readFrame(connA); err != nil {
+				return
+			}
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("responder returned success against a silent initiator")
+		}
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Errorf("error does not match os.ErrDeadlineExceeded: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("responder hung on a silent initiator")
+	}
+}
+
+// TestWireSessionReuse runs several back-to-back sessions on one
+// connection — the daemon's epoch pattern — and checks every session
+// matches the in-process engine.
+func TestWireSessionReuse(t *testing.T) {
+	s, items, defaults, numAlts := testUniverse(t)
+	ref, err := nexit.Negotiate(nexit.DefaultDistanceConfig(),
+		nexit.NewDistanceEvaluator(s, nexit.SideA, 10),
+		nexit.NewDistanceEvaluator(s, nexit.SideB, 10),
+		items, defaults, numAlts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	connA, connB := net.Pipe()
+	defer connA.Close()
+
+	const epochs = 3
+	type out struct {
+		res *SessionResult
+		err error
+	}
+	ch := make(chan out, epochs+1)
+	go func() {
+		defer connB.Close()
+		resp := &Responder{
+			Name:     "agent-b",
+			Eval:     nexit.NewDistanceEvaluator(s, nexit.SideB, 10),
+			Items:    items,
+			Defaults: defaults,
+			NumAlts:  numAlts,
+			Timeout:  5 * time.Second,
+		}
+		for {
+			hello, err := AcceptHello(connB, resp.Timeout)
+			if err != nil {
+				ch <- out{nil, err}
+				return
+			}
+			if hello.Name != "agent-a" {
+				t.Errorf("hello names peer %q", hello.Name)
+			}
+			r, err := resp.ServeSession(connB, hello)
+			ch <- out{r, err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	ini := &Initiator{
+		Name:    "agent-a",
+		Cfg:     nexit.DefaultDistanceConfig(),
+		Eval:    nexit.NewDistanceEvaluator(s, nexit.SideA, 10),
+		Timeout: 5 * time.Second,
+	}
+	for e := 0; e < epochs; e++ {
+		res, err := ini.Run(connA, items, defaults, numAlts)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		sess := <-ch
+		if sess.err != nil {
+			t.Fatalf("epoch %d responder: %v", e, sess.err)
+		}
+		if !reflect.DeepEqual(res.Assign, ref.Assign) || !reflect.DeepEqual(sess.res.Assign, ref.Assign) {
+			t.Errorf("epoch %d diverged from the in-process reference", e)
+		}
+		if sess.res.GainB != ref.GainB || res.GainA != ref.GainA {
+			t.Errorf("epoch %d gains: wire (%d,%d), ref (%d,%d)",
+				e, res.GainA, sess.res.GainB, ref.GainA, ref.GainB)
+		}
+	}
+
+	// Closing the initiator side ends the responder loop with a clean EOF.
+	connA.Close()
+	last := <-ch
+	if !errors.Is(last.err, io.EOF) {
+		t.Errorf("responder loop ended with %v, want io.EOF", last.err)
+	}
+}

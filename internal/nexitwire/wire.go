@@ -1,10 +1,12 @@
 package nexitwire
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"net"
+	"os"
 	"time"
 
 	"repro/internal/nexit"
@@ -72,6 +74,11 @@ func (in *Initiator) timeout() time.Duration {
 // Run negotiates the items over conn and returns the engine result. The
 // responder must be configured with the same items, defaults, and
 // alternative count.
+//
+// A connection may carry many sessions back to back: every Run opens
+// with a fresh Hello and ends with Done, so a long-running agent reuses
+// one connection across negotiation epochs instead of redialing (the
+// responder answers each Hello with ServeConn/ServeSession in turn).
 func (in *Initiator) Run(conn net.Conn, items []nexit.Item, defaults []int, numAlts int) (*nexit.Result, error) {
 	if in.Cfg.PrefBound > 127 {
 		return nil, fmt.Errorf("nexitwire: preference bound %d exceeds the wire format's int8 classes", in.Cfg.PrefBound)
@@ -87,12 +94,9 @@ func (in *Initiator) Run(conn net.Conn, items []nexit.Item, defaults []int, numA
 	})); err != nil {
 		return nil, err
 	}
-	t, body, err := s.recv()
+	body, err := s.expect(MsgHelloAck)
 	if err != nil {
 		return nil, err
-	}
-	if t != MsgHelloAck {
-		return nil, s.unexpected(t)
 	}
 	ack, err := decodeHello(body)
 	if err != nil {
@@ -180,13 +184,9 @@ func (r *remoteEvaluator) Prefs(items []nexit.Item, defaults []int) [][]int {
 		r.err = err
 		return out
 	}
-	t, body, err := r.s.recv()
+	body, err := r.s.expect(MsgPrefsResponse)
 	if err != nil {
 		r.err = err
-		return out
-	}
-	if t != MsgPrefsResponse {
-		r.err = r.s.unexpected(t)
 		return out
 	}
 	resp, err := decodePrefsResponse(body)
@@ -247,12 +247,9 @@ func (r *remoteEvaluator) askAccept(p nexit.Proposal) (bool, error) {
 	if err := r.s.send(MsgAcceptRequest, encodeAcceptRequest(req)); err != nil {
 		return false, err
 	}
-	t, body, err := r.s.recv()
+	body, err := r.s.expect(MsgAcceptResponse)
 	if err != nil {
 		return false, err
-	}
-	if t != MsgAcceptResponse {
-		return false, r.s.unexpected(t)
 	}
 	resp, err := decodeAcceptResponse(body)
 	if err != nil {
@@ -287,12 +284,19 @@ func (r *Responder) timeout() time.Duration {
 	return DefaultTimeout
 }
 
-// ServeConn handles one session and returns the final result. It
-// validates the Hello against the locally configured universe, then
-// serves preference, accept, and commit frames until Done.
-func (r *Responder) ServeConn(conn net.Conn) (*SessionResult, error) {
-	s := &session{conn: conn, fw: frameWriter{w: conn}, timeout: r.timeout()}
-
+// AcceptHello reads the opening Hello of an inbound session without
+// committing to a negotiation universe. A daemon serving several
+// neighbors uses it to identify the calling peer (Hello.Name,
+// Hello.WorkloadHash) before choosing which universe — and which
+// Responder — handles the session; pass the hello on to
+// Responder.ServeSession to continue. A zero timeout selects
+// DefaultTimeout. io.EOF is returned unwrapped when the peer closes the
+// connection cleanly between sessions.
+func AcceptHello(conn net.Conn, timeout time.Duration) (*Hello, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	s := &session{conn: conn, fw: frameWriter{w: conn}, timeout: timeout}
 	t, body, err := s.recv()
 	if err != nil {
 		return nil, err
@@ -300,10 +304,38 @@ func (r *Responder) ServeConn(conn net.Conn) (*SessionResult, error) {
 	if t != MsgHello {
 		return nil, s.unexpected(t)
 	}
-	hello, err := decodeHello(body)
+	return decodeHello(body)
+}
+
+// Reject answers an inbound session with an error frame and reason; a
+// daemon uses it when the Hello names a peer it is not configured for.
+// A zero timeout selects DefaultTimeout.
+func Reject(conn net.Conn, timeout time.Duration, reason string) error {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	s := &session{conn: conn, fw: frameWriter{w: conn}, timeout: timeout}
+	return s.send(MsgError, encodeError(&ErrorMsg{Reason: reason}))
+}
+
+// ServeConn handles one session and returns the final result. It
+// validates the Hello against the locally configured universe, then
+// serves preference, accept, and commit frames until Done. Like
+// Initiator.Run, it may be called repeatedly on one connection: each
+// call consumes exactly one Hello...Done session.
+func (r *Responder) ServeConn(conn net.Conn) (*SessionResult, error) {
+	hello, err := AcceptHello(conn, r.timeout())
 	if err != nil {
 		return nil, err
 	}
+	return r.ServeSession(conn, hello)
+}
+
+// ServeSession handles one session whose opening Hello has already been
+// read (see AcceptHello). It validates the hello against the locally
+// configured universe and serves the rest of the session.
+func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, error) {
+	s := &session{conn: conn, fw: frameWriter{w: conn}, timeout: r.timeout()}
 	wantHash := WorkloadHash(r.Items, r.Defaults, r.NumAlts)
 	switch {
 	case hello.Version != Version:
@@ -461,14 +493,48 @@ func (s *session) send(t MsgType, payload []byte) error {
 	if err := s.conn.SetWriteDeadline(time.Now().Add(s.timeout)); err != nil {
 		return err
 	}
-	return s.fw.writeFrame(t, payload)
+	return s.stallErr("send "+t.String(), s.fw.writeFrame(t, payload))
 }
 
 func (s *session) recv() (MsgType, []byte, error) {
 	if err := s.conn.SetReadDeadline(time.Now().Add(s.timeout)); err != nil {
 		return 0, nil, err
 	}
-	return readFrame(s.conn)
+	t, body, err := readFrame(s.conn)
+	return t, body, s.stallErr("awaiting reply", err)
+}
+
+// stallErr labels deadline expiries with the exchange that stalled and
+// the configured timeout, so "peer went silent mid-session" surfaces as
+// more than a bare i/o error. errors.Is(err, os.ErrDeadlineExceeded)
+// still holds on the result.
+func (s *session) stallErr(op string, err error) error {
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		return fmt.Errorf("nexitwire: peer stalled (%s exceeded the %v exchange timeout): %w", op, s.timeout, err)
+	}
+	return err
+}
+
+// expect receives one frame and requires it to be of the given type. A
+// peer abort (MsgError) surfaces as the peer's reason rather than a
+// protocol violation.
+func (s *session) expect(want MsgType) ([]byte, error) {
+	t, body, err := s.recv()
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case want:
+		return body, nil
+	case MsgError:
+		em, err := decodeError(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("nexitwire: peer error: %s", em.Reason)
+	default:
+		return nil, s.unexpected(t)
+	}
 }
 
 // unexpected reports a protocol violation.
