@@ -19,13 +19,21 @@
 //	nexitagent -isp 2 -isps 12 -listen 127.0.0.1:4180 -peer 1 -peer 3=127.0.0.1:4181 -epochs 8
 //	nexitagent -isp 1 -isps 12 -peer 2=127.0.0.1:4180 -peer 3=127.0.0.1:4181 -epochs 8
 //
+// Negotiation is metric-generic: -metric selects the objective for
+// every pair (distance, bandwidth, or fortz-thorup), and a per-peer
+// override — -peer index/metric[=addr] — lets one daemon negotiate
+// different objectives with different neighbors. Both endpoints of a
+// pair must configure the same metric; the wire Hello carries it and a
+// mismatch is rejected cleanly at session open (DESIGN.md §7). A
+// bandwidth-negotiating pair:
+//
+//	nexitagent -isp 2 -isps 12 -listen 127.0.0.1:4180 -metric bandwidth -peer 1 -epochs 8
+//	nexitagent -isp 1 -isps 12 -metric bandwidth -peer 2=127.0.0.1:4180 -epochs 8
+//
 // The daemon runs -epochs epochs (0 = until interrupted), pacing them
 // by -interval, and shuts down gracefully on SIGINT/SIGTERM. With
-// -debug-addr it serves live status at /debug/vars. The daemon
-// negotiates the distance metric (the continuous controller's); the
-// old one-shot agent's -metric bandwidth mode was dropped in the
-// daemon rewrite — bandwidth negotiation lives in the in-process
-// experiment drivers.
+// -debug-addr it serves live status at /debug/vars (including each
+// peer's metric).
 package main
 
 import (
@@ -52,11 +60,12 @@ import (
 	"repro/internal/traffic"
 )
 
-// peerSpec is one -peer flag: a dataset index, with an address when
-// this agent initiates toward it.
+// peerSpec is one -peer flag: a dataset index, an optional per-peer
+// metric override, and an address when this agent initiates toward it.
 type peerSpec struct {
-	index int
-	addr  string
+	index  int
+	addr   string
+	metric string // empty = the global -metric
 }
 
 func main() {
@@ -69,22 +78,26 @@ func main() {
 		epochs     = flag.Int("epochs", 8, "negotiation epochs to run (0 = until interrupted)")
 		interval   = flag.Duration("interval", 0, "pause between epochs (set identically on serving daemons so their idle window covers the cadence)")
 		volatility = flag.Float64("volatility", 0.25, "per-epoch traffic drift (must match all neighbors)")
+		metricFlag = flag.String("metric", "distance", "negotiation objective for every peer: distance, bandwidth, or fortz-thorup (override per peer with -peer index/metric)")
 		maxSess    = flag.Int("max-sessions", 0, "bound on concurrent sessions per direction (0 = GOMAXPROCS)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-exchange wire deadline")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar status on this address (/debug/vars)")
 		quiet      = flag.Bool("quiet", false, "suppress per-epoch report lines")
 	)
 	var specs []peerSpec
-	flag.Func("peer", "neighbor `index[=addr]` (repeatable); addr required when our index is lower (we initiate)", func(v string) error {
-		idx, addr := v, ""
-		if eq := strings.IndexByte(v, '='); eq >= 0 {
-			idx, addr = v[:eq], v[eq+1:]
+	flag.Func("peer", "neighbor `index[/metric][=addr]` (repeatable); addr required when our index is lower (we initiate); /metric overrides -metric for this peer", func(v string) error {
+		idx, addr, metric := v, "", ""
+		if eq := strings.IndexByte(idx, '='); eq >= 0 {
+			idx, addr = idx[:eq], idx[eq+1:]
+		}
+		if sl := strings.IndexByte(idx, '/'); sl >= 0 {
+			idx, metric = idx[:sl], idx[sl+1:]
 		}
 		n, err := strconv.Atoi(idx)
 		if err != nil {
 			return fmt.Errorf("bad peer index %q", idx)
 		}
-		specs = append(specs, peerSpec{index: n, addr: addr})
+		specs = append(specs, peerSpec{index: n, addr: addr, metric: metric})
 		return nil
 	})
 	flag.Parse()
@@ -138,11 +151,23 @@ func main() {
 		if *ispIdx == hi {
 			side = nexit.SideB
 		}
+		metricName := spec.metric
+		if metricName == "" {
+			metricName = *metricFlag
+		}
+		metric, err := continuous.ParseMetric(metricName)
+		if err != nil {
+			fatal(fmt.Errorf("peer %d: %w", spec.index, err))
+		}
+		ctl, err := continuous.NewWithMetric(pairsim.New(pair, cache), *pBound, metric)
+		if err != nil {
+			fatal(err)
+		}
 		key := agentd.PairKey(lo, hi, len(dataset))
 		peer := agentd.Peer{
 			Name: agentd.AgentName(spec.index),
 			Side: side,
-			Ctl:  continuous.New(pairsim.New(pair, cache), *pBound),
+			Ctl:  ctl,
 			Workloads: func(epoch int) (*traffic.Workload, *traffic.Workload) {
 				return agentd.EpochWorkloads(pair, *seed, key, epoch, *volatility)
 			},

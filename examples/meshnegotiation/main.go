@@ -6,6 +6,9 @@
 // in-memory pipes, and drives six epochs of drifting traffic through
 // concurrent wire sessions. The outcome is byte-identical to running
 // every pair serially in-process — the harness's determinism contract.
+// The same harness is then re-run with the bandwidth objective
+// (mesh.Options.Metric): the daemon path is metric-generic, and every
+// wire Hello carries the objective so mismatched daemons cannot pair.
 //
 // Run with: go run ./examples/meshnegotiation
 package main
@@ -13,9 +16,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"reflect"
 	"runtime"
 	"time"
 
+	"repro/internal/continuous"
 	"repro/internal/mesh"
 )
 
@@ -79,8 +84,31 @@ func main() {
 		if peer.Initiator {
 			role = "initiates to"
 		}
-		fmt.Printf("  %s %s: %d epochs, %d rounds, gains %+d us / %+d peer, ledger %+d (%s)\n",
-			role, peer.Name, peer.Epochs, peer.Rounds,
+		fmt.Printf("  %s %s [%s]: %d epochs, %d rounds, gains %+d us / %+d peer, ledger %+d (%s)\n",
+			role, peer.Name, peer.Metric, peer.Epochs, peer.Rounds,
 			peer.GainUs, peer.GainPeer, peer.LedgerBalance, peer.LastStop)
 	}
+
+	// The daemon path is metric-generic: the same mesh renegotiates the
+	// bandwidth objective — stateful evaluators, mid-session preference
+	// reassignment — over the wire, still matching its serial reference.
+	bwOpt := opt
+	bwOpt.Metric = continuous.MetricBandwidth
+	bwOpt.MaxPairs = 6
+	bw, err := mesh.Run(bwOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bwSerial, err := mesh.RunSerial(bwOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches = 0
+	for k, p := range bw.Pairs {
+		if reflect.DeepEqual(p.Reports, bwSerial.Pairs[k].Reports) {
+			matches++
+		}
+	}
+	fmt.Printf("\nbandwidth metric: %d pairs, %d wire sessions, %d of %d identical to serial\n",
+		len(bw.Pairs), bw.Sessions, matches, len(bw.Pairs))
 }

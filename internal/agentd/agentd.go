@@ -21,6 +21,18 @@
 // fast at Hello time via the workload hash; a stalled or aborting peer
 // surfaces as a counted, per-peer session failure rather than a hung
 // daemon.
+//
+// Negotiation is metric-generic per peer: each peer's controller names
+// its objective (continuous.Metric — distance, bandwidth, or
+// Fortz–Thorup) and the agent builds the matching evaluator fresh each
+// epoch and carries the metric in the wire Hello, so one daemon can
+// negotiate distance with one neighbor and bandwidth with another. A
+// neighbor configured for a different metric is rejected cleanly at
+// session open (labelled reason, no epoch advances on either side —
+// never a desync). Invariants: epochs are deterministic in (system,
+// metric, seed) and a failed epoch leaves both controllers where they
+// were, so the mesh harness can pin the concurrent wire outcome to the
+// serial in-process reference for every metric.
 package agentd
 
 import (
@@ -66,7 +78,10 @@ type Peer struct {
 	// them.
 	Side nexit.Side
 	// Ctl drives the pair's continuous renegotiation. Its system must
-	// be oriented with this agent on Side.
+	// be oriented with this agent on Side. The controller's Metric is
+	// the pair's negotiation objective: it selects the evaluator built
+	// each epoch, travels in the wire Hello, and must match the
+	// neighbor's configuration (mismatches reject at session open).
 	Ctl *continuous.Controller
 	// Workloads derives the epoch workloads shared with the neighbor.
 	Workloads WorkloadFunc
@@ -312,7 +327,8 @@ func (a *Agent) serveSession(p *peerState, conn net.Conn, hello *nexitwire.Hello
 	p.Ctl.Negotiate = func(cfg nexit.Config, items []nexit.Item, defaults []int, numAlts int) (*nexit.Result, error) {
 		resp := &nexitwire.Responder{
 			Name:     a.cfg.Name,
-			Eval:     nexit.NewDistanceEvaluator(p.Ctl.Sys, p.Side, p.Ctl.P),
+			Metric:   string(p.Ctl.Metric),
+			Eval:     p.Ctl.NewEvaluator(p.Side),
 			Items:    items,
 			Defaults: defaults,
 			NumAlts:  numAlts,
@@ -421,7 +437,8 @@ func (a *Agent) negotiateEpoch(p *peerState, epoch int) (*continuous.EpochReport
 		ini := &nexitwire.Initiator{
 			Name:    a.cfg.Name,
 			Cfg:     cfg,
-			Eval:    nexit.NewDistanceEvaluator(p.Ctl.Sys, p.Side, p.Ctl.P),
+			Metric:  string(p.Ctl.Metric),
+			Eval:    p.Ctl.NewEvaluator(p.Side),
 			Timeout: a.timeout(),
 		}
 		res, err := ini.Run(conn, items, defaults, numAlts)

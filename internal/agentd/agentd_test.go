@@ -144,6 +144,128 @@ func waitServed(t *testing.T, b *Agent, n int64) Status {
 	}
 }
 
+// TestTwoAgentBandwidthEpochs drives a bandwidth-metric pair over
+// loopback TCP — stateful evaluators, mid-session reassignment, metric
+// carried in every Hello — and pins the outcome to the serial
+// in-process controller for the same metric.
+func TestTwoAgentBandwidthEpochs(t *testing.T) {
+	const epochs = 4
+	sys := testSystem(t, 1)
+	wl := testWorkloads(sys, 42)
+
+	newCtl := func() *continuous.Controller {
+		ctl, err := continuous.NewWithMetric(sys, 10, continuous.MetricBandwidth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctl
+	}
+	b := New(Config{Name: "b", Timeout: 10 * time.Second, Logf: t.Logf})
+	if err := b.AddPeer(Peer{
+		Name: "a", Side: nexit.SideB, Ctl: newCtl(), Workloads: wl,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Serve(ln)
+	defer func() {
+		ln.Close()
+		b.Close()
+		b.Wait()
+	}()
+	addr := ln.Addr().String()
+
+	a := New(Config{Name: "a", Timeout: 10 * time.Second, Logf: t.Logf})
+	if err := a.AddPeer(Peer{
+		Name: "b", Side: nexit.SideA, Ctl: newCtl(), Workloads: wl,
+		Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	ref := newCtl()
+	negotiated := false
+	for epoch := 0; epoch < epochs; epoch++ {
+		reports, err := a.RunEpoch(context.Background(), epoch)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		wAB, wBA := wl(epoch)
+		want, err := ref.Epoch(wAB, wBA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(reports["b"], want) {
+			t.Errorf("epoch %d: wire report %+v, serial reference %+v", epoch, reports["b"], want)
+		}
+		if want.Negotiated > 0 {
+			negotiated = true
+		}
+	}
+	if !negotiated {
+		t.Error("no epoch negotiated; the bandwidth wire path was not exercised")
+	}
+	if st := a.Status(); st.Peers[0].Metric != string(continuous.MetricBandwidth) {
+		t.Errorf("status reports metric %q, want bandwidth", st.Peers[0].Metric)
+	}
+}
+
+// TestMetricMismatchRejected crosses a bandwidth-metric initiator with
+// a distance-metric responder: the session must be rejected cleanly at
+// Hello time with a labelled reason on both sides, and neither
+// controller may advance an epoch (a mismatch is a refusal, not a
+// desync).
+func TestMetricMismatchRejected(t *testing.T) {
+	sys := testSystem(t, 1)
+	wl := testWorkloads(sys, 42)
+	b, addr := startResponder(t, sys, wl) // distance metric
+
+	bwCtl, err := continuous.NewWithMetric(sys, 10, continuous.MetricBandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(Config{Name: "a", Timeout: 5 * time.Second})
+	if err := a.AddPeer(Peer{
+		Name: "b", Side: nexit.SideA, Ctl: bwCtl, Workloads: wl,
+		Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	_, err = a.RunEpoch(context.Background(), 0)
+	if err == nil {
+		t.Fatal("mismatched metrics negotiated successfully")
+	}
+	if !strings.Contains(err.Error(), "metric mismatch") ||
+		!strings.Contains(err.Error(), `"bandwidth"`) || !strings.Contains(err.Error(), `"distance"`) {
+		t.Errorf("rejection reason is not labelled with both metrics: %v", err)
+	}
+	// No desync: neither controller advanced, and the failure is
+	// recorded — not a half-run epoch.
+	if got := bwCtl.EpochIndex(); got != 0 {
+		t.Errorf("initiator controller advanced to epoch %d on a rejected session", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Status().SessionsFailed == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := b.Status()
+	if st.SessionsFailed == 0 {
+		t.Errorf("responder did not record the rejected session: %+v", st)
+	}
+	if st.Peers[0].Epochs != 0 {
+		t.Errorf("responder controller advanced to epoch %d on a rejected session", st.Peers[0].Epochs)
+	}
+	if st := a.Status(); st.SessionsFailed == 0 || !strings.Contains(st.Peers[0].LastError, "metric mismatch") {
+		t.Errorf("initiator status does not carry the labelled failure: %+v", st)
+	}
+}
+
 // TestDialRetryBackoff proves the outbound dialer retries with backoff
 // until the neighbor comes up.
 func TestDialRetryBackoff(t *testing.T) {

@@ -24,6 +24,9 @@ type Status struct {
 type PeerStatus struct {
 	Name      string `json:"name"`
 	Initiator bool   `json:"initiator"`
+	// Metric is the pair's negotiation objective (the controller's
+	// continuous.Metric, as carried in wire Hellos).
+	Metric string `json:"metric"`
 	// Epochs counts completed negotiation epochs with this peer.
 	Epochs int `json:"epochs"`
 	// Sessions and Failures count completed and failed wire sessions.
@@ -58,6 +61,7 @@ func (a *Agent) Status() Status {
 		st.Peers = append(st.Peers, PeerStatus{
 			Name:          p.Name,
 			Initiator:     p.initiate,
+			Metric:        string(p.Ctl.Metric),
 			Epochs:        p.stats.epochs,
 			Sessions:      p.stats.sessions,
 			Failures:      p.stats.failures,

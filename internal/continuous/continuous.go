@@ -9,18 +9,71 @@
 // flowid), selects the stable, negotiable flows, renegotiates them with
 // fresh preferences, applies the outcome, and settles the credit ledger
 // (internal/credits) so lopsided epochs are repaid later.
+//
+// The controller is metric-generic: the epoch's negotiation objective
+// is a named Metric (distance, bandwidth, Fortz–Thorup), and
+// NewEvaluator builds the matching fresh evaluator for either protocol
+// side at the start of every epoch. Invariants the daemon layer builds
+// on: epochs are deterministic in (system, metric, workloads) — no
+// hidden RNG, no wall-clock — and an epoch that errors does not
+// advance, so both endpoints of a wire pair stay in lockstep; a
+// concurrent wire run must therefore reproduce the serial in-process
+// reference exactly, per metric (the mesh harness pins this).
 package continuous
 
 import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/baseline"
+	"repro/internal/capacity"
 	"repro/internal/credits"
 	"repro/internal/flowid"
 	"repro/internal/nexit"
 	"repro/internal/pairsim"
 	"repro/internal/traffic"
 )
+
+// Metric names a negotiation objective the controller can drive — one
+// of the paper's §5 preference metrics. The name is the identity that
+// travels in the nexitwire Hello, so two daemons configured for
+// different objectives reject each other at session open instead of
+// silently negotiating over incomparable preferences.
+type Metric string
+
+// Supported metrics.
+const (
+	// MetricDistance is the §5.1 objective: the distance a flow travels
+	// inside the ISP's own network, shorter is better.
+	MetricDistance Metric = "distance"
+	// MetricBandwidth is the §5.2 objective: the maximum increase in
+	// link load (relative to capacity) along the flow's own-network
+	// path, with preference reassignment after each 5% of traffic.
+	MetricBandwidth Metric = "bandwidth"
+	// MetricFortzThorup is the paper's alternate bandwidth objective:
+	// the increase in total piecewise-linear Fortz–Thorup link cost.
+	MetricFortzThorup Metric = "fortz-thorup"
+)
+
+// Metrics lists every supported metric in canonical order.
+func Metrics() []Metric {
+	return []Metric{MetricDistance, MetricBandwidth, MetricFortzThorup}
+}
+
+// ParseMetric resolves a metric name as used by CLI flags and wire
+// Hellos. The empty string selects MetricDistance, the paper's primary
+// objective.
+func ParseMetric(s string) (Metric, error) {
+	switch Metric(s) {
+	case "", MetricDistance:
+		return MetricDistance, nil
+	case MetricBandwidth:
+		return MetricBandwidth, nil
+	case MetricFortzThorup:
+		return MetricFortzThorup, nil
+	}
+	return "", fmt.Errorf("continuous: unknown metric %q (have %v)", s, Metrics())
+}
 
 // Negotiator runs one epoch's negotiation session over an assembled
 // table. cfg is the ledger-adjusted configuration for this epoch; items,
@@ -36,6 +89,9 @@ type Controller struct {
 	Cfg nexit.Config
 	// P is the preference class bound used by the evaluators.
 	P int
+	// Metric is the pair's negotiation objective; NewEvaluator builds
+	// its evaluators. Set by New (distance) or NewWithMetric.
+	Metric Metric
 	// Registry tracks flow stability; only promoted flows are
 	// renegotiated ("in the interest of stability").
 	Registry *flowid.Registry
@@ -47,13 +103,21 @@ type Controller struct {
 	// ISP's preferences come from a remote evaluator instead of a local
 	// one. It is invoked even for an empty table, so two daemons driving
 	// the same pair stay in epoch lockstep (the empty session doubles as
-	// a heartbeat). Nil negotiates in-process with both sides' distance
-	// evaluators, as the simulations do.
+	// a heartbeat). Nil negotiates in-process with both sides' metric
+	// evaluators (NewEvaluator), as the simulations do.
 	Negotiate Negotiator
 
 	// applied is the currently installed interconnection per flow key.
 	applied map[key]int
 	epoch   int
+
+	// capA and capB are the per-link capacities of each ISP's own
+	// network (A's links, B's links), derived once from the pair's base
+	// undrifted traffic under early-exit routing — the §5.2 "capacity
+	// proportional to steady-state load" rule. Only the load-based
+	// metrics use them; both endpoints of a wire pair derive the same
+	// vectors because they depend on the system alone.
+	capA, capB []float64
 }
 
 // key identifies a flow across epochs.
@@ -80,19 +144,89 @@ type EpochReport struct {
 	Assign []int
 }
 
-// New builds a controller with the paper's §5.1 defaults.
+// New builds a distance-metric controller with the paper's §5.1
+// defaults. It is NewWithMetric(sys, p, MetricDistance).
 func New(sys *pairsim.System, p int) *Controller {
-	cfg := nexit.DefaultDistanceConfig()
+	c, err := NewWithMetric(sys, p, MetricDistance)
+	if err != nil {
+		panic(err) // unreachable: distance always constructs
+	}
+	return c
+}
+
+// NewWithMetric builds a controller negotiating the named metric. The
+// metric selects both the evaluator family (see NewEvaluator) and the
+// engine configuration: load-based metrics renegotiate preferences
+// after each 5% of traffic (nexit.DefaultBandwidthConfig), distance
+// never does. An empty metric means distance.
+func NewWithMetric(sys *pairsim.System, p int, metric Metric) (*Controller, error) {
+	metric, err := ParseMetric(string(metric))
+	if err != nil {
+		return nil, err
+	}
+	var cfg nexit.Config
+	if metric == MetricDistance {
+		cfg = nexit.DefaultDistanceConfig()
+	} else {
+		cfg = nexit.DefaultBandwidthConfig()
+	}
 	cfg.PrefBound = p
-	return &Controller{
+	c := &Controller{
 		Sys:      sys,
 		Rev:      sys.Reverse(),
 		Cfg:      cfg,
 		P:        p,
+		Metric:   metric,
 		Registry: flowid.NewRegistry(0.5, 1, 3),
 		Ledger:   credits.NewLedger(2 * p),
 		applied:  make(map[key]int),
 	}
+	if metric != MetricDistance {
+		c.capA, c.capB = baseCapacities(c.Sys, c.Rev)
+	}
+	return c, nil
+}
+
+// baseCapacities derives each ISP's own-network link capacities from
+// the pair's base (undrifted) gravity traffic in both directions,
+// routed early-exit — the steady state the network was provisioned
+// for. Deterministic in the system alone.
+func baseCapacities(sys, rev *pairsim.System) (capA, capB []float64) {
+	wAB := traffic.New(sys.Pair.A, sys.Pair.B, traffic.Gravity, nil)
+	wBA := traffic.New(rev.Pair.A, rev.Pair.B, traffic.Gravity, nil)
+	upAB, downAB := sys.Loads(wAB.Flows, baseline.EarlyExit(sys, wAB.Flows))
+	upBA, downBA := rev.Loads(wBA.Flows, baseline.EarlyExit(rev, wBA.Flows))
+	loadA := make([]float64, len(upAB)) // A's links: A->B upstream + B->A downstream
+	for i := range loadA {
+		loadA[i] = upAB[i] + downBA[i]
+	}
+	loadB := make([]float64, len(downAB)) // B's links: A->B downstream + B->A upstream
+	for i := range loadB {
+		loadB[i] = downAB[i] + upBA[i]
+	}
+	return capacity.Assign(loadA, capacity.Options{}), capacity.Assign(loadB, capacity.Options{})
+}
+
+// NewEvaluator builds a fresh evaluator for one epoch's session on the
+// given protocol side (SideA is the pair's A / wire initiator). The
+// load-based evaluators are stateful within a session — commits move
+// link load — so every epoch starts from a clean slate over the
+// controller's fixed base capacities. Both endpoints of a wire pair and
+// the serial in-process reference construct the identical evaluator,
+// which is what keeps the concurrent wire outcome pinned to the serial
+// reference for every metric.
+func (c *Controller) NewEvaluator(side nexit.Side) nexit.Evaluator {
+	capv := c.capA
+	if side == nexit.SideB {
+		capv = c.capB
+	}
+	switch c.Metric {
+	case MetricBandwidth:
+		return nexit.NewBandwidthEvaluator(c.Sys, side, c.P, make([]float64, len(capv)), capv)
+	case MetricFortzThorup:
+		return nexit.NewFortzThorupEvaluator(c.Sys, side, c.P, make([]float64, len(capv)), capv)
+	}
+	return nexit.NewDistanceEvaluator(c.Sys, side, c.P)
 }
 
 // Epoch processes one epoch's workloads (both directions) and returns
@@ -156,8 +290,8 @@ func (c *Controller) Epoch(wAB, wBA *traffic.Workload) (*EpochReport, error) {
 		negotiate := c.Negotiate
 		if negotiate == nil {
 			negotiate = func(cfg nexit.Config, items []nexit.Item, defaults []int, numAlts int) (*nexit.Result, error) {
-				evalA := nexit.NewDistanceEvaluator(c.Sys, nexit.SideA, c.P)
-				evalB := nexit.NewDistanceEvaluator(c.Sys, nexit.SideB, c.P)
+				evalA := c.NewEvaluator(nexit.SideA)
+				evalB := c.NewEvaluator(nexit.SideB)
 				return nexit.Negotiate(cfg, evalA, evalB, items, defaults, numAlts)
 			}
 		}

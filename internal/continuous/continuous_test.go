@@ -2,6 +2,7 @@ package continuous
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/gen"
@@ -86,6 +87,86 @@ func TestControllerImprovesSteadyState(t *testing.T) {
 	if last.DistanceApplied >= last.DistanceDefault {
 		t.Errorf("steady state: applied %.0f not better than default %.0f",
 			last.DistanceApplied, last.DistanceDefault)
+	}
+}
+
+// TestMetricEpochsDeterministic runs every supported metric through
+// several drifting epochs twice and requires identical trajectories —
+// the determinism the wire parity tests build on — plus real
+// negotiation once the registry warms up.
+func TestMetricEpochsDeterministic(t *testing.T) {
+	sys := testSystem(t)
+	for _, metric := range Metrics() {
+		t.Run(string(metric), func(t *testing.T) {
+			run := func() []*EpochReport {
+				c, err := NewWithMetric(sys, 10, metric)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c.Metric != metric {
+					t.Fatalf("controller metric = %q, want %q", c.Metric, metric)
+				}
+				rng := rand.New(rand.NewSource(7))
+				baseAB := traffic.New(sys.Pair.A, sys.Pair.B, traffic.Gravity, nil)
+				baseBA := traffic.New(sys.Pair.B, sys.Pair.A, traffic.Gravity, nil)
+				var reps []*EpochReport
+				for epoch := 0; epoch < 5; epoch++ {
+					rep, err := c.Epoch(Drift(baseAB, 0.3, rng), Drift(baseBA, 0.3, rng))
+					if err != nil {
+						t.Fatal(err)
+					}
+					reps = append(reps, rep)
+				}
+				return reps
+			}
+			first, second := run(), run()
+			negotiated := false
+			for e := range first {
+				if !reflect.DeepEqual(first[e], second[e]) {
+					t.Errorf("epoch %d not deterministic:\n  %+v\n  %+v", e, first[e], second[e])
+				}
+				if first[e].Negotiated > 0 {
+					negotiated = true
+				}
+			}
+			if !negotiated {
+				t.Error("registry never promoted a flow; the metric was not exercised")
+			}
+		})
+	}
+}
+
+// TestMetricConfig pins the per-metric engine configuration and the
+// metric name round-trip.
+func TestMetricConfig(t *testing.T) {
+	sys := testSystem(t)
+	for _, tc := range []struct {
+		metric   Metric
+		reassign float64
+	}{
+		{MetricDistance, 0},
+		{MetricBandwidth, 0.05},
+		{MetricFortzThorup, 0.05},
+	} {
+		c, err := NewWithMetric(sys, 10, tc.metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Cfg.ReassignFraction != tc.reassign {
+			t.Errorf("%s: ReassignFraction = %v, want %v", tc.metric, c.Cfg.ReassignFraction, tc.reassign)
+		}
+		if got, err := ParseMetric(string(tc.metric)); err != nil || got != tc.metric {
+			t.Errorf("ParseMetric(%q) = %q, %v", tc.metric, got, err)
+		}
+	}
+	if m, err := ParseMetric(""); err != nil || m != MetricDistance {
+		t.Errorf("ParseMetric(\"\") = %q, %v; want distance", m, err)
+	}
+	if _, err := ParseMetric("latency"); err == nil {
+		t.Error("ParseMetric accepted an unknown metric")
+	}
+	if New(sys, 10).Metric != MetricDistance {
+		t.Error("New did not default to the distance metric")
 	}
 }
 

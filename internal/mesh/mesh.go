@@ -2,10 +2,16 @@
 // one process and drives them to convergence: one internal/agentd Agent
 // per ISP, wired into an all-pairs (or topology-filtered) mesh over
 // in-memory pipes or loopback TCP, negotiating concurrent epochs of
-// drifting traffic. It is the test and benchmark harness for the §6
-// deployment model — Run's wire outcome must match RunSerial's
-// in-process reference pair by pair, deterministically, for every
-// concurrency bound.
+// drifting traffic. Options.Metric selects the negotiation objective
+// mesh-wide (distance, bandwidth, Fortz–Thorup), making the harness a
+// multi-workload testbed for the daemon path.
+//
+// It is the test and benchmark harness for the §6 deployment model,
+// and the keeper of its central invariant: Run's concurrent wire
+// outcome must match RunSerial's in-process reference pair by pair,
+// deterministically, for every concurrency bound and every metric.
+// Epoch workloads derive from (seed, pair key, epoch) alone, so
+// neither scheduling nor session interleaving can perturb a result.
 package mesh
 
 import (
@@ -34,6 +40,10 @@ type Options struct {
 	Seed int64
 	// P is the preference class bound (default 10).
 	P int
+	// Metric is the negotiation objective every pair drives (default
+	// continuous.MetricDistance). It parameterizes the controllers on
+	// both sides and travels in every wire Hello.
+	Metric continuous.Metric
 	// Epochs is how many renegotiation epochs to run (default 4).
 	Epochs int
 	// MaxPairs caps the number of neighbor pairs (0 = all eligible).
@@ -66,6 +76,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.P == 0 {
 		o.P = 10
+	}
+	if o.Metric == "" {
+		o.Metric = continuous.MetricDistance
 	}
 	if o.Epochs == 0 {
 		o.Epochs = 4
@@ -206,16 +219,24 @@ func Run(opt Options) (*Result, error) {
 	// hence protocol side A), the higher-index one serves.
 	for _, mp := range pairs {
 		sys := pairsim.New(mp.pair, cache)
+		ctlA, err := continuous.NewWithMetric(sys, opt.P, opt.Metric)
+		if err != nil {
+			return nil, err
+		}
+		ctlB, err := continuous.NewWithMetric(sys, opt.P, opt.Metric)
+		if err != nil {
+			return nil, err
+		}
 		if err := agents[mp.i].AddPeer(agentd.Peer{
 			Name: agentd.AgentName(mp.j), Side: nexit.SideA,
-			Ctl: continuous.New(sys, opt.P), Workloads: mp.wl,
+			Ctl: ctlA, Workloads: mp.wl,
 			Dial: dialers[mp.j],
 		}); err != nil {
 			return nil, err
 		}
 		if err := agents[mp.j].AddPeer(agentd.Peer{
 			Name: agentd.AgentName(mp.i), Side: nexit.SideB,
-			Ctl: continuous.New(sys, opt.P), Workloads: mp.wl,
+			Ctl: ctlB, Workloads: mp.wl,
 		}); err != nil {
 			return nil, err
 		}
@@ -309,7 +330,10 @@ func RunSerial(opt Options) (*Result, error) {
 	seen := make(map[int]bool)
 	for _, mp := range pairs {
 		seen[mp.i], seen[mp.j] = true, true
-		ctl := continuous.New(pairsim.New(mp.pair, cache), opt.P)
+		ctl, err := continuous.NewWithMetric(pairsim.New(mp.pair, cache), opt.P, opt.Metric)
+		if err != nil {
+			return nil, err
+		}
 		pr := PairResult{I: mp.i, J: mp.j, Pair: mp.pair}
 		for epoch := 0; epoch < opt.Epochs; epoch++ {
 			wAB, wBA := mp.wl(epoch)

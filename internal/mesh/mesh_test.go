@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/continuous"
 )
 
 // testOptions is the shared mesh configuration: a 10-ISP dataset yields
@@ -44,53 +46,66 @@ func checkParity(t *testing.T, serial, wire *Result) {
 	}
 }
 
-// TestMeshMatchesSerial is the acceptance test: a >=6-agent mesh with
-// concurrent sessions produces, for every pair, the identical
-// assignments and gains as the serial in-process negotiation for the
-// same seed — at every session bound.
+// TestMeshMatchesSerial is the acceptance test, run as a parity
+// matrix: for every supported metric, a >=6-agent mesh with concurrent
+// sessions produces, for every pair, the identical assignments and
+// gains as the serial in-process negotiation for the same seed — at
+// every session bound.
 func TestMeshMatchesSerial(t *testing.T) {
-	opt := testOptions()
-	serial, err := RunSerial(opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if serial.ISPs < 6 {
-		t.Fatalf("mesh has %d agents, want >= 6", serial.ISPs)
-	}
-
-	// The steady state must negotiate for real: some pair moves flows.
-	negotiated := false
-	for _, p := range serial.Pairs {
-		last := p.Reports[len(p.Reports)-1]
-		if last.Negotiated > 0 && last.Assign != nil {
-			negotiated = true
-		}
-	}
-	if !negotiated {
-		t.Fatal("no pair ever negotiated; the mesh exercises nothing")
-	}
-
-	bounds := []int{1, runtime.GOMAXPROCS(0)}
-	for _, sessions := range bounds {
-		opt := opt
-		opt.Sessions = sessions
-		wire, err := Run(opt)
-		if err != nil {
-			t.Fatalf("sessions=%d: %v", sessions, err)
-		}
-		if wire.ISPs != serial.ISPs {
-			t.Errorf("sessions=%d: %d agents, serial had %d", sessions, wire.ISPs, serial.ISPs)
-		}
-		wantSessions := int64(len(serial.Pairs) * opt.Epochs)
-		if wire.Sessions != wantSessions {
-			t.Errorf("sessions=%d: completed %d wire sessions, want %d", sessions, wire.Sessions, wantSessions)
-		}
-		for _, st := range wire.Agents {
-			if st.SessionsFailed != 0 {
-				t.Errorf("sessions=%d: agent %s failed %d sessions", sessions, st.Name, st.SessionsFailed)
+	for _, metric := range continuous.Metrics() {
+		t.Run(string(metric), func(t *testing.T) {
+			opt := testOptions()
+			opt.Metric = metric
+			serial, err := RunSerial(opt)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		checkParity(t, serial, wire)
+			if serial.ISPs < 6 {
+				t.Fatalf("mesh has %d agents, want >= 6", serial.ISPs)
+			}
+
+			// The steady state must negotiate for real: some pair
+			// reaches the table, so the metric's wire path (prefs,
+			// commits, reassignment for load metrics) is exercised.
+			negotiated := false
+			for _, p := range serial.Pairs {
+				last := p.Reports[len(p.Reports)-1]
+				if last.Negotiated > 0 && last.Assign != nil {
+					negotiated = true
+				}
+			}
+			if !negotiated {
+				t.Fatal("no pair ever negotiated; the mesh exercises nothing")
+			}
+
+			bounds := []int{1, runtime.GOMAXPROCS(0)}
+			for _, sessions := range bounds {
+				opt := opt
+				opt.Sessions = sessions
+				wire, err := Run(opt)
+				if err != nil {
+					t.Fatalf("sessions=%d: %v", sessions, err)
+				}
+				if wire.ISPs != serial.ISPs {
+					t.Errorf("sessions=%d: %d agents, serial had %d", sessions, wire.ISPs, serial.ISPs)
+				}
+				wantSessions := int64(len(serial.Pairs) * opt.Epochs)
+				if wire.Sessions != wantSessions {
+					t.Errorf("sessions=%d: completed %d wire sessions, want %d", sessions, wire.Sessions, wantSessions)
+				}
+				for _, st := range wire.Agents {
+					if st.SessionsFailed != 0 {
+						t.Errorf("sessions=%d: agent %s failed %d sessions", sessions, st.Name, st.SessionsFailed)
+					}
+					for _, peer := range st.Peers {
+						if peer.Metric != string(metric) {
+							t.Errorf("agent %s peer %s reports metric %q, want %q", st.Name, peer.Name, peer.Metric, metric)
+						}
+					}
+				}
+				checkParity(t, serial, wire)
+			}
+		})
 	}
 }
 

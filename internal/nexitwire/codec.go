@@ -17,6 +17,15 @@
 //
 // All multi-byte integers are big endian. Preference classes are int8
 // (the paper's P=10 fits comfortably).
+//
+// Sessions are metric-generic: the Hello names the objective being
+// negotiated (distance, bandwidth, Fortz–Thorup, …) and both endpoints
+// must agree or the responder rejects the session at open with a
+// labelled Error frame. Together with the version and workload-hash
+// checks this is the invariant the daemon layer leans on: a session
+// either runs the exact universe both sides expect, or fails fast
+// before either controller advances an epoch — never a silent desync.
+// DESIGN.md §7 documents the full wire/metric contract.
 package nexitwire
 
 import (
@@ -27,8 +36,17 @@ import (
 
 // Protocol constants.
 const (
-	// Version is the protocol version carried in Hello frames.
-	Version = 1
+	// Version is the protocol version carried in Hello frames. The
+	// compat rule (DESIGN.md §7): the Hello's fixed prefix through
+	// WorkloadHash never changes shape, version-gated fields are only
+	// ever appended (v2 added Metric), and both endpoints require an
+	// exact version match — a Hello from a different version decodes
+	// far enough to read its version and is then rejected with a
+	// labelled Error frame, never answered with a desynced session.
+	//
+	// Version history: 1 = original framing; 2 = metric negotiation
+	// (Hello carries the named objective, mismatches reject cleanly).
+	Version = 2
 	// MaxFrameSize bounds incoming frames; a peer advertising more is
 	// rejected rather than buffered (defense against resource
 	// exhaustion, and no legitimate frame approaches it).
@@ -80,14 +98,19 @@ func (t MsgType) String() string {
 }
 
 // Hello opens a session. Both agents must agree on the negotiation
-// universe: the number of alternatives and items, and a hash of the
-// workload so that mismatched configurations fail fast.
+// universe — the number of alternatives and items, a hash of the
+// workload, and (since v2) the named metric being negotiated — so that
+// mismatched configurations fail fast with a labelled reason.
 type Hello struct {
 	Version      uint16
 	Name         string // agent name, diagnostic only
 	NumAlts      uint16
 	NumItems     uint32
 	WorkloadHash uint64
+	// Metric names the negotiation objective (v2+; empty in v1 Hellos,
+	// which DefaultMetric interprets). Both endpoints must agree, or
+	// the responder rejects the session at open.
+	Metric string
 }
 
 // PrefsRequest asks the responder for its preference classes over the
@@ -288,6 +311,9 @@ func encodeHello(h *Hello) []byte {
 	e.u16(h.NumAlts)
 	e.u32(h.NumItems)
 	e.u64(h.WorkloadHash)
+	if h.Version >= 2 {
+		e.str(h.Metric)
+	}
 	return e.b
 }
 
@@ -299,6 +325,19 @@ func decodeHello(b []byte) (*Hello, error) {
 		NumAlts:      d.u16(),
 		NumItems:     d.u32(),
 		WorkloadHash: d.u64(),
+	}
+	if h.Version >= 2 {
+		h.Metric = d.str()
+	}
+	if h.Version > Version {
+		// A newer peer may have appended fields we do not know. Keep
+		// what we parsed — without insisting on an empty remainder —
+		// so the caller's version check can reject with a clean,
+		// labelled reason instead of a framing error.
+		if d.err != nil {
+			return nil, d.err
+		}
+		return h, nil
 	}
 	return h, d.done()
 }

@@ -15,6 +15,19 @@ import (
 // DefaultTimeout bounds each blocking wire exchange.
 const DefaultTimeout = 30 * time.Second
 
+// DefaultMetric is the objective assumed when an endpoint (or a v1
+// Hello) leaves the metric unset — the paper's primary §5.1 distance
+// metric. It matches continuous.MetricDistance by construction.
+const DefaultMetric = "distance"
+
+// metricName canonicalizes a possibly-empty metric label.
+func metricName(m string) string {
+	if m == "" {
+		return DefaultMetric
+	}
+	return m
+}
+
 // WorkloadHash fingerprints the negotiation universe (items, defaults,
 // alternative count) so two agents configured differently fail fast at
 // Hello time instead of negotiating nonsense.
@@ -55,6 +68,10 @@ type SessionResult struct {
 type Initiator struct {
 	Name string
 	Cfg  nexit.Config
+	// Metric names the negotiation objective carried in the Hello;
+	// the responder must be configured for the same one (empty means
+	// DefaultMetric). Eval must implement it.
+	Metric string
 	// Eval is the initiator's own evaluator (protocol side A).
 	Eval nexit.Evaluator
 	// Accept, when non-nil, decides the initiator's own accept/veto
@@ -91,6 +108,7 @@ func (in *Initiator) Run(conn net.Conn, items []nexit.Item, defaults []int, numA
 		NumAlts:      uint16(numAlts),
 		NumItems:     uint32(len(items)),
 		WorkloadHash: WorkloadHash(items, defaults, numAlts),
+		Metric:       metricName(in.Metric),
 	})); err != nil {
 		return nil, err
 	}
@@ -104,6 +122,21 @@ func (in *Initiator) Run(conn net.Conn, items []nexit.Item, defaults []int, numA
 	}
 	if ack.Version != Version {
 		return nil, s.abort(fmt.Errorf("nexitwire: peer version %d, want %d", ack.Version, Version))
+	}
+	if metricName(ack.Metric) != metricName(in.Metric) {
+		return nil, s.abort(fmt.Errorf("nexitwire: metric mismatch: peer negotiates %q, we negotiate %q",
+			metricName(ack.Metric), metricName(in.Metric)))
+	}
+	// Re-check the universe symmetrically: a responder that skipped its
+	// own validation cannot drag us into a mismatched session that
+	// would only surface later as a framing or audit error.
+	switch {
+	case int(ack.NumAlts) != numAlts:
+		return nil, s.abort(fmt.Errorf("nexitwire: peer acked %d alternatives, we have %d", ack.NumAlts, numAlts))
+	case int(ack.NumItems) != len(items):
+		return nil, s.abort(fmt.Errorf("nexitwire: peer acked %d items, we have %d", ack.NumItems, len(items)))
+	case ack.WorkloadHash != WorkloadHash(items, defaults, numAlts):
+		return nil, s.abort(fmt.Errorf("nexitwire: workload hash mismatch in ack"))
 	}
 
 	remote := &remoteEvaluator{s: s, own: in.Eval, numAlts: numAlts}
@@ -263,6 +296,10 @@ func (r *remoteEvaluator) askAccept(p nexit.Proposal) (bool, error) {
 // assignment.
 type Responder struct {
 	Name string
+	// Metric names the negotiation objective this responder serves
+	// (empty means DefaultMetric). A Hello naming any other metric is
+	// rejected with a labelled reason before the engine runs.
+	Metric string
 	// Eval is the responder's evaluator (protocol side B).
 	Eval nexit.Evaluator
 	// Accept, when non-nil, decides accept/veto; nil accepts everything.
@@ -340,6 +377,9 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 	switch {
 	case hello.Version != Version:
 		return nil, s.abort(fmt.Errorf("nexitwire: peer version %d, want %d", hello.Version, Version))
+	case metricName(hello.Metric) != metricName(r.Metric):
+		return nil, s.abort(fmt.Errorf("nexitwire: metric mismatch: peer negotiates %q, we negotiate %q",
+			metricName(hello.Metric), metricName(r.Metric)))
 	case int(hello.NumAlts) != r.NumAlts:
 		return nil, s.abort(fmt.Errorf("nexitwire: peer has %d alternatives, we have %d", hello.NumAlts, r.NumAlts))
 	case int(hello.NumItems) != len(r.Items):
@@ -351,6 +391,7 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 		Version: Version, Name: r.Name,
 		NumAlts: uint16(r.NumAlts), NumItems: uint32(len(r.Items)),
 		WorkloadHash: wantHash,
+		Metric:       metricName(r.Metric),
 	})); err != nil {
 		return nil, err
 	}

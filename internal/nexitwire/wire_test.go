@@ -57,13 +57,140 @@ func TestFrameGuards(t *testing.T) {
 }
 
 func TestHelloRoundtrip(t *testing.T) {
-	h := &Hello{Version: 1, Name: "isp-a agent", NumAlts: 5, NumItems: 1234, WorkloadHash: 0xDEADBEEF12345678}
-	got, err := decodeHello(encodeHello(h))
+	for _, h := range []*Hello{
+		// v1 frames carry no metric; the codec must still round-trip
+		// them so old peers are identified (and version-rejected)
+		// rather than choking on framing.
+		{Version: 1, Name: "isp-a agent", NumAlts: 5, NumItems: 1234, WorkloadHash: 0xDEADBEEF12345678},
+		{Version: 2, Name: "isp-a agent", NumAlts: 5, NumItems: 1234, WorkloadHash: 0xDEADBEEF12345678, Metric: "bandwidth"},
+	} {
+		got, err := decodeHello(encodeHello(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(h, got) {
+			t.Errorf("got %+v, want %+v", got, h)
+		}
+	}
+}
+
+// TestHelloVersionCompat pins the compat rule: a Hello from a newer
+// version with unknown trailing fields still decodes (so the version
+// check can reject it cleanly), while same-version trailing garbage is
+// a framing error.
+func TestHelloVersionCompat(t *testing.T) {
+	future := append(encodeHello(&Hello{
+		Version: Version + 1, Name: "isp-z", NumAlts: 3, NumItems: 9,
+		WorkloadHash: 42, Metric: "distance",
+	}), 0xAB, 0xCD) // a hypothetical v3 field we do not know
+	h, err := decodeHello(future)
+	if err != nil {
+		t.Fatalf("newer-version hello with unknown fields did not decode: %v", err)
+	}
+	if h.Version != Version+1 || h.Metric != "distance" {
+		t.Errorf("decoded %+v from the future hello", h)
+	}
+
+	current := append(encodeHello(&Hello{Version: Version, Name: "isp-a", Metric: "distance"}), 0xAB)
+	if _, err := decodeHello(current); err == nil {
+		t.Error("same-version hello with trailing bytes decoded")
+	}
+}
+
+// TestWireMetricMismatch crosses a bandwidth initiator with a
+// distance responder: the responder must answer the Hello with a clean,
+// labelled rejection — surfaced verbatim to the initiator — before any
+// negotiation state exists on either side.
+func TestWireMetricMismatch(t *testing.T) {
+	s, items, defaults, numAlts := testUniverse(t)
+	connA, connB := net.Pipe()
+	defer connA.Close()
+	defer connB.Close()
+
+	resp := &Responder{
+		Name:     "agent-b",
+		Metric:   "distance",
+		Eval:     nexit.NewDistanceEvaluator(s, nexit.SideB, 10),
+		Items:    items,
+		Defaults: defaults,
+		NumAlts:  numAlts,
+		Timeout:  2 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := resp.ServeConn(connB)
+		errCh <- err
+	}()
+	ini := &Initiator{
+		Name: "agent-a", Cfg: nexit.DefaultDistanceConfig(),
+		Metric:  "bandwidth",
+		Eval:    nexit.NewDistanceEvaluator(s, nexit.SideA, 10),
+		Timeout: 2 * time.Second,
+	}
+	_, err := ini.Run(connA, items, defaults, numAlts)
+	if err == nil {
+		t.Fatal("initiator negotiated across a metric mismatch")
+	}
+	if !strings.Contains(err.Error(), "peer error") || !strings.Contains(err.Error(), "metric mismatch") {
+		t.Errorf("initiator error is not the peer's labelled rejection: %v", err)
+	}
+	respErr := <-errCh
+	if respErr == nil {
+		t.Fatal("responder served a mismatched metric")
+	}
+	if !strings.Contains(respErr.Error(), `peer negotiates "bandwidth"`) ||
+		!strings.Contains(respErr.Error(), `we negotiate "distance"`) {
+		t.Errorf("responder reason does not name both metrics: %v", respErr)
+	}
+}
+
+// TestWireVersionMismatchRejected serves a v1 Hello to a current
+// responder and expects the labelled version rejection, not a decode
+// failure or a hung session.
+func TestWireVersionMismatchRejected(t *testing.T) {
+	s, items, defaults, numAlts := testUniverse(t)
+	connA, connB := net.Pipe()
+	defer connA.Close()
+	defer connB.Close()
+
+	resp := &Responder{
+		Name:     "agent-b",
+		Eval:     nexit.NewDistanceEvaluator(s, nexit.SideB, 10),
+		Items:    items,
+		Defaults: defaults,
+		NumAlts:  numAlts,
+		Timeout:  2 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := resp.ServeConn(connB)
+		errCh <- err
+	}()
+
+	fw := frameWriter{w: connA}
+	if err := fw.writeFrame(MsgHello, encodeHello(&Hello{
+		Version: 1, Name: "old-agent",
+		NumAlts: uint16(numAlts), NumItems: uint32(len(items)),
+		WorkloadHash: WorkloadHash(items, defaults, numAlts),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := readFrame(connA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(h, got) {
-		t.Errorf("got %+v, want %+v", got, h)
+	if typ != MsgError {
+		t.Fatalf("responder answered a v1 hello with %v, want error", typ)
+	}
+	em, err := decodeError(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(em.Reason, "version 1") {
+		t.Errorf("rejection reason does not name the version: %s", em.Reason)
+	}
+	if err := <-errCh; err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("responder error: %v", err)
 	}
 }
 
@@ -225,6 +352,71 @@ func runWireSession(t *testing.T, connA, connB net.Conn, s *pairsim.System, item
 		t.Fatalf("responder: %v", out.err)
 	}
 	return res, out.res
+}
+
+// TestWireBandwidthMatchesInProcess runs a full bandwidth-metric
+// session — stateful evaluators, mid-session preference reassignment —
+// over the wire and pins it to the in-process engine. This is the
+// non-distance wire path the daemon layer builds on.
+func TestWireBandwidthMatchesInProcess(t *testing.T) {
+	s, items, defaults, numAlts := testUniverse(t)
+	// Fresh stateful evaluator per use: capacities sized so that flows
+	// contend (each link fits a handful of unit flows).
+	mk := func(side nexit.Side) nexit.Evaluator {
+		tbl := s.Up
+		if side == nexit.SideB {
+			tbl = s.Down
+		}
+		n := len(tbl.ISP.Links)
+		load, capv := make([]float64, n), make([]float64, n)
+		for i := range capv {
+			capv[i] = 5
+		}
+		return nexit.NewBandwidthEvaluator(s, side, 10, load, capv)
+	}
+	cfg := nexit.DefaultBandwidthConfig()
+	ref, err := nexit.Negotiate(cfg, mk(nexit.SideA), mk(nexit.SideB), items, defaults, numAlts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	connA, connB := net.Pipe()
+	defer connA.Close()
+	defer connB.Close()
+	resp := &Responder{
+		Name: "agent-b", Metric: "bandwidth",
+		Eval:  mk(nexit.SideB),
+		Items: items, Defaults: defaults, NumAlts: numAlts,
+		Timeout: 5 * time.Second,
+	}
+	type respOut struct {
+		res *SessionResult
+		err error
+	}
+	ch := make(chan respOut, 1)
+	go func() {
+		r, err := resp.ServeConn(connB)
+		ch <- respOut{r, err}
+	}()
+	ini := &Initiator{
+		Name: "agent-a", Metric: "bandwidth",
+		Cfg:  cfg,
+		Eval: mk(nexit.SideA), Timeout: 5 * time.Second,
+	}
+	res, err := ini.Run(connA, items, defaults, numAlts)
+	if err != nil {
+		t.Fatalf("initiator: %v", err)
+	}
+	out := <-ch
+	if out.err != nil {
+		t.Fatalf("responder: %v", out.err)
+	}
+	if !reflect.DeepEqual(ref.Assign, res.Assign) || !reflect.DeepEqual(ref.Assign, out.res.Assign) {
+		t.Error("bandwidth wire session diverged from the in-process engine")
+	}
+	if res.GainA != ref.GainA || out.res.GainB != ref.GainB {
+		t.Errorf("gains: wire (%d,%d), in-process (%d,%d)", res.GainA, out.res.GainB, ref.GainA, ref.GainB)
+	}
 }
 
 func TestWireMatchesInProcess(t *testing.T) {
