@@ -1,0 +1,19 @@
+# Convenience targets mirroring CI (.github/workflows/ci.yml).
+
+.PHONY: test smoke bench
+
+# Tier-1 verification: build plus the full race-enabled test suite.
+test:
+	go build ./...
+	go test -race ./...
+
+# CI's mesh-smoke job: the daemon path end to end, including the
+# fault-injection / epoch-resync recovery variant.
+smoke:
+	go test -short -race -run 'TestMeshMatchesSerial/distance|TestMeshOverTCP|TestMeshNeighborGraph|TestMeshRecovery' ./internal/mesh/...
+	go test -short -race -run 'TestMeshMatchesSerial/bandwidth' ./internal/mesh/...
+
+# Regenerate BENCH_runner.json the way its comment describes and append
+# a PR-tagged history entry: make bench PR=4
+bench:
+	./scripts/bench.sh $(PR)

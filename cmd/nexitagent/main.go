@@ -30,10 +30,20 @@
 //	nexitagent -isp 2 -isps 12 -listen 127.0.0.1:4180 -metric bandwidth -peer 1 -epochs 8
 //	nexitagent -isp 1 -isps 12 -metric bandwidth -peer 2=127.0.0.1:4180 -epochs 8
 //
-// The daemon runs -epochs epochs (0 = until interrupted), pacing them
-// by -interval, and shuts down gracefully on SIGINT/SIGTERM. With
-// -debug-addr it serves live status at /debug/vars (including each
-// peer's metric).
+// The daemon runs until every initiated peer has completed -epochs
+// epochs (0 = until interrupted), pacing rounds by -interval, and shuts
+// down gracefully on SIGINT/SIGTERM. With -debug-addr it serves live
+// status at /debug/vars (including each peer's metric and resync
+// count).
+//
+// Failures self-heal (the epoch-resync handshake, DESIGN.md §7): each
+// round drives the lowest epoch any peer still needs, so a failed
+// session is simply retried next round, and a restarted daemon — this
+// one or a neighbor — fast-forwards by deterministic local replay and
+// rejoins without operator intervention. A daemon restarted mid-mesh
+// starts again at epoch 0, learns its neighbors' epoch from their skew
+// rejections, catches up, and continues; no other daemon needs a
+// restart.
 package main
 
 import (
@@ -220,9 +230,15 @@ func main() {
 	defer stop()
 
 	// Drive the peers we initiate to, epoch by epoch; serving peers
-	// advance when their initiators call. -epochs 0 runs until SIGINT.
-	for epoch := 0; *epochs == 0 || epoch < *epochs; epoch++ {
-		if ctx.Err() != nil || initiating == 0 {
+	// advance when their initiators call. Each round runs the lowest
+	// epoch any initiated peer still needs (NextEpoch), so a failed
+	// epoch is retried until it heals — RunEpoch is idempotent, so
+	// peers that already negotiated it are skipped — and a daemon
+	// restarted mid-mesh resyncs to its neighbors and continues.
+	// -epochs 0 runs until SIGINT.
+	for initiating > 0 && ctx.Err() == nil {
+		epoch := agent.NextEpoch()
+		if *epochs > 0 && epoch >= *epochs {
 			break
 		}
 		reports, err := agent.RunEpoch(ctx, epoch)
@@ -230,12 +246,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nexitagent: epoch %d: %v\n", epoch, err)
 		}
 		if !*quiet {
-			printEpoch(epoch, reports)
+			printEpoch(reports)
 		}
-		if *interval > 0 && (*epochs == 0 || epoch+1 < *epochs) {
-			select {
-			case <-time.After(*interval):
-			case <-ctx.Done():
+		if done := *epochs > 0 && agent.NextEpoch() >= *epochs; !done {
+			pause := *interval
+			if err != nil && pause < time.Second {
+				// Failed rounds must not spin: retry at a gentle pace
+				// even when -interval is zero.
+				pause = time.Second
+			}
+			if pause > 0 {
+				select {
+				case <-time.After(pause):
+				case <-ctx.Done():
+				}
 			}
 		}
 	}
@@ -274,8 +298,10 @@ func servedAll(a *agentd.Agent, epochs int) bool {
 	return true
 }
 
-// printEpoch writes one line per peer for the epoch.
-func printEpoch(epoch int, reports map[string]*continuous.EpochReport) {
+// printEpoch writes one line per peer for the epoch. A peer that
+// resynced past the driven epoch (skew recovery) reports the epoch it
+// actually negotiated, so each line shows its report's own index.
+func printEpoch(reports map[string]*continuous.EpochReport) {
 	peers := make([]string, 0, len(reports))
 	for name := range reports {
 		peers = append(peers, name)
@@ -288,7 +314,7 @@ func printEpoch(epoch int, reports map[string]*continuous.EpochReport) {
 			saving = 100 * (rep.DistanceDefault - rep.DistanceApplied) / rep.DistanceDefault
 		}
 		fmt.Printf("epoch %2d  %s: observed %3d, negotiated %3d, moved %3d, gains %+d/%+d, ledger %+d, %+.2f%% vs early-exit\n",
-			epoch, name, rep.Observed, rep.Negotiated, rep.Moved,
+			rep.Epoch, name, rep.Observed, rep.Negotiated, rep.Moved,
 			rep.GainA, rep.GainB, rep.LedgerBalance, saving)
 	}
 }

@@ -33,6 +33,17 @@
 // metric, seed) and a failed epoch leaves both controllers where they
 // were, so the mesh harness can pin the concurrent wire outcome to the
 // serial in-process reference for every metric.
+//
+// Failures self-heal. Because epochs are deterministic in (system,
+// metric, seed), a controller that missed epochs can reconstruct them
+// by local replay (continuous.Controller.SeekEpoch), and the v3 wire
+// Hello carries the initiator's epoch index so both sides can tell who
+// is behind: a lagging responder fast-forwards before serving, a
+// lagging initiator fast-forwards before dialing, and an initiator
+// that is told (via nexitwire.EpochSkewError) that its responder is
+// ahead fast-forwards and retries the session once. A failed or
+// restarted daemon therefore rejoins the mesh without operator
+// intervention; every resync is counted in the status surface.
 package agentd
 
 import (
@@ -50,7 +61,6 @@ import (
 	"repro/internal/continuous"
 	"repro/internal/nexit"
 	"repro/internal/nexitwire"
-	"repro/internal/traffic"
 )
 
 // Default daemon parameters.
@@ -59,6 +69,21 @@ const (
 	DefaultDialAttempts = 5
 	// DefaultDialBackoff is the first retry delay; it doubles per retry.
 	DefaultDialBackoff = 20 * time.Millisecond
+	// MaxDialBackoff caps the per-peer retry delay. The delay ladder
+	// persists across epochs (a neighbor that has been down for ten
+	// epochs is not hammered from the base delay each time) and resets
+	// only on a successful session, so the cap keeps a long outage from
+	// escalating into multi-minute waits once the neighbor returns.
+	MaxDialBackoff = 2 * time.Second
+	// MaxEpochSeek bounds how far a resync may fast-forward in one
+	// step. Replay is synchronous work under the peer's session lock,
+	// and the target epoch comes from the other endpoint (the Hello,
+	// or a skew reject's parsed reason), so without a bound a buggy or
+	// hostile peer could demand a multi-billion-epoch replay — hours of
+	// CPU and a permanently advanced controller. A legitimate outage
+	// spanning more epochs than this needs the snapshot/persistence
+	// follow-up (ROADMAP), not a longer replay.
+	MaxEpochSeek = 100_000
 	// DefaultIdleTimeout bounds how long a serving connection may sit
 	// between sessions before the agent gives up on it.
 	DefaultIdleTimeout = 5 * time.Minute
@@ -66,8 +91,10 @@ const (
 
 // WorkloadFunc supplies the two directional workloads of one epoch, in
 // the pair's A->B orientation. Both endpoints of a pair must return
-// identical flows for the same epoch (the workload hash enforces it).
-type WorkloadFunc func(epoch int) (wAB, wBA *traffic.Workload)
+// identical flows for the same epoch (the workload hash enforces it),
+// and the function must be deterministic in the epoch index alone — it
+// is also the replay source for epoch resync (SeekEpoch).
+type WorkloadFunc = continuous.WorkloadFunc
 
 // Peer configures one neighbor of the agent.
 type Peer struct {
@@ -131,6 +158,7 @@ type Agent struct {
 	sessionsInitiated atomic.Int64
 	sessionsServed    atomic.Int64
 	sessionsFailed    atomic.Int64
+	resyncs           atomic.Int64
 }
 
 // peerState is one neighbor's runtime state. mu serializes the peer's
@@ -144,6 +172,11 @@ type peerState struct {
 
 	mu   sync.Mutex
 	conn net.Conn // cached outbound connection (initiator only)
+	// backoff is the next dial-retry delay. It escalates (doubling, up
+	// to MaxDialBackoff) across failed attempts and epochs, and resets
+	// only after a successful session, so one old failure cannot slow
+	// every future redial but a persistent outage is not hammered.
+	backoff time.Duration
 
 	stats struct {
 		sync.Mutex
@@ -151,6 +184,7 @@ type peerState struct {
 		ledger   int
 		sessions int64
 		failures int64
+		resyncs  int64
 		rounds   int64
 		gainUs   int64
 		gainPeer int64
@@ -315,11 +349,52 @@ func (a *Agent) peerList() []*peerState {
 // controller assembles the same table the initiator will propose over,
 // the wire session supplies our preferences and audits the outcome, and
 // the controller applies and settles the result.
+//
+// The Hello's version and metric are validated before anything else —
+// the documented check order (DESIGN.md §7), and the guarantee that a
+// mismatched peer gets its labelled version/metric reject without
+// touching controller state. Then the epoch index (v3) is reconciled:
+// a responder that is behind — it missed epochs to a failed session or
+// a restart — fast-forwards by deterministic local replay (bounded by
+// MaxEpochSeek) before serving, so the pair heals without operator
+// intervention. A responder that is ahead cannot rewind; it rejects
+// with the canonical epoch-skew reason so the initiator can
+// fast-forward itself and retry.
 func (a *Agent) serveSession(p *peerState, conn net.Conn, hello *nexitwire.Hello) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	a.sessionsActive.Add(1)
 	defer a.sessionsActive.Add(-1)
+
+	// The epoch in the Hello moves controller state (the fast-forward),
+	// so unlike the other universe checks — which ServeSession re-runs
+	// — version and metric must be vetted before the epoch is trusted.
+	if hello.Version != nexitwire.Version {
+		err := fmt.Errorf("nexitwire: peer version %d, want %d", hello.Version, nexitwire.Version)
+		_ = nexitwire.Reject(conn, a.timeout(), err.Error())
+		p.fail(err)
+		return fmt.Errorf("agentd: rejected session from %s: %w", p.Name, err)
+	}
+	if metric := hello.Metric; metric != string(p.Ctl.Metric) &&
+		!(metric == "" && p.Ctl.Metric == continuous.MetricDistance) {
+		err := fmt.Errorf("nexitwire: metric mismatch: peer negotiates %q, we negotiate %q",
+			metric, p.Ctl.Metric)
+		_ = nexitwire.Reject(conn, a.timeout(), err.Error())
+		p.fail(err)
+		return fmt.Errorf("agentd: rejected session from %s: %w", p.Name, err)
+	}
+
+	if at := p.Ctl.EpochIndex(); at > int(hello.Epoch) {
+		err := &nexitwire.EpochSkewError{Initiator: int(hello.Epoch), Responder: at}
+		_ = nexitwire.Reject(conn, a.timeout(), err.Error())
+		p.fail(err)
+		return fmt.Errorf("agentd: rejected session from %s: %w", p.Name, err)
+	} else if at < int(hello.Epoch) {
+		if err := a.seekLocked(p, int(hello.Epoch)); err != nil {
+			_ = nexitwire.Reject(conn, a.timeout(), err.Error())
+			return err
+		}
+	}
 
 	wAB, wBA := p.Workloads(p.Ctl.EpochIndex())
 	var rounds int
@@ -328,6 +403,7 @@ func (a *Agent) serveSession(p *peerState, conn net.Conn, hello *nexitwire.Hello
 		resp := &nexitwire.Responder{
 			Name:     a.cfg.Name,
 			Metric:   string(p.Ctl.Metric),
+			Epoch:    int(hello.Epoch),
 			Eval:     p.Ctl.NewEvaluator(p.Side),
 			Items:    items,
 			Defaults: defaults,
@@ -364,6 +440,15 @@ func (a *Agent) serveSession(p *peerState, conn net.Conn, hello *nexitwire.Hello
 // serves are untouched (their epochs advance when their initiator
 // calls). Errors are joined, one per failing peer; successful peers
 // still report.
+//
+// RunEpoch is idempotent per epoch: a peer whose controller is already
+// past the requested epoch is skipped (no session, no report), so a
+// caller may safely re-drive an epoch after a partial failure and only
+// the peers that actually missed it negotiate. A peer that is behind —
+// this agent restarted — is fast-forwarded by deterministic local
+// replay first; after a reported epoch skew (the responder is ahead)
+// the peer may end up past the requested epoch, in which case its
+// report carries the later epoch index.
 func (a *Agent) RunEpoch(ctx context.Context, epoch int) (map[string]*continuous.EpochReport, error) {
 	type outcome struct {
 		peer string
@@ -385,12 +470,25 @@ func (a *Agent) RunEpoch(ctx context.Context, epoch int) (map[string]*continuous
 			select {
 			case a.outSem <- struct{}{}:
 			case <-ctx.Done():
+				// A peer already past the epoch would have been skipped
+				// anyway; cancellation of a no-op is not a failure.
+				p.mu.Lock()
+				done := p.Ctl.EpochIndex() > epoch
+				p.mu.Unlock()
+				if done {
+					return
+				}
+				// A cancelled epoch is a counted, labelled failure like
+				// any other, so it is visible in the status surface.
+				err := fmt.Errorf("agentd: epoch %d with %s cancelled: %w", epoch, p.Name, ctx.Err())
+				p.fail(err)
+				a.sessionsFailed.Add(1)
 				mu.Lock()
-				out = append(out, outcome{p.Name, nil, ctx.Err()})
+				out = append(out, outcome{p.Name, nil, err})
 				mu.Unlock()
 				return
 			}
-			rep, err := a.negotiateEpoch(p, epoch)
+			rep, err := a.negotiateEpoch(ctx, p, epoch)
 			<-a.outSem
 			mu.Lock()
 			out = append(out, outcome{p.Name, rep, err})
@@ -406,25 +504,108 @@ func (a *Agent) RunEpoch(ctx context.Context, epoch int) (map[string]*continuous
 			errs = append(errs, fmt.Errorf("peer %s: %w", o.peer, o.err))
 			continue
 		}
-		reports[o.peer] = o.rep
+		if o.rep != nil { // nil report: epoch already complete, skipped
+			reports[o.peer] = o.rep
+		}
 	}
 	return reports, errors.Join(errs...)
 }
 
+// NextEpoch returns the lowest epoch index any initiated peer has yet
+// to run — the natural argument for the next RunEpoch call. A freshly
+// restarted daemon returns 0 and heals through the resync handshake;
+// pairs that resynced ahead are skipped by RunEpoch's idempotency until
+// the lagging pairs catch up.
+func (a *Agent) NextEpoch() int {
+	next := -1
+	for _, p := range a.peerList() {
+		if !p.initiate {
+			continue
+		}
+		p.mu.Lock()
+		at := p.Ctl.EpochIndex()
+		p.mu.Unlock()
+		if next < 0 || at < next {
+			next = at
+		}
+	}
+	if next < 0 {
+		return 0
+	}
+	return next
+}
+
 // negotiateEpoch runs the initiator side of one epoch against one peer.
-func (a *Agent) negotiateEpoch(p *peerState, epoch int) (*continuous.EpochReport, error) {
+// It is the initiator's half of the resync handshake: a controller
+// behind the requested epoch (this daemon restarted) is fast-forwarded
+// by local replay first, one already past it skips (idempotent retry),
+// and a responder that reports itself ahead triggers a fast-forward to
+// its epoch and a single retry.
+func (a *Agent) negotiateEpoch(ctx context.Context, p *peerState, epoch int) (*continuous.EpochReport, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	a.sessionsActive.Add(1)
 	defer a.sessionsActive.Add(-1)
 
-	if at := p.Ctl.EpochIndex(); at != epoch {
-		err := fmt.Errorf("agentd: epoch skew: peer %s is at epoch %d, asked to run %d", p.Name, at, epoch)
-		p.fail(err)
-		a.sessionsFailed.Add(1)
-		return nil, err
+	if at := p.Ctl.EpochIndex(); at > epoch {
+		return nil, nil // already negotiated; idempotent skip
+	} else if at < epoch {
+		if err := a.seekLocked(p, epoch); err != nil {
+			a.sessionsFailed.Add(1)
+			return nil, err
+		}
 	}
-	conn, err := a.ensureConnLocked(p)
+	rep, err := a.sessionLocked(ctx, p, epoch)
+	if err == nil {
+		return rep, nil
+	}
+	var skew *nexitwire.EpochSkewError
+	if errors.As(err, &skew) && skew.Responder > epoch {
+		// The responder lived through epochs we missed (we restarted and
+		// were driven from scratch). Catch up locally and retry once at
+		// its epoch; the report returned is for that later epoch.
+		if serr := a.seekLocked(p, skew.Responder); serr != nil {
+			a.sessionsFailed.Add(1)
+			return nil, serr
+		}
+		return a.sessionLocked(ctx, p, skew.Responder)
+	}
+	return nil, err
+}
+
+// seekLocked fast-forwards the peer's controller to the given epoch by
+// deterministic local replay and counts the resync. The target comes
+// from the remote endpoint, so the step is bounded by MaxEpochSeek —
+// a peer demanding an absurd fast-forward gets a labelled refusal, not
+// hours of replay and an unrewindable controller. Callers hold p.mu.
+func (a *Agent) seekLocked(p *peerState, epoch int) error {
+	from := p.Ctl.EpochIndex()
+	if epoch-from > MaxEpochSeek {
+		err := fmt.Errorf("agentd: resync with %s: epoch %d is %d epochs ahead of %d, beyond the replay bound %d",
+			p.Name, epoch, epoch-from, from, MaxEpochSeek)
+		p.fail(err)
+		return err
+	}
+	if err := p.Ctl.SeekEpoch(epoch, p.Workloads); err != nil {
+		err = fmt.Errorf("agentd: resync with %s: %w", p.Name, err)
+		p.fail(err)
+		return err
+	}
+	a.resyncs.Add(1)
+	p.stats.Lock()
+	p.stats.resyncs++
+	p.stats.epochs = p.Ctl.EpochIndex()
+	p.stats.ledger = p.Ctl.Ledger.Balance
+	p.stats.Unlock()
+	a.logf("agentd %s: resynced peer %s from epoch %d to %d", a.cfg.Name, p.Name, from, epoch)
+	return nil
+}
+
+// sessionLocked dials (or reuses) the peer's connection and runs one
+// wire session for the given epoch, with failure bookkeeping. Callers
+// hold p.mu and must have the controller at exactly that epoch.
+func (a *Agent) sessionLocked(ctx context.Context, p *peerState, epoch int) (*continuous.EpochReport, error) {
+	conn, err := a.ensureConnLocked(ctx, p)
 	if err != nil {
 		p.fail(err)
 		a.sessionsFailed.Add(1)
@@ -438,6 +619,7 @@ func (a *Agent) negotiateEpoch(p *peerState, epoch int) (*continuous.EpochReport
 			Name:    a.cfg.Name,
 			Cfg:     cfg,
 			Metric:  string(p.Ctl.Metric),
+			Epoch:   epoch,
 			Eval:    p.Ctl.NewEvaluator(p.Side),
 			Timeout: a.timeout(),
 		}
@@ -460,25 +642,39 @@ func (a *Agent) negotiateEpoch(p *peerState, epoch int) (*continuous.EpochReport
 		return nil, err
 	}
 	p.record(rep, rounds, stopped)
+	p.backoff = 0 // a healthy session clears the dial-backoff ladder
 	a.sessionsInitiated.Add(1)
 	return rep, nil
 }
 
 // ensureConnLocked returns the peer's cached connection or dials a new
-// one with exponential backoff. Callers hold p.mu.
-func (a *Agent) ensureConnLocked(p *peerState) (net.Conn, error) {
+// one. The retry delay escalates across attempts and epochs (peerState
+// .backoff) and the waits observe ctx, so cancellation — SIGINT in the
+// daemon — interrupts the ladder instead of sleeping it out. Callers
+// hold p.mu.
+func (a *Agent) ensureConnLocked(ctx context.Context, p *peerState) (net.Conn, error) {
 	if p.conn != nil {
 		return p.conn, nil
 	}
 	if p.Dial == nil {
 		return nil, fmt.Errorf("agentd: peer %s has no dialer", p.Name)
 	}
-	backoff := a.cfg.DialBackoff
+	if p.backoff <= 0 {
+		p.backoff = a.cfg.DialBackoff
+	}
 	var lastErr error
 	for attempt := 0; attempt < a.cfg.DialAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			timer := time.NewTimer(p.backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, fmt.Errorf("agentd: dial %s: %w", p.Name, ctx.Err())
+			}
+			if p.backoff *= 2; p.backoff > MaxDialBackoff {
+				p.backoff = MaxDialBackoff
+			}
 		}
 		conn, err := p.Dial()
 		if err == nil {

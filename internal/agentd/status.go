@@ -12,12 +12,16 @@ import (
 // experience — make the persistent process observable). It marshals to
 // JSON and is also what the expvar surface publishes.
 type Status struct {
-	Name              string       `json:"name"`
-	SessionsActive    int64        `json:"sessions_active"`
-	SessionsInitiated int64        `json:"sessions_initiated"`
-	SessionsServed    int64        `json:"sessions_served"`
-	SessionsFailed    int64        `json:"sessions_failed"`
-	Peers             []PeerStatus `json:"peers"`
+	Name              string `json:"name"`
+	SessionsActive    int64  `json:"sessions_active"`
+	SessionsInitiated int64  `json:"sessions_initiated"`
+	SessionsServed    int64  `json:"sessions_served"`
+	SessionsFailed    int64  `json:"sessions_failed"`
+	// Resyncs counts epoch fast-forwards across all peers: each one is
+	// a pair that healed itself after a failed session or a restart
+	// (the epoch-resync handshake, DESIGN.md §7).
+	Resyncs int64        `json:"resyncs"`
+	Peers   []PeerStatus `json:"peers"`
 }
 
 // PeerStatus is one neighbor's slice of the snapshot.
@@ -32,6 +36,10 @@ type PeerStatus struct {
 	// Sessions and Failures count completed and failed wire sessions.
 	Sessions int64 `json:"sessions"`
 	Failures int64 `json:"failures"`
+	// Resyncs counts this pair's epoch fast-forwards (local replays
+	// that caught the controller up to its peer after a failure or
+	// restart).
+	Resyncs int64 `json:"resyncs"`
 	// Rounds is the cumulative proposal-round count across sessions.
 	Rounds int64 `json:"rounds"`
 	// GainUs and GainPeer are the cumulative disclosed class gains,
@@ -53,6 +61,7 @@ func (a *Agent) Status() Status {
 		SessionsInitiated: a.sessionsInitiated.Load(),
 		SessionsServed:    a.sessionsServed.Load(),
 		SessionsFailed:    a.sessionsFailed.Load(),
+		Resyncs:           a.resyncs.Load(),
 	}
 	for _, p := range a.peerList() {
 		// Only the stats mutex is taken — never the session mutex — so
@@ -65,6 +74,7 @@ func (a *Agent) Status() Status {
 			Epochs:        p.stats.epochs,
 			Sessions:      p.stats.sessions,
 			Failures:      p.stats.failures,
+			Resyncs:       p.stats.resyncs,
 			Rounds:        p.stats.rounds,
 			GainUs:        p.stats.gainUs,
 			GainPeer:      p.stats.gainPeer,

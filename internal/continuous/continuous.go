@@ -75,6 +75,12 @@ func ParseMetric(s string) (Metric, error) {
 	return "", fmt.Errorf("continuous: unknown metric %q (have %v)", s, Metrics())
 }
 
+// WorkloadFunc supplies the two directional workloads of one epoch, in
+// the pair's A->B orientation. It must be deterministic in the epoch
+// index alone — no scheduling, no wall clock — which is what makes
+// SeekEpoch's local replay reconstruct state exactly.
+type WorkloadFunc func(epoch int) (wAB, wBA *traffic.Workload)
+
 // Negotiator runs one epoch's negotiation session over an assembled
 // table. cfg is the ledger-adjusted configuration for this epoch; items,
 // defaults, and numAlts define the universe exactly as for
@@ -335,6 +341,32 @@ func (c *Controller) Epoch(wAB, wBA *traffic.Workload) (*EpochReport, error) {
 // EpochIndex returns the number of epochs processed so far (the index
 // the next Epoch call will report).
 func (c *Controller) EpochIndex() int { return c.epoch }
+
+// SeekEpoch fast-forwards the controller to epoch n by replaying the
+// intervening epochs locally with the in-process negotiator. Because
+// epochs are deterministic in (system, metric, workloads) and a wire
+// session reproduces the in-process outcome exactly (the mesh parity
+// invariant), the replay reconstructs the registry, ledger, and applied
+// assignments of a controller that lived through those epochs — this is
+// the epoch-resync handshake's fast-forward rule (DESIGN.md §7): a
+// restarted or lagging daemon catches up to its peer without any wire
+// traffic. Seeking to the current epoch is a no-op; seeking backwards
+// is an error (deterministic replay cannot rewind).
+func (c *Controller) SeekEpoch(n int, workloads WorkloadFunc) error {
+	if n < c.epoch {
+		return fmt.Errorf("continuous: cannot seek backwards from epoch %d to %d", c.epoch, n)
+	}
+	saved := c.Negotiate
+	c.Negotiate = nil
+	defer func() { c.Negotiate = saved }()
+	for c.epoch < n {
+		wAB, wBA := workloads(c.epoch)
+		if _, err := c.Epoch(wAB, wBA); err != nil {
+			return fmt.Errorf("continuous: seek to epoch %d: %w", n, err)
+		}
+	}
+	return nil
+}
 
 // currentChoice returns the installed interconnection for a flow, or its
 // early-exit default when it has never been negotiated.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/nexit"
 	"repro/internal/pairsim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -133,6 +134,99 @@ func TestMetricEpochsDeterministic(t *testing.T) {
 				t.Error("registry never promoted a flow; the metric was not exercised")
 			}
 		})
+	}
+}
+
+// epochWorkloads is a deterministic per-epoch workload source: the
+// drift stream is keyed by the epoch index alone, as SeekEpoch's replay
+// contract requires.
+func epochWorkloads(sys *pairsim.System) WorkloadFunc {
+	baseAB := traffic.New(sys.Pair.A, sys.Pair.B, traffic.Gravity, nil)
+	baseBA := traffic.New(sys.Pair.B, sys.Pair.A, traffic.Gravity, nil)
+	return func(epoch int) (*traffic.Workload, *traffic.Workload) {
+		rng := rand.New(rand.NewSource(int64(epoch)*2654435761 + 11))
+		return Drift(baseAB, 0.3, rng), Drift(baseBA, 0.3, rng)
+	}
+}
+
+// TestSeekEpochReplaysExactly is the fast-forward rule: a fresh
+// controller sought to epoch k must be indistinguishable — report for
+// report — from one that lived through epochs 0..k-1, for every metric.
+func TestSeekEpochReplaysExactly(t *testing.T) {
+	sys := testSystem(t)
+	for _, metric := range Metrics() {
+		t.Run(string(metric), func(t *testing.T) {
+			wl := epochWorkloads(sys)
+			const seek, total = 3, 6
+
+			lived, err := NewWithMetric(sys, 10, metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []*EpochReport
+			for epoch := 0; epoch < total; epoch++ {
+				rep, err := lived.Epoch(wl(epoch))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, rep)
+			}
+
+			sought, err := NewWithMetric(sys, 10, metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sought.SeekEpoch(seek, wl); err != nil {
+				t.Fatal(err)
+			}
+			if got := sought.EpochIndex(); got != seek {
+				t.Fatalf("sought controller is at epoch %d, want %d", got, seek)
+			}
+			// Everything after the seek point must match the lived-through
+			// controller exactly: registry, ledger, and applied state were
+			// reconstructed, not just the counter.
+			for epoch := seek; epoch < total; epoch++ {
+				rep, err := sought.Epoch(wl(epoch))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(rep, want[epoch]) {
+					t.Errorf("epoch %d after seek diverged:\n  sought %+v\n  lived  %+v", epoch, rep, want[epoch])
+				}
+			}
+			if sought.Ledger.Balance != lived.Ledger.Balance {
+				t.Errorf("ledger balance %d after seek, lived-through %d", sought.Ledger.Balance, lived.Ledger.Balance)
+			}
+		})
+	}
+}
+
+// TestSeekEpochGuards pins the edges: seeking to the current epoch is a
+// no-op, seeking backwards is an error, and a seek never leaves a
+// Negotiate hook clobbered.
+func TestSeekEpochGuards(t *testing.T) {
+	sys := testSystem(t)
+	c := New(sys, 10)
+	wl := epochWorkloads(sys)
+	if err := c.SeekEpoch(0, wl); err != nil || c.EpochIndex() != 0 {
+		t.Errorf("seek to current epoch: err=%v, index=%d", err, c.EpochIndex())
+	}
+	marker := func(cfg nexit.Config, items []nexit.Item, defaults []int, numAlts int) (*nexit.Result, error) {
+		t.Error("SeekEpoch replay invoked the wire negotiator")
+		return nil, nil
+	}
+	c.Negotiate = marker
+	if err := c.SeekEpoch(2, wl); err != nil {
+		t.Fatal(err)
+	}
+	if c.EpochIndex() != 2 {
+		t.Errorf("seek stopped at epoch %d, want 2", c.EpochIndex())
+	}
+	if c.Negotiate == nil {
+		t.Error("SeekEpoch cleared the Negotiate hook instead of restoring it")
+	}
+	if err := c.SeekEpoch(1, wl); err == nil {
+		t.Error("seek backwards succeeded")
 	}
 }
 

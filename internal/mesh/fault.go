@@ -1,0 +1,78 @@
+package mesh
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+)
+
+// FaultPlan injects deterministic failures into a wire run so tests and
+// CI can prove the mesh self-heals: after every injected fault the run
+// must still converge to the exact serial reference result, pair by
+// pair, with zero operator intervention (the epoch-resync handshake,
+// DESIGN.md §7). Faults target the mesh's first pair — its initiator's
+// connection and its responder agent — which keeps runs reproducible.
+//
+// Epoch indices are zero-based and epoch 0 is a valid target; set a
+// field negative to disable that fault.
+type FaultPlan struct {
+	// KillConnEpoch kills the first pair's connection mid-session
+	// during that epoch: the session fails on both ends, neither
+	// controller advances, and the pair must redial and re-run the
+	// epoch on a retry.
+	KillConnEpoch int
+	// RestartEpoch tears the first pair's responder agent down after
+	// that epoch completes and rebuilds it from scratch — fresh
+	// controllers at epoch 0, new listener — so every pair involving it
+	// must epoch-resync to continue.
+	RestartEpoch int
+}
+
+// faultAttempts bounds how many times a faulted run re-drives one epoch
+// before giving up. One retry heals any single injected fault; the
+// headroom covers a kill and a restart landing near each other.
+const faultAttempts = 4
+
+// dialHolder routes dials to an agent's current listener, so a
+// restarted agent (new listener, possibly a new TCP port) is reachable
+// through the dial closures its peers captured at wiring time.
+type dialHolder struct {
+	fn atomic.Value // func() (net.Conn, error)
+}
+
+func (h *dialHolder) set(fn func() (net.Conn, error)) { h.fn.Store(fn) }
+
+func (h *dialHolder) dial() (net.Conn, error) {
+	return h.fn.Load().(func() (net.Conn, error))()
+}
+
+// killSwitch arms a one-shot mid-session connection kill. The first
+// write after arming passes (it lets the session's Hello out), the
+// second fails and closes the transport — so the kill always lands
+// inside an in-flight session, for every table size.
+type killSwitch struct {
+	armed  atomic.Bool
+	writes atomic.Int32
+}
+
+func (k *killSwitch) arm() {
+	k.writes.Store(0)
+	k.armed.Store(true)
+}
+
+// wrap instruments a connection with the switch.
+func (k *killSwitch) wrap(c net.Conn) net.Conn { return &killConn{Conn: c, k: k} }
+
+type killConn struct {
+	net.Conn
+	k *killSwitch
+}
+
+func (c *killConn) Write(b []byte) (int, error) {
+	if c.k.armed.Load() && c.k.writes.Add(1) >= 2 {
+		c.k.armed.Store(false)
+		c.Conn.Close()
+		return 0, fmt.Errorf("mesh: injected connection kill")
+	}
+	return c.Conn.Write(b)
+}

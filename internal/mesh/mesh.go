@@ -63,6 +63,12 @@ type Options struct {
 	UseTCP bool
 	// Timeout bounds each wire exchange (nexitwire default when zero).
 	Timeout time.Duration
+	// Faults, when non-nil, injects deterministic failures (a mid-epoch
+	// connection kill, an agent restart) into the wire run; the run
+	// retries failed epochs and must still converge to the serial
+	// reference through the epoch-resync handshake. Ignored by
+	// RunSerial.
+	Faults *FaultPlan
 	// Logf, when non-nil, receives agent diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -107,8 +113,12 @@ type Result struct {
 	// Pairs lists every negotiated pair in dataset order.
 	Pairs []PairResult
 	// Sessions counts completed wire sessions (pairs x epochs on a
-	// clean run); zero for RunSerial.
+	// clean run); zero for RunSerial. After an agent restart the count
+	// omits the torn-down agent's history (its counters restart too).
 	Sessions int64
+	// Resyncs counts epoch fast-forwards across all agents — how often
+	// the epoch-resync handshake healed a pair (zero on a clean run).
+	Resyncs int64
 	// Elapsed and SessionsPerSec measure throughput (wire runs only).
 	Elapsed        time.Duration
 	SessionsPerSec float64
@@ -162,7 +172,11 @@ func buildPairs(opt Options) ([]*topology.ISP, []meshPair, error) {
 }
 
 // Run builds the mesh of daemons, negotiates opt.Epochs concurrent
-// epochs, and returns every pair's trajectory plus throughput.
+// epochs, and returns every pair's trajectory plus throughput. With a
+// FaultPlan, injected failures are healed by the epoch-resync
+// handshake: failed epochs are re-driven (agentd.RunEpoch is idempotent
+// per epoch, so only the pairs that actually missed an epoch negotiate
+// again) and the outcome must still match the serial reference.
 func Run(opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	_, pairs, err := buildPairs(opt)
@@ -171,11 +185,14 @@ func Run(opt Options) (*Result, error) {
 	}
 	cache := pairsim.NewTableCache()
 
-	// One agent per participating ISP, each with a listener.
+	// One agent per participating ISP, each with a listener. Dials are
+	// routed through per-agent holders so a restarted agent's fresh
+	// listener is reachable via the closures its peers already hold.
 	agents := make(map[int]*agentd.Agent)
 	listeners := make(map[int]net.Listener)
-	dialers := make(map[int]func() (net.Conn, error))
+	holders := make(map[int]*dialHolder)
 	nameToIdx := make(map[string]int)
+	var kill killSwitch
 	defer func() {
 		for _, ln := range listeners {
 			ln.Close()
@@ -189,93 +206,140 @@ func Run(opt Options) (*Result, error) {
 	}()
 	for _, mp := range pairs {
 		for _, i := range []int{mp.i, mp.j} {
-			if agents[i] != nil {
+			if holders[i] == nil {
+				nameToIdx[agentd.AgentName(i)] = i
+				holders[i] = &dialHolder{}
+			}
+		}
+	}
+
+	serveErr := make(chan error, 2*len(holders))
+	// startAgent (re)builds agent i from scratch — fresh controllers
+	// for every pair it participates in, a fresh listener — and starts
+	// serving. Used once per agent at startup and again by the restart
+	// fault; a restarted agent rejoins through the resync handshake.
+	startAgent := func(i int) error {
+		a := agentd.New(agentd.Config{
+			Name:        agentd.AgentName(i),
+			MaxSessions: opt.Sessions,
+			Timeout:     opt.Timeout,
+			Logf:        opt.Logf,
+		})
+		for _, mp := range pairs {
+			if mp.i != i && mp.j != i {
 				continue
 			}
-			nameToIdx[agentd.AgentName(i)] = i
-			agents[i] = agentd.New(agentd.Config{
-				Name:        agentd.AgentName(i),
-				MaxSessions: opt.Sessions,
-				Timeout:     opt.Timeout,
-				Logf:        opt.Logf,
-			})
-			if opt.UseTCP {
-				ln, err := net.Listen("tcp", "127.0.0.1:0")
-				if err != nil {
-					return nil, err
+			ctl, err := continuous.NewWithMetric(pairsim.New(mp.pair, cache), opt.P, opt.Metric)
+			if err != nil {
+				return err
+			}
+			if mp.i == i {
+				// The lower-index agent initiates (it is Pair.A, hence
+				// protocol side A); the higher-index one serves.
+				dial := holders[mp.j].dial
+				if opt.Faults != nil && mp.i == pairs[0].i && mp.j == pairs[0].j {
+					target := holders[mp.j]
+					dial = func() (net.Conn, error) {
+						c, err := target.dial()
+						if err != nil {
+							return nil, err
+						}
+						return kill.wrap(c), nil
+					}
 				}
-				addr := ln.Addr().String()
-				listeners[i] = ln
-				dialers[i] = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+				err = a.AddPeer(agentd.Peer{
+					Name: agentd.AgentName(mp.j), Side: nexit.SideA,
+					Ctl: ctl, Workloads: mp.wl, Dial: dial,
+				})
 			} else {
-				ln := newPipeListener(agentd.AgentName(i))
-				listeners[i] = ln
-				dialers[i] = ln.Dial
+				err = a.AddPeer(agentd.Peer{
+					Name: agentd.AgentName(mp.i), Side: nexit.SideB,
+					Ctl: ctl, Workloads: mp.wl,
+				})
+			}
+			if err != nil {
+				return err
 			}
 		}
-	}
-
-	// Wire each pair: the lower-index agent initiates (it is Pair.A,
-	// hence protocol side A), the higher-index one serves.
-	for _, mp := range pairs {
-		sys := pairsim.New(mp.pair, cache)
-		ctlA, err := continuous.NewWithMetric(sys, opt.P, opt.Metric)
-		if err != nil {
-			return nil, err
+		var ln net.Listener
+		if opt.UseTCP {
+			tln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			addr := tln.Addr().String()
+			holders[i].set(func() (net.Conn, error) { return net.Dial("tcp", addr) })
+			ln = tln
+		} else {
+			pln := newPipeListener(agentd.AgentName(i))
+			holders[i].set(pln.Dial)
+			ln = pln
 		}
-		ctlB, err := continuous.NewWithMetric(sys, opt.P, opt.Metric)
-		if err != nil {
-			return nil, err
-		}
-		if err := agents[mp.i].AddPeer(agentd.Peer{
-			Name: agentd.AgentName(mp.j), Side: nexit.SideA,
-			Ctl: ctlA, Workloads: mp.wl,
-			Dial: dialers[mp.j],
-		}); err != nil {
-			return nil, err
-		}
-		if err := agents[mp.j].AddPeer(agentd.Peer{
-			Name: agentd.AgentName(mp.i), Side: nexit.SideB,
-			Ctl: ctlB, Workloads: mp.wl,
-		}); err != nil {
-			return nil, err
-		}
-	}
-
-	serveErr := make(chan error, len(agents))
-	for i, a := range agents {
-		go func(a *agentd.Agent, ln net.Listener) {
+		agents[i], listeners[i] = a, ln
+		go func() {
 			serveErr <- a.Serve(ln)
-		}(a, listeners[i])
+		}()
+		return nil
+	}
+	restartAgent := func(i int) error {
+		listeners[i].Close()
+		agents[i].Close()
+		agents[i].Wait()
+		return startAgent(i)
+	}
+	for i := range holders {
+		if err := startAgent(i); err != nil {
+			return nil, err
+		}
 	}
 
-	// Negotiate the epochs: all agents in parallel, a barrier per epoch.
+	// Negotiate the epochs: all agents in parallel, a barrier per
+	// epoch. A clean run drives each epoch exactly once; a faulted run
+	// re-drives the agents that failed (bounded attempts) and relies on
+	// RunEpoch's idempotency so healed pairs are not renegotiated.
+	attempts := 1
+	if opt.Faults != nil {
+		attempts = faultAttempts
+	}
 	reports := make(map[[2]int][]*continuous.EpochReport, len(pairs))
 	start := time.Now()
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
-		var (
-			wg   sync.WaitGroup
-			mu   sync.Mutex
-			errs []error
-		)
-		for i, a := range agents {
-			wg.Add(1)
-			go func(i int, a *agentd.Agent) {
-				defer wg.Done()
-				reps, err := a.RunEpoch(context.Background(), epoch)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					errs = append(errs, fmt.Errorf("agent %s epoch %d: %w", a.Name(), epoch, err))
-				}
-				for peer, rep := range reps {
-					if j, ok := nameToIdx[peer]; ok {
-						reports[[2]int{i, j}] = append(reports[[2]int{i, j}], rep)
-					}
-				}
-			}(i, a)
+		if f := opt.Faults; f != nil && epoch == f.KillConnEpoch {
+			kill.arm()
 		}
-		wg.Wait()
+		pending := make([]int, 0, len(agents))
+		for i := range agents {
+			pending = append(pending, i)
+		}
+		var errs []error
+		for attempt := 0; attempt < attempts && len(pending) > 0; attempt++ {
+			var (
+				wg     sync.WaitGroup
+				mu     sync.Mutex
+				failed []int
+			)
+			errs = nil
+			for _, i := range pending {
+				wg.Add(1)
+				go func(i int, a *agentd.Agent) {
+					defer wg.Done()
+					reps, err := a.RunEpoch(context.Background(), epoch)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						errs = append(errs, fmt.Errorf("agent %s epoch %d: %w", a.Name(), epoch, err))
+						failed = append(failed, i)
+					}
+					for peer, rep := range reps {
+						if j, ok := nameToIdx[peer]; ok {
+							reports[[2]int{i, j}] = append(reports[[2]int{i, j}], rep)
+						}
+					}
+				}(i, agents[i])
+			}
+			wg.Wait()
+			pending = failed
+		}
 		// Surface listener failures (a Serve goroutine that returned an
 		// error) rather than letting them masquerade as dial timeouts.
 		for drained := false; !drained; {
@@ -290,6 +354,11 @@ func Run(opt Options) (*Result, error) {
 		}
 		if len(errs) > 0 {
 			return nil, errors.Join(errs...)
+		}
+		if f := opt.Faults; f != nil && epoch == f.RestartEpoch {
+			if err := restartAgent(pairs[0].j); err != nil {
+				return nil, err
+			}
 		}
 	}
 	elapsed := time.Since(start)
@@ -309,6 +378,7 @@ func Run(opt Options) (*Result, error) {
 	for _, i := range indices {
 		st := agents[i].Status()
 		res.Sessions += st.SessionsInitiated
+		res.Resyncs += st.Resyncs
 		res.Agents = append(res.Agents, st)
 	}
 	if elapsed > 0 {

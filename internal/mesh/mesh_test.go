@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/agentd"
 	"repro/internal/continuous"
 )
 
@@ -93,6 +94,9 @@ func TestMeshMatchesSerial(t *testing.T) {
 				if wire.Sessions != wantSessions {
 					t.Errorf("sessions=%d: completed %d wire sessions, want %d", sessions, wire.Sessions, wantSessions)
 				}
+				if wire.Resyncs != 0 {
+					t.Errorf("sessions=%d: clean run resynced %d times", sessions, wire.Resyncs)
+				}
 				for _, st := range wire.Agents {
 					if st.SessionsFailed != 0 {
 						t.Errorf("sessions=%d: agent %s failed %d sessions", sessions, st.Name, st.SessionsFailed)
@@ -104,9 +108,79 @@ func TestMeshMatchesSerial(t *testing.T) {
 					}
 				}
 				checkParity(t, serial, wire)
+
+				// The same mesh under injected faults — a connection
+				// killed mid-session, an agent restarted cold — must
+				// still converge to the identical serial reference: the
+				// post-recovery outcome is exact, not merely plausible.
+				fopt := opt
+				fopt.Faults = &FaultPlan{KillConnEpoch: 1, RestartEpoch: 2}
+				faulted, err := Run(fopt)
+				if err != nil {
+					t.Fatalf("sessions=%d faulted: %v", sessions, err)
+				}
+				checkParity(t, serial, faulted)
+				if faulted.Resyncs == 0 {
+					t.Errorf("sessions=%d: faulted run healed without a single resync — the faults were not injected", sessions)
+				}
+				var failures int64
+				for _, st := range faulted.Agents {
+					failures += st.SessionsFailed
+				}
+				if failures == 0 {
+					t.Errorf("sessions=%d: faulted run recorded no session failures", sessions)
+				}
 			}
 		})
 	}
+}
+
+// TestMeshRecovery is the CI smoke variant of the fault-injection
+// matrix: a reduced mesh with a mid-session connection kill and a cold
+// agent restart must converge to the exact serial reference with zero
+// operator intervention, and both the failures and the resyncs must be
+// visible in the agents' status surface.
+func TestMeshRecovery(t *testing.T) {
+	opt := testOptions()
+	opt.MaxPairs = 4
+	serial, err := RunSerial(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Faults = &FaultPlan{KillConnEpoch: 1, RestartEpoch: 2}
+	wire, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkParity(t, serial, wire)
+	if wire.Resyncs == 0 {
+		t.Error("recovery left no resync trace in the status surface")
+	}
+	restarted := agentdStatusByName(wire, wire.Pairs[0].J)
+	if restarted == nil {
+		t.Fatalf("no status snapshot for the restarted agent %d", wire.Pairs[0].J)
+	}
+	// The restarted responder rebuilt from epoch 0: its fast-forward is
+	// counted against the pair it serves.
+	resynced := false
+	for _, p := range restarted.Peers {
+		if p.Resyncs > 0 {
+			resynced = true
+		}
+	}
+	if !resynced {
+		t.Errorf("restarted agent shows no per-peer resync: %+v", restarted)
+	}
+}
+
+// agentdStatusByName finds one agent's final status snapshot.
+func agentdStatusByName(res *Result, idx int) *agentd.Status {
+	for i := range res.Agents {
+		if res.Agents[i].Name == agentd.AgentName(idx) {
+			return &res.Agents[i]
+		}
+	}
+	return nil
 }
 
 // TestMeshOverTCP smoke-tests the loopback-TCP transport on a reduced

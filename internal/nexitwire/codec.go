@@ -39,14 +39,18 @@ const (
 	// Version is the protocol version carried in Hello frames. The
 	// compat rule (DESIGN.md §7): the Hello's fixed prefix through
 	// WorkloadHash never changes shape, version-gated fields are only
-	// ever appended (v2 added Metric), and both endpoints require an
-	// exact version match — a Hello from a different version decodes
-	// far enough to read its version and is then rejected with a
-	// labelled Error frame, never answered with a desynced session.
+	// ever appended (v2 added Metric, v3 added Epoch), and both
+	// endpoints require an exact version match — a Hello from a
+	// different version decodes far enough to read its version and is
+	// then rejected with a labelled Error frame, never answered with a
+	// desynced session.
 	//
 	// Version history: 1 = original framing; 2 = metric negotiation
-	// (Hello carries the named objective, mismatches reject cleanly).
-	Version = 2
+	// (Hello carries the named objective, mismatches reject cleanly);
+	// 3 = epoch resync (Hello carries the initiator's epoch index so a
+	// restarted or lagging endpoint can fast-forward instead of staying
+	// skewed forever).
+	Version = 3
 	// MaxFrameSize bounds incoming frames; a peer advertising more is
 	// rejected rather than buffered (defense against resource
 	// exhaustion, and no legitimate frame approaches it).
@@ -111,6 +115,14 @@ type Hello struct {
 	// which DefaultMetric interprets). Both endpoints must agree, or
 	// the responder rejects the session at open.
 	Metric string
+	// Epoch is the index of the negotiation epoch this session runs
+	// (v3+; zero in older Hellos). It is the resync handshake: a
+	// responder that is behind fast-forwards by deterministic local
+	// replay before serving, and a responder that is ahead rejects with
+	// an EpochSkewError naming both indices so the initiator can
+	// fast-forward itself and retry — a restarted daemon rejoins the
+	// mesh without operator intervention (DESIGN.md §7).
+	Epoch uint32
 }
 
 // PrefsRequest asks the responder for its preference classes over the
@@ -314,6 +326,9 @@ func encodeHello(h *Hello) []byte {
 	if h.Version >= 2 {
 		e.str(h.Metric)
 	}
+	if h.Version >= 3 {
+		e.u32(h.Epoch)
+	}
 	return e.b
 }
 
@@ -328,6 +343,9 @@ func decodeHello(b []byte) (*Hello, error) {
 	}
 	if h.Version >= 2 {
 		h.Metric = d.str()
+	}
+	if h.Version >= 3 {
+		h.Epoch = d.u32()
 	}
 	if h.Version > Version {
 		// A newer peer may have appended fields we do not know. Keep

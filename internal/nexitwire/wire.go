@@ -28,6 +28,41 @@ func metricName(m string) string {
 	return m
 }
 
+// EpochSkewError reports that a session's two endpoints are at
+// different negotiation epochs. Its rendering is the canonical wire
+// reason for an epoch-skew rejection: the receiving side parses it back
+// into a typed error (errors.As) so a daemon can fast-forward to the
+// responder's epoch and retry instead of failing forever.
+type EpochSkewError struct {
+	// Initiator and Responder are the two sides' epoch indices.
+	Initiator, Responder int
+}
+
+// Error renders the canonical, parseable skew reason.
+func (e *EpochSkewError) Error() string {
+	return fmt.Sprintf("epoch skew: initiator at epoch %d, responder at epoch %d", e.Initiator, e.Responder)
+}
+
+// parseEpochSkew recovers a typed skew error from a peer's abort
+// reason, when the reason is the canonical rendering above.
+func parseEpochSkew(reason string) (*EpochSkewError, bool) {
+	var e EpochSkewError
+	n, err := fmt.Sscanf(reason, "epoch skew: initiator at epoch %d, responder at epoch %d", &e.Initiator, &e.Responder)
+	if err != nil || n != 2 {
+		return nil, false
+	}
+	return &e, true
+}
+
+// peerError surfaces a peer's abort reason, re-typing the canonical
+// epoch-skew rendering so callers can errors.As it.
+func peerError(reason string) error {
+	if skew, ok := parseEpochSkew(reason); ok {
+		return fmt.Errorf("nexitwire: peer error: %w", skew)
+	}
+	return fmt.Errorf("nexitwire: peer error: %s", reason)
+}
+
 // WorkloadHash fingerprints the negotiation universe (items, defaults,
 // alternative count) so two agents configured differently fail fast at
 // Hello time instead of negotiating nonsense.
@@ -72,6 +107,11 @@ type Initiator struct {
 	// the responder must be configured for the same one (empty means
 	// DefaultMetric). Eval must implement it.
 	Metric string
+	// Epoch is the negotiation epoch this session runs, carried in the
+	// Hello (v3+). The responder must serve the same epoch; a skew is
+	// rejected with a typed EpochSkewError so the behind side can
+	// fast-forward deterministically and retry.
+	Epoch int
 	// Eval is the initiator's own evaluator (protocol side A).
 	Eval nexit.Evaluator
 	// Accept, when non-nil, decides the initiator's own accept/veto
@@ -109,6 +149,7 @@ func (in *Initiator) Run(conn net.Conn, items []nexit.Item, defaults []int, numA
 		NumItems:     uint32(len(items)),
 		WorkloadHash: WorkloadHash(items, defaults, numAlts),
 		Metric:       metricName(in.Metric),
+		Epoch:        uint32(in.Epoch),
 	})); err != nil {
 		return nil, err
 	}
@@ -126,6 +167,11 @@ func (in *Initiator) Run(conn net.Conn, items []nexit.Item, defaults []int, numA
 	if metricName(ack.Metric) != metricName(in.Metric) {
 		return nil, s.abort(fmt.Errorf("nexitwire: metric mismatch: peer negotiates %q, we negotiate %q",
 			metricName(ack.Metric), metricName(in.Metric)))
+	}
+	if int(ack.Epoch) != in.Epoch {
+		skew := &EpochSkewError{Initiator: in.Epoch, Responder: int(ack.Epoch)}
+		_ = s.abort(skew)
+		return nil, fmt.Errorf("nexitwire: %w", skew)
 	}
 	// Re-check the universe symmetrically: a responder that skipped its
 	// own validation cannot drag us into a mismatched session that
@@ -300,6 +346,11 @@ type Responder struct {
 	// (empty means DefaultMetric). A Hello naming any other metric is
 	// rejected with a labelled reason before the engine runs.
 	Metric string
+	// Epoch is the negotiation epoch this responder serves. A Hello
+	// naming a different epoch is rejected with a typed EpochSkewError
+	// (a daemon fast-forwards the behind side before it gets here; the
+	// check is the last line of defense against a silent desync).
+	Epoch int
 	// Eval is the responder's evaluator (protocol side B).
 	Eval nexit.Evaluator
 	// Accept, when non-nil, decides accept/veto; nil accepts everything.
@@ -380,6 +431,8 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 	case metricName(hello.Metric) != metricName(r.Metric):
 		return nil, s.abort(fmt.Errorf("nexitwire: metric mismatch: peer negotiates %q, we negotiate %q",
 			metricName(hello.Metric), metricName(r.Metric)))
+	case int(hello.Epoch) != r.Epoch:
+		return nil, s.abort(&EpochSkewError{Initiator: int(hello.Epoch), Responder: r.Epoch})
 	case int(hello.NumAlts) != r.NumAlts:
 		return nil, s.abort(fmt.Errorf("nexitwire: peer has %d alternatives, we have %d", hello.NumAlts, r.NumAlts))
 	case int(hello.NumItems) != len(r.Items):
@@ -392,6 +445,7 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 		NumAlts: uint16(r.NumAlts), NumItems: uint32(len(r.Items)),
 		WorkloadHash: wantHash,
 		Metric:       metricName(r.Metric),
+		Epoch:        uint32(r.Epoch),
 	})); err != nil {
 		return nil, err
 	}
@@ -516,7 +570,7 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 			if err != nil {
 				return nil, err
 			}
-			return nil, fmt.Errorf("nexitwire: peer error: %s", em.Reason)
+			return nil, peerError(em.Reason)
 		default:
 			return nil, s.unexpected(t)
 		}
@@ -572,7 +626,7 @@ func (s *session) expect(want MsgType) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return nil, fmt.Errorf("nexitwire: peer error: %s", em.Reason)
+		return nil, peerError(em.Reason)
 	default:
 		return nil, s.unexpected(t)
 	}

@@ -2,6 +2,7 @@ package nexitwire
 
 import (
 	"bytes"
+	"errors"
 	"net"
 	"reflect"
 	"strings"
@@ -63,6 +64,7 @@ func TestHelloRoundtrip(t *testing.T) {
 		// rather than choking on framing.
 		{Version: 1, Name: "isp-a agent", NumAlts: 5, NumItems: 1234, WorkloadHash: 0xDEADBEEF12345678},
 		{Version: 2, Name: "isp-a agent", NumAlts: 5, NumItems: 1234, WorkloadHash: 0xDEADBEEF12345678, Metric: "bandwidth"},
+		{Version: 3, Name: "isp-a agent", NumAlts: 5, NumItems: 1234, WorkloadHash: 0xDEADBEEF12345678, Metric: "distance", Epoch: 97},
 	} {
 		got, err := decodeHello(encodeHello(h))
 		if err != nil {
@@ -81,13 +83,13 @@ func TestHelloRoundtrip(t *testing.T) {
 func TestHelloVersionCompat(t *testing.T) {
 	future := append(encodeHello(&Hello{
 		Version: Version + 1, Name: "isp-z", NumAlts: 3, NumItems: 9,
-		WorkloadHash: 42, Metric: "distance",
-	}), 0xAB, 0xCD) // a hypothetical v3 field we do not know
+		WorkloadHash: 42, Metric: "distance", Epoch: 7,
+	}), 0xAB, 0xCD) // a hypothetical v4 field we do not know
 	h, err := decodeHello(future)
 	if err != nil {
 		t.Fatalf("newer-version hello with unknown fields did not decode: %v", err)
 	}
-	if h.Version != Version+1 || h.Metric != "distance" {
+	if h.Version != Version+1 || h.Metric != "distance" || h.Epoch != 7 {
 		t.Errorf("decoded %+v from the future hello", h)
 	}
 
@@ -141,6 +143,73 @@ func TestWireMetricMismatch(t *testing.T) {
 	if !strings.Contains(respErr.Error(), `peer negotiates "bandwidth"`) ||
 		!strings.Contains(respErr.Error(), `we negotiate "distance"`) {
 		t.Errorf("responder reason does not name both metrics: %v", respErr)
+	}
+}
+
+// TestWireEpochSkewRejected crosses an initiator at epoch 5 with a
+// responder at epoch 9: the session must be rejected before any
+// negotiation state exists, and the rejection must surface on the
+// initiator as a typed *EpochSkewError carrying both indices — the
+// handle a daemon needs to fast-forward and retry.
+func TestWireEpochSkewRejected(t *testing.T) {
+	s, items, defaults, numAlts := testUniverse(t)
+	connA, connB := net.Pipe()
+	defer connA.Close()
+	defer connB.Close()
+
+	resp := &Responder{
+		Name:     "agent-b",
+		Epoch:    9,
+		Eval:     nexit.NewDistanceEvaluator(s, nexit.SideB, 10),
+		Items:    items,
+		Defaults: defaults,
+		NumAlts:  numAlts,
+		Timeout:  2 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := resp.ServeConn(connB)
+		errCh <- err
+	}()
+	ini := &Initiator{
+		Name: "agent-a", Cfg: nexit.DefaultDistanceConfig(),
+		Epoch:   5,
+		Eval:    nexit.NewDistanceEvaluator(s, nexit.SideA, 10),
+		Timeout: 2 * time.Second,
+	}
+	_, err := ini.Run(connA, items, defaults, numAlts)
+	if err == nil {
+		t.Fatal("initiator negotiated across an epoch skew")
+	}
+	var skew *EpochSkewError
+	if !errors.As(err, &skew) {
+		t.Fatalf("initiator error is not a typed epoch skew: %v", err)
+	}
+	if skew.Initiator != 5 || skew.Responder != 9 {
+		t.Errorf("skew carries epochs (%d,%d), want (5,9)", skew.Initiator, skew.Responder)
+	}
+	respErr := <-errCh
+	var respSkew *EpochSkewError
+	if !errors.As(respErr, &respSkew) || respSkew.Initiator != 5 || respSkew.Responder != 9 {
+		t.Errorf("responder error is not the typed skew: %v", respErr)
+	}
+}
+
+// TestEpochSkewReasonRoundtrip pins the canonical skew rendering: the
+// reason string a responder sends must parse back into the same typed
+// error on the initiator, or the self-healing retry can never trigger.
+func TestEpochSkewReasonRoundtrip(t *testing.T) {
+	want := &EpochSkewError{Initiator: 3, Responder: 12}
+	err := peerError(want.Error())
+	var got *EpochSkewError
+	if !errors.As(err, &got) {
+		t.Fatalf("canonical reason did not re-type: %v", err)
+	}
+	if *got != *want {
+		t.Errorf("parsed %+v, want %+v", got, want)
+	}
+	if _, ok := parseEpochSkew("metric mismatch: whatever"); ok {
+		t.Error("unrelated reason parsed as an epoch skew")
 	}
 }
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerate the perf trajectory in BENCH_runner.json: run the tracked
+# benchmarks exactly as the file's comment describes and append one
+# PR-tagged entry to its history. Usage:
+#
+#     scripts/bench.sh <pr-number>     # or: make bench PR=<pr-number>
+#
+# Requires jq. Run from the repository root (the Makefile target does).
+set -euo pipefail
+
+pr="${1:?usage: scripts/bench.sh <pr-number>}"
+bench_json="BENCH_runner.json"
+[ -f "$bench_json" ] || { echo "bench.sh: $bench_json not found (run from the repo root)" >&2; exit 1; }
+
+out=$(go test -run '^$' -bench 'BenchmarkRunnerWorkers|BenchmarkMeshSessions' -benchtime 3x .)
+printf '%s\n' "$out"
+
+# Benchmark lines look like:
+#   BenchmarkRunnerWorkers/workers=1-2  3  320000000 ns/op  21.70 pairs/s
+# Emit "name workers unit value" rows for the custom metrics.
+rows=$(printf '%s\n' "$out" | awk '
+	/^Benchmark/ {
+		split($1, parts, "/"); name = parts[1]; sub(/-[0-9]+$/, "", parts[2])
+		for (i = 2; i < NF; i++)
+			if ($(i + 1) == "pairs/s" || $(i + 1) == "sessions/s")
+				print name, parts[2], $(i + 1), $i
+	}')
+[ -n "$rows" ] || { echo "bench.sh: no benchmark metrics parsed" >&2; exit 1; }
+
+entry=$(printf '%s\n' "$rows" | jq -Rn --argjson pr "$pr" '
+	reduce (inputs | split(" ") | select(length == 4)) as $r ({pr: $pr};
+		.[$r[0]] += {unit: $r[2], ($r[1]): ($r[3] | tonumber)})')
+
+tmp=$(mktemp)
+jq --argjson entry "$entry" '.history += [$entry]' "$bench_json" > "$tmp"
+mv "$tmp" "$bench_json"
+echo "bench.sh: appended PR $pr entry to $bench_json"
