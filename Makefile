@@ -5,7 +5,7 @@
 # Tier-1 verification: build plus the full race-enabled test suite.
 test:
 	go build ./...
-	go test -race ./...
+	go test -race -timeout 20m ./...
 
 # CI's mesh-smoke job: the daemon path end to end, including the
 # fault-injection / epoch-resync recovery variant.

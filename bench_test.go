@@ -389,6 +389,45 @@ func BenchmarkRunnerWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkRunnerStream measures the streaming pipeline's experiment
+// throughput (pairs/s) at 1, 2, and GOMAXPROCS workers: the same
+// Distance workload as BenchmarkRunnerWorkers, but delivered through
+// DistanceStream into a constant-memory digest instead of a batch
+// result — so the two benchmarks bracket the cost of the streaming
+// path. ReportAllocs tracks that per-pair allocation stays flat.
+// Tracked across PRs in BENCH_runner.json.
+func BenchmarkRunnerStream(b *testing.B) {
+	ds := dataset(b)
+	ds.Warm(0) // measure negotiation throughput, not Dijkstra cold start
+	counts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		counts = append(counts, p)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := distanceOpts
+			opt.Workers = w
+			b.ReportAllocs()
+			pairs := 0
+			for i := 0; i < b.N; i++ {
+				digest := stats.NewDigest()
+				err := experiments.DistanceStream(ds, opt, func(_ int, r *experiments.DistancePairResult) error {
+					digest.Add(r.GainNeg)
+					pairs++
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if digest.Stream.N() == 0 {
+					b.Fatal("stream delivered nothing")
+				}
+			}
+			b.ReportMetric(float64(pairs)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
 // BenchmarkMeshSessions measures the daemon layer's negotiation
 // throughput: a 14-ISP all-pairs mesh of agentd daemons (17 pairs, 4
 // epochs = 68 wire sessions per iteration) at 1, 2, and GOMAXPROCS

@@ -24,6 +24,7 @@ package continuous
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/capacity"
@@ -160,12 +161,60 @@ func New(sys *pairsim.System, p int) *Controller {
 	return c
 }
 
+// CapacityCache memoizes the base capacities load-based metrics derive
+// from a pair's steady state, so the many controllers sharing a pair —
+// both endpoints of every wire pair, every agent restart — reuse one
+// computation instead of rebuilding it per controller. It is safe for
+// concurrent use in the same way as pairsim.TableCache: a sync.Map slot
+// per pair plus a per-pair sync.Once makes each derivation exactly-once
+// even when both endpoints race on the same pair. The cached vectors
+// are shared read-only (evaluators copy load state, never capacities),
+// and caching changes no result: capacities are deterministic in the
+// pair alone.
+type CapacityCache struct {
+	caps sync.Map // *topology.Pair -> *capEntry
+}
+
+// capEntry is one pair's slot in the cache.
+type capEntry struct {
+	once       sync.Once
+	capA, capB []float64
+}
+
+// NewCapacityCache returns an empty cache.
+func NewCapacityCache() *CapacityCache {
+	return &CapacityCache{}
+}
+
+// get returns the pair's base capacities, computing them on first use.
+// A nil cache computes fresh vectors (the uncached path).
+func (c *CapacityCache) get(sys, rev *pairsim.System) (capA, capB []float64) {
+	if c == nil {
+		return baseCapacities(sys, rev)
+	}
+	e, ok := c.caps.Load(sys.Pair)
+	if !ok {
+		e, _ = c.caps.LoadOrStore(sys.Pair, new(capEntry))
+	}
+	entry := e.(*capEntry)
+	entry.once.Do(func() { entry.capA, entry.capB = baseCapacities(sys, rev) })
+	return entry.capA, entry.capB
+}
+
 // NewWithMetric builds a controller negotiating the named metric. The
 // metric selects both the evaluator family (see NewEvaluator) and the
 // engine configuration: load-based metrics renegotiate preferences
 // after each 5% of traffic (nexit.DefaultBandwidthConfig), distance
 // never does. An empty metric means distance.
 func NewWithMetric(sys *pairsim.System, p int, metric Metric) (*Controller, error) {
+	return NewWithMetricShared(sys, p, metric, nil)
+}
+
+// NewWithMetricShared is NewWithMetric drawing load-metric base
+// capacities from a shared CapacityCache (nil computes them fresh).
+// Pass one cache per mesh/daemon so pairs negotiated by several
+// controllers derive their capacity vectors once.
+func NewWithMetricShared(sys *pairsim.System, p int, metric Metric, caps *CapacityCache) (*Controller, error) {
 	metric, err := ParseMetric(string(metric))
 	if err != nil {
 		return nil, err
@@ -188,7 +237,7 @@ func NewWithMetric(sys *pairsim.System, p int, metric Metric) (*Controller, erro
 		applied:  make(map[key]int),
 	}
 	if metric != MetricDistance {
-		c.capA, c.capB = baseCapacities(c.Sys, c.Rev)
+		c.capA, c.capB = caps.get(c.Sys, c.Rev)
 	}
 	return c, nil
 }

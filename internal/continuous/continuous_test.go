@@ -3,6 +3,7 @@ package continuous
 import (
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/gen"
@@ -290,5 +291,66 @@ func TestDrift(t *testing.T) {
 	// Original untouched.
 	if w.Flows[0].Size != 1 {
 		t.Error("drift mutated the input workload")
+	}
+}
+
+// TestCapacityCacheShared pins the shared base-capacity path: both
+// endpoints of a pair (and a "restarted" controller) draw the exact
+// capacity vector instances from one cache, concurrent construction is
+// exactly-once (run under -race), and cached controllers negotiate
+// identically to uncached ones.
+func TestCapacityCacheShared(t *testing.T) {
+	sys := testSystem(t)
+	caps := NewCapacityCache()
+
+	// Race many controller constructions on the same pair.
+	ctls := make([]*Controller, 8)
+	var wg sync.WaitGroup
+	for g := range ctls {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := NewWithMetricShared(pairsim.New(sys.Pair, nil), 10, MetricBandwidth, caps)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ctls[g] = c
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(ctls); g++ {
+		if &ctls[g].capA[0] != &ctls[0].capA[0] || &ctls[g].capB[0] != &ctls[0].capB[0] {
+			t.Fatalf("controller %d derived its own capacity vectors; cache not shared", g)
+		}
+	}
+
+	// Cached == uncached, vector by vector and epoch by epoch.
+	plain, err := NewWithMetric(sys, 10, MetricBandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.capA, ctls[0].capA) || !reflect.DeepEqual(plain.capB, ctls[0].capB) {
+		t.Fatal("cached capacities differ from uncached")
+	}
+	wAB := traffic.New(sys.Pair.A, sys.Pair.B, traffic.Gravity, nil)
+	wBA := traffic.New(sys.Pair.B, sys.Pair.A, traffic.Gravity, nil)
+	for epoch := 0; epoch < 3; epoch++ {
+		a, err := plain.Epoch(wAB, wBA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ctls[0].Epoch(wAB, wBA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("epoch %d: cached controller diverged from uncached", epoch)
+		}
+	}
+
+	// Distance controllers don't touch the cache (no capacities).
+	if c, err := NewWithMetricShared(sys, 10, MetricDistance, caps); err != nil || c.capA != nil {
+		t.Fatalf("distance controller built capacities (err=%v)", err)
 	}
 }

@@ -57,6 +57,8 @@ type BandwidthResult struct {
 // scenario: survivor system, impacted flows re-indexed densely, fixed
 // loads from unaffected traffic, and capacities.
 type failureCase struct {
+	pair               *topology.Pair // the original (pre-failure) pair
+	failed             int            // index of the failed interconnection
 	s2                 *pairsim.System
 	impacted           []traffic.Flow
 	items              []nexit.Item
@@ -80,6 +82,8 @@ func buildFailureCase(pair *topology.Pair, cache *pairsim.TableCache, k int, mod
 	pre := baseline.EarlyExit(s, w.Flows)
 	loadUp0, loadDown0 := s.Loads(w.Flows, pre)
 	fc := &failureCase{
+		pair:    pair,
+		failed:  k,
 		capUp:   capacity.Assign(loadUp0, capOpts),
 		capDown: capacity.Assign(loadDown0, capOpts),
 	}
@@ -163,28 +167,47 @@ func (fc *failureCase) newBandwidthEvaluator(side nexit.Side, p int, useFT bool)
 	return nexit.NewBandwidthEvaluator(fc.s2, side, p, load, capv)
 }
 
-// bandwidthCaseOut is one failure case's contribution to
-// BandwidthResult, computed concurrently and folded in case order.
-type bandwidthCaseOut struct {
-	upDef, upNeg, downDef, downNeg float64
-	nonDefault                     float64
-	unilateralDownRatio            float64
-	diverseUpDef, diverseUpNeg     float64
-	diverseDownGain                float64
-	cheatUp, cheatDown             float64
+// BandwidthCaseResult is one failure case's streamed contribution to
+// the §5.2 experiments (Figures 7, 8, 9, 11), computed concurrently and
+// delivered in (pair, interconnection) order.
+type BandwidthCaseResult struct {
+	// Pair names the ISP pair ("ispA-ispB") and FailedInterconnection
+	// the hypothesized failure, making streamed records
+	// self-describing.
+	Pair                  string `json:"pair"`
+	FailedInterconnection int    `json:"failed_interconnection"`
+	// Figure 7: MEL ratios to the LP optimum.
+	UpDef   float64 `json:"up_default"`
+	UpNeg   float64 `json:"up_negotiated"`
+	DownDef float64 `json:"down_default"`
+	DownNeg float64 `json:"down_negotiated"`
+	// NonDefault is the fraction of impacted flows negotiation moved off
+	// the post-failure default.
+	NonDefault float64 `json:"non_default_fraction"`
+	// Figure 8: downstream MEL under unilateral upstream optimization,
+	// relative to default.
+	UnilateralDownRatio float64 `json:"unilateral_down_ratio"`
+	// Figure 9: diverse criteria. The diverse default baseline is UpDef
+	// (the same pre-negotiation state), so the record carries it once.
+	DiverseUpNeg    float64 `json:"diverse_up_negotiated"`
+	DiverseDownGain float64 `json:"diverse_down_gain"`
+	// Figure 11: the upstream cheats.
+	CheatUp   float64 `json:"cheat_up"`
+	CheatDown float64 `json:"cheat_down"`
 }
 
-// Bandwidth runs the §5.2 failure experiments (Figures 7, 8, 9, 11).
-// Failure cases are evaluated concurrently per pair (Options.Workers)
-// with identical results for every worker count.
-func Bandwidth(ds *Dataset, opt BandwidthOptions) (*BandwidthResult, error) {
+// BandwidthStream runs the §5.2 failure experiments, delivering each
+// failure case's result to sink strictly in (pair, interconnection)
+// order without retaining it — the constant-memory form of Bandwidth.
+// sink may return runner.ErrStop to cancel the remaining cases without
+// error. Returns the number of cases delivered.
+func BandwidthStream(ds *Dataset, opt BandwidthOptions, sink func(idx int, r *BandwidthCaseResult) error) (int, error) {
 	opt.Options = opt.Options.withDefaults()
-	res := &BandwidthResult{}
 	cfg := nexit.DefaultBandwidthConfig()
 	cfg.PrefBound = opt.PrefBound
 
-	cases, err := forEachFailureCase(ds, opt, saltBandwidth,
-		func(fc *failureCase, rng *rand.Rand) (*bandwidthCaseOut, error) {
+	return forEachFailureCase(ds, opt, saltBandwidth,
+		func(fc *failureCase, rng *rand.Rand) (*BandwidthCaseResult, error) {
 			// Globally optimal (fractional LP across both ISPs).
 			lp, err := optimal.Bandwidth(fc.s2, fc.impacted, fc.fixedUp, fc.fixedDown, fc.capUp, fc.capDown)
 			if err != nil {
@@ -200,11 +223,13 @@ func Bandwidth(ds *Dataset, opt BandwidthOptions) (*BandwidthResult, error) {
 			}
 			negUp, negDown := fc.mels(neg.Assign)
 
-			out := &bandwidthCaseOut{
-				upDef:   metrics.Ratio(fc.defUp, lp.MELUp, 1),
-				upNeg:   metrics.Ratio(negUp, lp.MELUp, 1),
-				downDef: metrics.Ratio(fc.defDown, lp.MELDown, 1),
-				downNeg: metrics.Ratio(negDown, lp.MELDown, 1),
+			out := &BandwidthCaseResult{
+				Pair:                  pairLabel(fc.pair),
+				FailedInterconnection: fc.failed,
+				UpDef:                 metrics.Ratio(fc.defUp, lp.MELUp, 1),
+				UpNeg:                 metrics.Ratio(negUp, lp.MELUp, 1),
+				DownDef:               metrics.Ratio(fc.defDown, lp.MELDown, 1),
+				DownNeg:               metrics.Ratio(negDown, lp.MELDown, 1),
 			}
 			nonDef := 0
 			for i := range fc.items {
@@ -212,12 +237,12 @@ func Bandwidth(ds *Dataset, opt BandwidthOptions) (*BandwidthResult, error) {
 					nonDef++
 				}
 			}
-			out.nonDefault = float64(nonDef) / float64(len(fc.items))
+			out.NonDefault = float64(nonDef) / float64(len(fc.items))
 
 			// Figure 8: unilateral upstream optimization.
 			uni := baseline.UnilateralUpstream(fc.s2, fc.impacted, fc.fixedUp, fc.capUp)
 			_, uniDown := fc.mels(uni)
-			out.unilateralDownRatio = metrics.Ratio(uniDown, fc.defDown, 1)
+			out.UnilateralDownRatio = metrics.Ratio(uniDown, fc.defDown, 1)
 
 			// Figure 9: diverse criteria — upstream bandwidth,
 			// downstream distance.
@@ -228,9 +253,8 @@ func Bandwidth(ds *Dataset, opt BandwidthOptions) (*BandwidthResult, error) {
 				return nil, err
 			}
 			divUp, _ := fc.mels(div.Assign)
-			out.diverseUpDef = metrics.Ratio(fc.defUp, lp.MELUp, 1)
-			out.diverseUpNeg = metrics.Ratio(divUp, lp.MELUp, 1)
-			out.diverseDownGain = metrics.GainPercent(
+			out.DiverseUpNeg = metrics.Ratio(divUp, lp.MELUp, 1)
+			out.DiverseDownGain = metrics.GainPercent(
 				fc.downDistance(fc.defAssign), fc.downDistance(div.Assign))
 
 			// Figure 11: the upstream cheats.
@@ -247,23 +271,33 @@ func Bandwidth(ds *Dataset, opt BandwidthOptions) (*BandwidthResult, error) {
 				return nil, err
 			}
 			cheatUp, cheatDown := fc.mels(cheat.Assign)
-			out.cheatUp = metrics.Ratio(cheatUp, lp.MELUp, 1)
-			out.cheatDown = metrics.Ratio(cheatDown, lp.MELDown, 1)
+			out.CheatUp = metrics.Ratio(cheatUp, lp.MELUp, 1)
+			out.CheatDown = metrics.Ratio(cheatDown, lp.MELDown, 1)
 			return out, nil
 		},
-		func(o *bandwidthCaseOut) {
-			res.UpDef = append(res.UpDef, o.upDef)
-			res.UpNeg = append(res.UpNeg, o.upNeg)
-			res.DownDef = append(res.DownDef, o.downDef)
-			res.DownNeg = append(res.DownNeg, o.downNeg)
-			res.NegotiatedNonDefault = append(res.NegotiatedNonDefault, o.nonDefault)
-			res.UnilateralDownRatio = append(res.UnilateralDownRatio, o.unilateralDownRatio)
-			res.DiverseUpDef = append(res.DiverseUpDef, o.diverseUpDef)
-			res.DiverseUpNeg = append(res.DiverseUpNeg, o.diverseUpNeg)
-			res.DiverseDownGain = append(res.DiverseDownGain, o.diverseDownGain)
-			res.CheatUpNeg = append(res.CheatUpNeg, o.cheatUp)
-			res.CheatDownNeg = append(res.CheatDownNeg, o.cheatDown)
-		})
+		sink)
+}
+
+// Bandwidth runs the §5.2 failure experiments (Figures 7, 8, 9, 11) and
+// collects the figures' sample sets — a fold over BandwidthStream.
+// Failure cases are evaluated concurrently per pair (Options.Workers)
+// with identical results for every worker count.
+func Bandwidth(ds *Dataset, opt BandwidthOptions) (*BandwidthResult, error) {
+	res := &BandwidthResult{}
+	cases, err := BandwidthStream(ds, opt, func(_ int, o *BandwidthCaseResult) error {
+		res.UpDef = append(res.UpDef, o.UpDef)
+		res.UpNeg = append(res.UpNeg, o.UpNeg)
+		res.DownDef = append(res.DownDef, o.DownDef)
+		res.DownNeg = append(res.DownNeg, o.DownNeg)
+		res.NegotiatedNonDefault = append(res.NegotiatedNonDefault, o.NonDefault)
+		res.UnilateralDownRatio = append(res.UnilateralDownRatio, o.UnilateralDownRatio)
+		res.DiverseUpDef = append(res.DiverseUpDef, o.UpDef) // diverse default == default baseline
+		res.DiverseUpNeg = append(res.DiverseUpNeg, o.DiverseUpNeg)
+		res.DiverseDownGain = append(res.DiverseDownGain, o.DiverseDownGain)
+		res.CheatUpNeg = append(res.CheatUpNeg, o.CheatUp)
+		res.CheatDownNeg = append(res.CheatDownNeg, o.CheatDown)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -7,10 +7,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	"sort"
 
 	"repro/internal/gen"
 	"repro/internal/pairsim"
+	"repro/internal/runner"
 	"repro/internal/topology"
 )
 
@@ -56,8 +57,9 @@ func (d *Dataset) BandwidthPairs() []*topology.Pair {
 // Options bounds an experiment run.
 type Options struct {
 	// MaxPairs limits the number of ISP pairs processed (0 = all). When
-	// limiting, pairs are chosen by a seeded shuffle so subsets are
-	// unbiased and reproducible.
+	// limiting, pairs are chosen by seeded keyed selection (see
+	// selectPairs): subsets are unbiased, reproducible in Seed alone,
+	// and nest as MaxPairs grows.
 	MaxPairs int
 	// Seed drives pair subsampling and any randomized strategy (the
 	// flow-local baselines pick among candidates at random).
@@ -84,15 +86,48 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// selectPairs applies MaxPairs subsampling.
+// Warm precomputes every ISP's routing table, sharding the per-ISP
+// all-pairs Dijkstra across workers goroutines (0 = GOMAXPROCS).
+// Without warming, tables are computed lazily by the first pair that
+// touches each ISP, which serializes most of the dataset's cold-start
+// cost behind the first few pairs of the first experiment. Warming is
+// idempotent and changes no result.
+func (d *Dataset) Warm(workers int) { d.Cache.Warm(d.ISPs, workers) }
+
+// selectPairs applies MaxPairs subsampling. Selection is keyed rather
+// than shuffled: each pair index draws a deterministic key from
+// (Seed, index) via the runner's splitmix64 mix — computed across
+// Options.Workers goroutines — and the MaxPairs smallest keys win, in
+// dataset order. Like the historical seeded shuffle, subsets are
+// unbiased and reproducible in Seed alone; unlike it, key derivation
+// has no serial RNG stream, so cold-start scales with cores, and
+// subsets nest (the MaxPairs=k selection is a prefix-by-key of the
+// MaxPairs=k+1 selection).
 func selectPairs(pairs []*topology.Pair, opt Options) []*topology.Pair {
 	if opt.MaxPairs <= 0 || opt.MaxPairs >= len(pairs) {
 		return pairs
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	shuffled := append([]*topology.Pair(nil), pairs...)
-	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
-	return shuffled[:opt.MaxPairs]
+	keys := make([]int64, len(pairs))
+	runner.ForEachIndex(len(pairs), opt.Workers, func(i int) {
+		keys[i] = runner.PairSeed(opt.Seed, i)
+	})
+	order := make([]int, len(pairs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if keys[order[a]] != keys[order[b]] {
+			return keys[order[a]] < keys[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	sel := append([]int(nil), order[:opt.MaxPairs]...)
+	sort.Ints(sel) // present the subset in dataset order
+	out := make([]*topology.Pair, len(sel))
+	for i, idx := range sel {
+		out[i] = pairs[idx]
+	}
+	return out
 }
 
 // Inventory summarizes the dataset, mirroring the counts the paper

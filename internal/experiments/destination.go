@@ -63,20 +63,22 @@ type DestinationResult struct {
 	Pairs                   int
 }
 
-// destinationPairOut is one pair's contribution to DestinationResult.
-type destinationPairOut struct {
-	gainSrcDst, gainDstOnly float64
+// DestinationPairResult is one ISP pair's streamed contribution to the
+// footnote-2 comparison.
+type DestinationPairResult struct {
+	// Pair names the ISP pair ("ispA-ispB").
+	Pair        string  `json:"pair"`
+	GainSrcDst  float64 `json:"gain_src_dst"`
+	GainDstOnly float64 `json:"gain_dst_only"`
 }
 
-// DestinationBased runs the footnote-2 comparison over the dataset.
-// Pairs are evaluated concurrently (Options.Workers) with identical
-// results for every worker count.
-func DestinationBased(ds *Dataset, opt Options) (*DestinationResult, error) {
+// DestinationStream runs the footnote-2 comparison, delivering each
+// pair's result to sink in pair order without retaining it.
+func DestinationStream(ds *Dataset, opt Options, sink func(idx int, r *DestinationPairResult) error) error {
 	opt = opt.withDefaults()
 	pairs := selectPairs(ds.DistancePairs(), opt)
-	res := &DestinationResult{}
-	err := forEachPair(pairs, ds, opt, saltDestination, traffic.Identical,
-		func(job pairJob) (*destinationPairOut, error) {
+	return forEachPair(pairs, ds, opt, saltDestination, traffic.Identical,
+		func(job pairJob) (*DestinationPairResult, error) {
 			ps := job.ps
 			na := ps.s.NumAlternatives()
 			cfg := nexit.DefaultDistanceConfig()
@@ -156,16 +158,27 @@ func DestinationBased(ds *Dataset, opt Options) (*DestinationResult, error) {
 			perFlowTotal, _, _ := ps.distances(perFlow.Assign)
 			groupedTotal, _, _ := ps.distances(expand(grouped.Assign))
 			groupedDefTotal, _, _ := ps.distances(expand(groupDefaults))
-			return &destinationPairOut{
-				gainSrcDst:  metrics.GainPercent(job.defTotal, perFlowTotal),
-				gainDstOnly: metrics.GainPercent(groupedDefTotal, groupedTotal),
+			return &DestinationPairResult{
+				Pair:        pairLabel(ps.s.Pair),
+				GainSrcDst:  metrics.GainPercent(job.defTotal, perFlowTotal),
+				GainDstOnly: metrics.GainPercent(groupedDefTotal, groupedTotal),
 			}, nil
 		},
-		func(o *destinationPairOut) {
-			res.GainSrcDst = append(res.GainSrcDst, o.gainSrcDst)
-			res.GainDstOnly = append(res.GainDstOnly, o.gainDstOnly)
-			res.Pairs++
-		})
+		sink)
+}
+
+// DestinationBased runs the footnote-2 comparison over the dataset and
+// collects the sample sets — a fold over DestinationStream. Pairs are
+// evaluated concurrently (Options.Workers) with identical results for
+// every worker count.
+func DestinationBased(ds *Dataset, opt Options) (*DestinationResult, error) {
+	res := &DestinationResult{}
+	err := DestinationStream(ds, opt, func(_ int, o *DestinationPairResult) error {
+		res.GainSrcDst = append(res.GainSrcDst, o.GainSrcDst)
+		res.GainDstOnly = append(res.GainDstOnly, o.GainDstOnly)
+		res.Pairs++
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -8,7 +8,7 @@ import (
 
 func TestDestinationBased(t *testing.T) {
 	ds := smallDataset(t)
-	res, err := DestinationBased(ds, Options{MaxPairs: 10})
+	res, err := DestinationBased(ds, Options{MaxPairs: 16})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -93,26 +93,45 @@ func (ps pairSetup) distances(assign []int) (total, inA, inB float64) {
 	return total, inA, inB
 }
 
-// distancePairOut is one pair's contribution to DistanceResult,
-// computed concurrently and folded in pair order.
-type distancePairOut struct {
-	gainOpt, gainNeg, gainPareto, gainBoth, gainGroup float64
-	indOptA, indOptB, indNegA, indNegB                float64
-	flowGainNeg, flowGainOpt                          []float64
-	nonDefaultFraction                                float64
-	interconnections                                  int
+// DistancePairResult is one ISP pair's streamed contribution to the
+// §5.1 experiments: every per-pair sample of Figures 4, 5, 6 and the
+// text analyses, computed concurrently and delivered in pair order.
+type DistancePairResult struct {
+	// Pair names the ISP pair ("ispA-ispB"), making streamed records
+	// self-describing.
+	Pair string `json:"pair"`
+	// Interconnections is the pair's alternative count.
+	Interconnections int `json:"interconnections"`
+	// Total-gain percentages over default routing (Figures 4a, 5 and
+	// the group ablation).
+	GainNeg        float64 `json:"gain_negotiated"`
+	GainOpt        float64 `json:"gain_optimal"`
+	GainPareto     float64 `json:"gain_flow_pareto"`
+	GainBothBetter float64 `json:"gain_flow_both_better"`
+	GainGroup4     float64 `json:"gain_group4"`
+	// Individual per-ISP gains (Figure 4b).
+	IndNegA float64 `json:"ind_negotiated_a"`
+	IndNegB float64 `json:"ind_negotiated_b"`
+	IndOptA float64 `json:"ind_optimal_a"`
+	IndOptB float64 `json:"ind_optimal_b"`
+	// Per-flow gains inside this pair (Figure 6 pools them).
+	FlowGainNeg []float64 `json:"flow_gain_negotiated"`
+	FlowGainOpt []float64 `json:"flow_gain_optimal"`
+	// NonDefaultFraction is the fraction of flows negotiation moved off
+	// their default path.
+	NonDefaultFraction float64 `json:"non_default_fraction"`
 }
 
-// Distance runs the §5.1 experiments (Figures 4, 5, 6 and text analyses)
-// over the dataset. Pairs are evaluated concurrently (Options.Workers)
-// with identical results for every worker count.
-func Distance(ds *Dataset, opt Options) (*DistanceResult, error) {
+// DistanceStream runs the §5.1 experiments, delivering each pair's
+// result to sink strictly in pair order without retaining it — the
+// constant-memory form of Distance. sink may return runner.ErrStop to
+// cancel the remaining pairs without error. Results are identical for
+// every worker count, pair by pair.
+func DistanceStream(ds *Dataset, opt Options, sink func(idx int, r *DistancePairResult) error) error {
 	opt = opt.withDefaults()
 	pairs := selectPairs(ds.DistancePairs(), opt)
-	res := &DistanceResult{GainVsInterconnections: map[int][]float64{}}
-
-	err := forEachPair(pairs, ds, opt, saltDistance, traffic.Identical,
-		func(job pairJob) (*distancePairOut, error) {
+	return forEachPair(pairs, ds, opt, saltDistance, traffic.Identical,
+		func(job pairJob) (*DistancePairResult, error) {
 			ps := job.ps
 			na := ps.s.NumAlternatives()
 
@@ -159,17 +178,18 @@ func Distance(ds *Dataset, opt Options) (*DistanceResult, error) {
 			bothTotal, _, _ := ps.distances(bothAssign)
 			grpTotal, _, _ := ps.distances(groupAssign)
 
-			out := &distancePairOut{
-				interconnections: na,
-				gainOpt:          metrics.GainPercent(job.defTotal, optTotal),
-				gainNeg:          metrics.GainPercent(job.defTotal, negTotal),
-				gainPareto:       metrics.GainPercent(job.defTotal, parTotal),
-				gainBoth:         metrics.GainPercent(job.defTotal, bothTotal),
-				gainGroup:        metrics.GainPercent(job.defTotal, grpTotal),
-				indOptA:          metrics.GainPercent(job.defA, optA),
-				indOptB:          metrics.GainPercent(job.defB, optB),
-				indNegA:          metrics.GainPercent(job.defA, negA),
-				indNegB:          metrics.GainPercent(job.defB, negB),
+			out := &DistancePairResult{
+				Pair:             pairLabel(ps.s.Pair),
+				Interconnections: na,
+				GainOpt:          metrics.GainPercent(job.defTotal, optTotal),
+				GainNeg:          metrics.GainPercent(job.defTotal, negTotal),
+				GainPareto:       metrics.GainPercent(job.defTotal, parTotal),
+				GainBothBetter:   metrics.GainPercent(job.defTotal, bothTotal),
+				GainGroup4:       metrics.GainPercent(job.defTotal, grpTotal),
+				IndOptA:          metrics.GainPercent(job.defA, optA),
+				IndOptB:          metrics.GainPercent(job.defB, optB),
+				IndNegA:          metrics.GainPercent(job.defA, negA),
+				IndNegB:          metrics.GainPercent(job.defB, negB),
 			}
 			nonDefault := 0
 			for i, it := range ps.items {
@@ -177,31 +197,44 @@ func Distance(ds *Dataset, opt Options) (*DistanceResult, error) {
 				dNeg, _, _ := ps.itemDist(it, neg.Assign[i])
 				dOpt, _, _ := ps.itemDist(it, optAssign[i])
 				if dDef > 0 {
-					out.flowGainNeg = append(out.flowGainNeg, metrics.GainPercent(dDef, dNeg))
-					out.flowGainOpt = append(out.flowGainOpt, metrics.GainPercent(dDef, dOpt))
+					out.FlowGainNeg = append(out.FlowGainNeg, metrics.GainPercent(dDef, dNeg))
+					out.FlowGainOpt = append(out.FlowGainOpt, metrics.GainPercent(dDef, dOpt))
 				}
 				if neg.Assign[i] != ps.defaults[i] {
 					nonDefault++
 				}
 			}
-			out.nonDefaultFraction = float64(nonDefault) / float64(len(ps.items))
+			out.NonDefaultFraction = float64(nonDefault) / float64(len(ps.items))
 			return out, nil
 		},
-		func(o *distancePairOut) {
-			res.PairGainOpt = append(res.PairGainOpt, o.gainOpt)
-			res.PairGainNeg = append(res.PairGainNeg, o.gainNeg)
-			res.PairGainPareto = append(res.PairGainPareto, o.gainPareto)
-			res.PairGainBothBetter = append(res.PairGainBothBetter, o.gainBoth)
-			res.GroupGain4 = append(res.GroupGain4, o.gainGroup)
-			res.IndGainOpt = append(res.IndGainOpt, o.indOptA, o.indOptB)
-			res.IndGainNeg = append(res.IndGainNeg, o.indNegA, o.indNegB)
-			res.GainVsInterconnections[o.interconnections] = append(
-				res.GainVsInterconnections[o.interconnections], o.gainNeg)
-			res.FlowGainNeg = append(res.FlowGainNeg, o.flowGainNeg...)
-			res.FlowGainOpt = append(res.FlowGainOpt, o.flowGainOpt...)
-			res.NonDefaultFraction = append(res.NonDefaultFraction, o.nonDefaultFraction)
-			res.Pairs++
-		})
+		sink)
+}
+
+// Distance runs the §5.1 experiments (Figures 4, 5, 6 and text
+// analyses) over the dataset and collects the figures' sample sets. It
+// is a fold over DistanceStream — the streaming path is the only
+// evaluation path, so batch and streaming results agree pair by pair by
+// construction (and the parity tests pin it). Pairs are evaluated
+// concurrently (Options.Workers) with identical results for every
+// worker count.
+func Distance(ds *Dataset, opt Options) (*DistanceResult, error) {
+	res := &DistanceResult{GainVsInterconnections: map[int][]float64{}}
+	err := DistanceStream(ds, opt, func(_ int, o *DistancePairResult) error {
+		res.PairGainOpt = append(res.PairGainOpt, o.GainOpt)
+		res.PairGainNeg = append(res.PairGainNeg, o.GainNeg)
+		res.PairGainPareto = append(res.PairGainPareto, o.GainPareto)
+		res.PairGainBothBetter = append(res.PairGainBothBetter, o.GainBothBetter)
+		res.GroupGain4 = append(res.GroupGain4, o.GainGroup4)
+		res.IndGainOpt = append(res.IndGainOpt, o.IndOptA, o.IndOptB)
+		res.IndGainNeg = append(res.IndGainNeg, o.IndNegA, o.IndNegB)
+		res.GainVsInterconnections[o.Interconnections] = append(
+			res.GainVsInterconnections[o.Interconnections], o.GainNeg)
+		res.FlowGainNeg = append(res.FlowGainNeg, o.FlowGainNeg...)
+		res.FlowGainOpt = append(res.FlowGainOpt, o.FlowGainOpt...)
+		res.NonDefaultFraction = append(res.NonDefaultFraction, o.NonDefaultFraction)
+		res.Pairs++
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -222,21 +255,31 @@ type DistanceCheatResult struct {
 	Pairs        int
 }
 
-// cheatPairOut is one pair's contribution to DistanceCheatResult.
-type cheatPairOut struct {
-	totalTruthful, totalCheat           float64
-	indTruthfulA, indTruthfulB          float64
-	indCheater, indVictim, cheaterDelta float64
+// CheatPairResult is one ISP pair's streamed contribution to the §5.4
+// distance-cheating experiment (Figure 10).
+type CheatPairResult struct {
+	// Pair names the ISP pair ("ispA-ispB").
+	Pair          string  `json:"pair"`
+	TotalTruthful float64 `json:"total_truthful"`
+	TotalCheat    float64 `json:"total_cheat"`
+	IndTruthfulA  float64 `json:"ind_truthful_a"`
+	IndTruthfulB  float64 `json:"ind_truthful_b"`
+	IndCheater    float64 `json:"ind_cheater"`
+	IndVictim     float64 `json:"ind_victim"`
+	// CheaterDelta is the cheater's gain minus the same ISP's truthful
+	// gain; negative means cheating backfired.
+	CheaterDelta float64 `json:"cheater_delta"`
 }
 
-// DistanceCheat runs the §5.4 distance experiment: ISP A cheats using
-// the inflate-best strategy with perfect knowledge of B's preferences.
-func DistanceCheat(ds *Dataset, opt Options) (*DistanceCheatResult, error) {
+// DistanceCheatStream runs the §5.4 distance experiment (ISP A cheats
+// using the inflate-best strategy with perfect knowledge of B's
+// preferences), delivering each pair's result to sink in pair order
+// without retaining it.
+func DistanceCheatStream(ds *Dataset, opt Options, sink func(idx int, r *CheatPairResult) error) error {
 	opt = opt.withDefaults()
 	pairs := selectPairs(ds.DistancePairs(), opt)
-	res := &DistanceCheatResult{}
-	err := forEachPair(pairs, ds, opt, saltCheat, traffic.Identical,
-		func(job pairJob) (*cheatPairOut, error) {
+	return forEachPair(pairs, ds, opt, saltCheat, traffic.Identical,
+		func(job pairJob) (*CheatPairResult, error) {
 			ps := job.ps
 			na := ps.s.NumAlternatives()
 			cfg := nexit.DefaultDistanceConfig()
@@ -260,25 +303,34 @@ func DistanceCheat(ds *Dataset, opt Options) (*DistanceCheatResult, error) {
 
 			hTotal, hA, hB := ps.distances(honest.Assign)
 			cTotal, cA, cB := ps.distances(cheat.Assign)
-			return &cheatPairOut{
-				totalTruthful: metrics.GainPercent(job.defTotal, hTotal),
-				totalCheat:    metrics.GainPercent(job.defTotal, cTotal),
-				indTruthfulA:  metrics.GainPercent(job.defA, hA),
-				indTruthfulB:  metrics.GainPercent(job.defB, hB),
-				indCheater:    metrics.GainPercent(job.defA, cA),
-				indVictim:     metrics.GainPercent(job.defB, cB),
-				cheaterDelta:  metrics.GainPercent(job.defA, cA) - metrics.GainPercent(job.defA, hA),
+			return &CheatPairResult{
+				Pair:          pairLabel(ps.s.Pair),
+				TotalTruthful: metrics.GainPercent(job.defTotal, hTotal),
+				TotalCheat:    metrics.GainPercent(job.defTotal, cTotal),
+				IndTruthfulA:  metrics.GainPercent(job.defA, hA),
+				IndTruthfulB:  metrics.GainPercent(job.defB, hB),
+				IndCheater:    metrics.GainPercent(job.defA, cA),
+				IndVictim:     metrics.GainPercent(job.defB, cB),
+				CheaterDelta:  metrics.GainPercent(job.defA, cA) - metrics.GainPercent(job.defA, hA),
 			}, nil
 		},
-		func(o *cheatPairOut) {
-			res.TotalTruthful = append(res.TotalTruthful, o.totalTruthful)
-			res.TotalCheat = append(res.TotalCheat, o.totalCheat)
-			res.IndTruthful = append(res.IndTruthful, o.indTruthfulA, o.indTruthfulB)
-			res.IndCheater = append(res.IndCheater, o.indCheater)
-			res.IndVictim = append(res.IndVictim, o.indVictim)
-			res.CheaterDelta = append(res.CheaterDelta, o.cheaterDelta)
-			res.Pairs++
-		})
+		sink)
+}
+
+// DistanceCheat runs the §5.4 distance experiment and collects the
+// Figure 10 sample sets — a fold over DistanceCheatStream.
+func DistanceCheat(ds *Dataset, opt Options) (*DistanceCheatResult, error) {
+	res := &DistanceCheatResult{}
+	err := DistanceCheatStream(ds, opt, func(_ int, o *CheatPairResult) error {
+		res.TotalTruthful = append(res.TotalTruthful, o.TotalTruthful)
+		res.TotalCheat = append(res.TotalCheat, o.TotalCheat)
+		res.IndTruthful = append(res.IndTruthful, o.IndTruthfulA, o.IndTruthfulB)
+		res.IndCheater = append(res.IndCheater, o.IndCheater)
+		res.IndVictim = append(res.IndVictim, o.IndVictim)
+		res.CheaterDelta = append(res.CheaterDelta, o.CheaterDelta)
+		res.Pairs++
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"math/rand"
 
 	"repro/internal/runner"
@@ -26,6 +27,14 @@ func (o Options) runnerOptions(salt int64) runner.Options {
 	return runner.Options{Workers: o.Workers, Seed: o.Seed + salt}
 }
 
+// pairLabel is the self-describing identity streamed records carry:
+// NDJSON consumers join a record back to its ISP pair by name rather
+// than by stream position (delivery indices are dense over delivered
+// records — degenerate pairs are skipped — so position is not a key).
+func pairLabel(p *topology.Pair) string {
+	return p.A.Name + "-" + p.B.Name
+}
+
 // pairJob is the prepared state handed to a distance-family per-pair
 // function: the pair's System/workload/defaults, the default
 // assignment's distances (degenerate zero-distance pairs are filtered
@@ -41,9 +50,13 @@ type pairJob struct {
 // pair setup with the given flow-size model, compute the default
 // distances, and skip degenerate co-located pairs (zero default
 // distance). fn may also skip a pair by returning nil. Non-nil results
-// are folded by reduce strictly in pair order.
+// stream to sink strictly in pair order and are not retained: steady-
+// state memory is O(workers), not O(pairs). sink's idx counts delivered
+// results (dense, starting at 0); returning runner.ErrStop cancels the
+// remaining pairs without error, any other error aborts the run.
 func forEachPair[R any](pairs []*topology.Pair, ds *Dataset, opt Options, salt int64, model traffic.Model,
-	fn func(job pairJob) (*R, error), reduce func(*R)) error {
+	fn func(job pairJob) (*R, error), sink func(idx int, r *R) error) error {
+	delivered := 0
 	return runner.ForEachPair(pairs, opt.runnerOptions(salt),
 		func(i int, pair *topology.Pair, rng *rand.Rand) (*R, error) {
 			ps := newPairSetupWithModel(pair, ds.Cache, model)
@@ -54,10 +67,12 @@ func forEachPair[R any](pairs []*topology.Pair, ds *Dataset, opt Options, salt i
 			return fn(pairJob{ps: ps, defTotal: defTotal, defA: defA, defB: defB, rng: rng})
 		},
 		func(i int, r *R) error {
-			if r != nil {
-				reduce(r)
+			if r == nil {
+				return nil
 			}
-			return nil
+			err := sink(delivered, r)
+			delivered++
+			return err
 		})
 }
 
@@ -73,11 +88,15 @@ type failureOut[R any] struct {
 // forEachFailureCase evaluates fn over every (pair, failed
 // interconnection) case of the bandwidth-family experiments on the
 // concurrent runner. Cases of one pair are evaluated in interconnection
-// order by the pair's worker (sharing the pair's RNG), reduced strictly
-// in (pair, interconnection) order, and capped at opt.MaxFailures via
-// early stop. Returns the number of cases reduced.
+// order by the pair's worker (sharing the pair's RNG), streamed to sink
+// strictly in (pair, interconnection) order, and capped at
+// opt.MaxFailures via early stop. The only retained state is one pair's
+// cases in flight per worker — O(workers x interconnections), never
+// O(total cases). sink's idx is the running case count; returning
+// runner.ErrStop cancels the remaining cases without error. Returns the
+// number of cases delivered.
 func forEachFailureCase[R any](ds *Dataset, opt BandwidthOptions, salt int64,
-	fn func(fc *failureCase, rng *rand.Rand) (R, error), reduce func(R)) (int, error) {
+	fn func(fc *failureCase, rng *rand.Rand) (R, error), sink func(idx int, r R) error) (int, error) {
 	pairs := selectPairs(ds.BandwidthPairs(), opt.Options)
 	cases := 0
 	err := runner.ForEachPair(pairs, opt.runnerOptions(salt),
@@ -109,7 +128,13 @@ func forEachFailureCase[R any](ds *Dataset, opt BandwidthOptions, salt int64,
 				if r.err != nil {
 					return r.err
 				}
-				reduce(r.res)
+				if err := sink(cases, r.res); err != nil {
+					if !errors.Is(err, runner.ErrStop) {
+						return err
+					}
+					cases++
+					return runner.ErrStop
+				}
 				cases++
 			}
 			return nil

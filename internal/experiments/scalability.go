@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/nexit"
+	"repro/internal/stats"
 	"repro/internal/traffic"
 )
 
@@ -26,25 +27,24 @@ type ScalabilityResult struct {
 	Pairs     int
 }
 
-// scalabilityPairOut is one pair's per-fraction gain and flow shares.
-type scalabilityPairOut struct {
-	shares, flowShares []float64
+// ScalabilityPairResult is one ISP pair's streamed contribution: the
+// share of the full-negotiation gain retained and the fraction of flows
+// involved, per requested traffic fraction.
+type ScalabilityPairResult struct {
+	// Pair names the ISP pair ("ispA-ispB").
+	Pair       string    `json:"pair"`
+	GainShares []float64 `json:"gain_shares"`
+	FlowShares []float64 `json:"flow_shares"`
 }
 
-// Scalability runs the distance experiment negotiating only the largest
-// flows covering each traffic fraction; flow sizes follow the gravity
-// model so sizes are skewed as in real traffic. Pairs are evaluated
-// concurrently (Options.Workers) with identical results for every
-// worker count.
-func Scalability(ds *Dataset, opt Options, fractions []float64) (*ScalabilityResult, error) {
+// ScalabilityStream runs the §6 partial-negotiation experiment,
+// delivering each pair's per-fraction shares to sink in pair order
+// without retaining them — the constant-memory form of Scalability.
+func ScalabilityStream(ds *Dataset, opt Options, fractions []float64, sink func(idx int, r *ScalabilityPairResult) error) error {
 	opt = opt.withDefaults()
 	pairs := selectPairs(ds.DistancePairs(), opt)
-	res := &ScalabilityResult{Fractions: fractions}
-	shares := make([][]float64, len(fractions))
-	flowShares := make([][]float64, len(fractions))
-
-	err := forEachPair(pairs, ds, opt, saltScalability, traffic.Gravity,
-		func(job pairJob) (*scalabilityPairOut, error) {
+	return forEachPair(pairs, ds, opt, saltScalability, traffic.Gravity,
+		func(job pairJob) (*ScalabilityPairResult, error) {
 			ps := job.ps
 			na := ps.s.NumAlternatives()
 			// The §6 claim is about optimizing most of the TRAFFIC, so
@@ -97,9 +97,10 @@ func Scalability(ds *Dataset, opt Options, fractions []float64) (*ScalabilityRes
 				totalSize += it.Flow.Size
 			}
 
-			out := &scalabilityPairOut{
-				shares:     make([]float64, len(fractions)),
-				flowShares: make([]float64, len(fractions)),
+			out := &ScalabilityPairResult{
+				Pair:       pairLabel(ps.s.Pair),
+				GainShares: make([]float64, len(fractions)),
+				FlowShares: make([]float64, len(fractions)),
 			}
 			for fi, frac := range fractions {
 				// Select the biggest flows covering frac of the traffic.
@@ -125,35 +126,48 @@ func Scalability(ds *Dataset, opt Options, fractions []float64) (*ScalabilityRes
 				for i := 0; i < cut; i++ {
 					assign[order[i]] = subAssign[i]
 				}
-				out.shares[fi] = (defTotal - weighted(assign)) / fullGain
-				out.flowShares[fi] = float64(cut) / float64(len(ps.items))
+				out.GainShares[fi] = (defTotal - weighted(assign)) / fullGain
+				out.FlowShares[fi] = float64(cut) / float64(len(ps.items))
 			}
 			return out, nil
 		},
-		func(o *scalabilityPairOut) {
-			for fi := range fractions {
-				shares[fi] = append(shares[fi], o.shares[fi])
-				flowShares[fi] = append(flowShares[fi], o.flowShares[fi])
-			}
-			res.Pairs++
-		})
+		sink)
+}
+
+// Scalability runs the §6 partial-negotiation experiment and reduces it
+// to per-fraction medians — a fold over ScalabilityStream into
+// streaming quantile sketches (internal/stats), so nothing per-pair is
+// retained: memory is O(fractions), not O(pairs). Medians follow the
+// stats toolkit's nearest-rank convention and are exact up to the
+// sketch capacity (far above any dataset this repo generates). Pairs
+// are evaluated concurrently (Options.Workers) with identical results
+// for every worker count.
+func Scalability(ds *Dataset, opt Options, fractions []float64) (*ScalabilityResult, error) {
+	res := &ScalabilityResult{Fractions: fractions}
+	shares := make([]*stats.QuantileSketch, len(fractions))
+	flowShares := make([]*stats.QuantileSketch, len(fractions))
+	for fi := range fractions {
+		shares[fi] = stats.NewQuantileSketch(0)
+		flowShares[fi] = stats.NewQuantileSketch(0)
+	}
+	err := ScalabilityStream(ds, opt, fractions, func(_ int, o *ScalabilityPairResult) error {
+		for fi := range fractions {
+			shares[fi].Add(o.GainShares[fi])
+			flowShares[fi].Add(o.FlowShares[fi])
+		}
+		res.Pairs++
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	res.GainShare = make([]float64, len(fractions))
 	res.FlowShare = make([]float64, len(fractions))
 	for fi := range fractions {
-		res.GainShare[fi] = medianOf(shares[fi])
-		res.FlowShare[fi] = medianOf(flowShares[fi])
+		if shares[fi].N() > 0 {
+			res.GainShare[fi] = shares[fi].Median()
+			res.FlowShare[fi] = flowShares[fi].Median()
+		}
 	}
 	return res, nil
-}
-
-func medianOf(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	return s[len(s)/2]
 }

@@ -20,27 +20,31 @@ type StabilityResult struct {
 	FailureCases                   int
 }
 
-// stabilityCaseOut is one failure case's contribution to
-// StabilityResult.
-type stabilityCaseOut struct {
-	outcome         stability.Outcome
-	reactiveWorst   float64
-	negotiatedWorst float64
+// StabilityCaseResult is one failure case's streamed contribution to
+// the stability comparison.
+type StabilityCaseResult struct {
+	// Pair names the ISP pair ("ispA-ispB") and FailedInterconnection
+	// the hypothesized failure.
+	Pair                  string `json:"pair"`
+	FailedInterconnection int    `json:"failed_interconnection"`
+	// Outcome is the reactive dynamics' fate for this case
+	// (stability.Converged / Oscillated / Exhausted).
+	Outcome         stability.Outcome `json:"outcome"`
+	ReactiveWorst   float64           `json:"reactive_worst_mel"`
+	NegotiatedWorst float64           `json:"negotiated_worst_mel"`
 }
 
-// Stability replays the bandwidth failure cases under best-response
-// reactive dynamics (downstream first, as in the paper's incident) and
-// under Nexit, comparing stability and outcome quality. Failure cases
-// are evaluated concurrently per pair (Options.Workers) with identical
-// results for every worker count.
-func Stability(ds *Dataset, opt BandwidthOptions) (*StabilityResult, error) {
+// StabilityStream replays the bandwidth failure cases under reactive
+// best-response dynamics and under Nexit, delivering each case's result
+// to sink in (pair, interconnection) order without retaining it.
+// Returns the number of cases delivered.
+func StabilityStream(ds *Dataset, opt BandwidthOptions, sink func(idx int, r *StabilityCaseResult) error) (int, error) {
 	opt.Options = opt.Options.withDefaults()
-	res := &StabilityResult{}
 	cfg := nexit.DefaultBandwidthConfig()
 	cfg.PrefBound = opt.PrefBound
 
-	cases, err := forEachFailureCase(ds, opt, saltStability,
-		func(fc *failureCase, rng *rand.Rand) (*stabilityCaseOut, error) {
+	return forEachFailureCase(ds, opt, saltStability,
+		func(fc *failureCase, rng *rand.Rand) (*StabilityCaseResult, error) {
 			sim := &stability.Simulator{
 				S:               fc.s2,
 				Flows:           fc.impacted,
@@ -59,24 +63,37 @@ func Stability(ds *Dataset, opt BandwidthOptions) (*StabilityResult, error) {
 				return nil, err
 			}
 			up, down := fc.mels(neg.Assign)
-			return &stabilityCaseOut{
-				outcome:         r.Outcome,
-				reactiveWorst:   r.FinalWorstMEL,
-				negotiatedWorst: maxFloat(up, down),
+			return &StabilityCaseResult{
+				Pair:                  pairLabel(fc.pair),
+				FailedInterconnection: fc.failed,
+				Outcome:               r.Outcome,
+				ReactiveWorst:         r.FinalWorstMEL,
+				NegotiatedWorst:       maxFloat(up, down),
 			}, nil
 		},
-		func(o *stabilityCaseOut) {
-			switch o.outcome {
-			case stability.Converged:
-				res.Converged++
-			case stability.Oscillated:
-				res.Oscillated++
-			default:
-				res.Exhausted++
-			}
-			res.ReactiveWorst = append(res.ReactiveWorst, o.reactiveWorst)
-			res.NegotiatedWorst = append(res.NegotiatedWorst, o.negotiatedWorst)
-		})
+		sink)
+}
+
+// Stability replays the bandwidth failure cases under best-response
+// reactive dynamics (downstream first, as in the paper's incident) and
+// under Nexit, comparing stability and outcome quality — a fold over
+// StabilityStream. Failure cases are evaluated concurrently per pair
+// (Options.Workers) with identical results for every worker count.
+func Stability(ds *Dataset, opt BandwidthOptions) (*StabilityResult, error) {
+	res := &StabilityResult{}
+	cases, err := StabilityStream(ds, opt, func(_ int, o *StabilityCaseResult) error {
+		switch o.Outcome {
+		case stability.Converged:
+			res.Converged++
+		case stability.Oscillated:
+			res.Oscillated++
+		default:
+			res.Exhausted++
+		}
+		res.ReactiveWorst = append(res.ReactiveWorst, o.ReactiveWorst)
+		res.NegotiatedWorst = append(res.NegotiatedWorst, o.NegotiatedWorst)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}

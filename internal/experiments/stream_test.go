@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// The streaming pipeline's contract (DESIGN.md §8): every driver's
+// streamed records are identical pair-by-pair for every worker count
+// (serial == parallel == streaming), the batch driver is a pure fold of
+// the stream, and the stream retains nothing — steady-state memory is
+// O(workers), not O(pairs).
+
+// streamRecords collects a streaming driver's records via a generic
+// sink, checking the idx sequence is dense and ordered.
+func streamRecords[R any](t *testing.T, stream func(sink func(int, *R) error) error) []*R {
+	t.Helper()
+	var out []*R
+	err := stream(func(idx int, r *R) error {
+		if idx != len(out) {
+			t.Fatalf("sink saw idx %d, want %d (order broken)", idx, len(out))
+		}
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// assertStreamParity pins records identical between the serial path
+// and one contended parallel run. (The batch parity tests already
+// exercise the same streaming core at a second worker count — every
+// batch driver is a fold of its stream — so one pairing here keeps the
+// -race bill bounded.)
+func assertStreamParity[R any](t *testing.T, name string, run func(workers int) []*R) {
+	t.Helper()
+	serial := run(1)
+	if len(serial) == 0 {
+		t.Fatalf("%s: no records streamed", name)
+	}
+	parallel := run(8)
+	if len(parallel) != len(serial) {
+		t.Fatalf("%s: workers=8 streamed %d records, serial %d", name, len(parallel), len(serial))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("%s: workers=8 record %d differs:\nserial:   %+v\nparallel: %+v",
+				name, i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestDistanceStreamParity(t *testing.T) {
+	ds := smallDataset(t)
+	records := func(workers int) []*DistancePairResult {
+		opt := Options{MaxPairs: 8, Seed: 5, Workers: workers}
+		return streamRecords(t, func(sink func(int, *DistancePairResult) error) error {
+			return DistanceStream(ds, opt, sink)
+		})
+	}
+	assertStreamParity(t, "Distance", records)
+
+	// The batch driver is a fold of the same stream: its sample sets
+	// must be the streamed records, in order.
+	serial := records(1)
+	batch, err := Distance(ds, Options{MaxPairs: 8, Seed: 5, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Pairs != len(serial) {
+		t.Fatalf("batch folded %d pairs, stream delivered %d", batch.Pairs, len(serial))
+	}
+	for i, r := range serial {
+		if batch.PairGainNeg[i] != r.GainNeg || batch.PairGainOpt[i] != r.GainOpt ||
+			batch.NonDefaultFraction[i] != r.NonDefaultFraction {
+			t.Fatalf("batch sample %d diverges from streamed record", i)
+		}
+	}
+}
+
+func TestDistanceCheatStreamParity(t *testing.T) {
+	ds := smallDataset(t)
+	assertStreamParity(t, "DistanceCheat", func(workers int) []*CheatPairResult {
+		opt := Options{MaxPairs: 6, Seed: 5, Workers: workers}
+		return streamRecords(t, func(sink func(int, *CheatPairResult) error) error {
+			return DistanceCheatStream(ds, opt, sink)
+		})
+	})
+}
+
+func TestBandwidthStreamParity(t *testing.T) {
+	ds := smallDataset(t)
+	assertStreamParity(t, "Bandwidth", func(workers int) []*BandwidthCaseResult {
+		opt := BandwidthOptions{
+			Options:     Options{MaxPairs: 3, Seed: 5, Workers: workers},
+			Workload:    traffic.Gravity,
+			MaxFailures: 9,
+		}
+		return streamRecords(t, func(sink func(int, *BandwidthCaseResult) error) error {
+			_, err := BandwidthStream(ds, opt, sink)
+			return err
+		})
+	})
+}
+
+func TestDestinationStreamParity(t *testing.T) {
+	ds := smallDataset(t)
+	assertStreamParity(t, "DestinationBased", func(workers int) []*DestinationPairResult {
+		opt := Options{MaxPairs: 5, Seed: 5, Workers: workers}
+		return streamRecords(t, func(sink func(int, *DestinationPairResult) error) error {
+			return DestinationStream(ds, opt, sink)
+		})
+	})
+}
+
+func TestScalabilityStreamParity(t *testing.T) {
+	ds := smallDataset(t)
+	fractions := []float64{0.5, 1.0}
+	assertStreamParity(t, "Scalability", func(workers int) []*ScalabilityPairResult {
+		opt := Options{MaxPairs: 8, Seed: 5, Workers: workers}
+		return streamRecords(t, func(sink func(int, *ScalabilityPairResult) error) error {
+			return ScalabilityStream(ds, opt, fractions, sink)
+		})
+	})
+}
+
+func TestStabilityStreamParity(t *testing.T) {
+	ds := smallDataset(t)
+	assertStreamParity(t, "Stability", func(workers int) []*StabilityCaseResult {
+		opt := BandwidthOptions{
+			Options:     Options{MaxPairs: 2, Seed: 5, Workers: workers},
+			Workload:    traffic.Gravity,
+			MaxFailures: 6,
+		}
+		return streamRecords(t, func(sink func(int, *StabilityCaseResult) error) error {
+			_, err := StabilityStream(ds, opt, sink)
+			return err
+		})
+	})
+}
+
+// A sink returning runner.ErrStop cancels the stream cleanly.
+func TestStreamEarlyStop(t *testing.T) {
+	ds := smallDataset(t)
+	got := 0
+	err := DistanceStream(ds, Options{MaxPairs: 10, Seed: 5, Workers: 4},
+		func(idx int, r *DistancePairResult) error {
+			got++
+			if got == 3 {
+				return runner.ErrStop
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("ErrStop surfaced as an error: %v", err)
+	}
+	if got != 3 {
+		t.Fatalf("sink saw %d records after stopping at 3", got)
+	}
+
+	cases, err := BandwidthStream(ds, BandwidthOptions{
+		Options:  Options{MaxPairs: 4, Seed: 5, Workers: 4},
+		Workload: traffic.Gravity,
+	}, func(idx int, r *BandwidthCaseResult) error {
+		if idx == 4 {
+			return runner.ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ErrStop surfaced as an error: %v", err)
+	}
+	if cases != 5 {
+		t.Fatalf("delivered %d cases, want 5 (stop after idx 4)", cases)
+	}
+}
+
+// BenchmarkScalabilityStream measures the Scalability driver on the
+// streaming path with a constant-memory digest sink. ReportAllocs
+// tracks that allocation per op stays flat: the stream allocates
+// per-pair scratch that dies young, never an O(pairs) result.
+func BenchmarkScalabilityStream(b *testing.B) {
+	cfg := gen.DefaultConfig()
+	cfg.NumISPs = 18
+	ds, err := Load(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds.Warm(0)
+	opt := Options{MaxPairs: 10, Seed: 5}
+	fractions := []float64{0.5, 1.0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		digest := stats.NewDigest()
+		err := ScalabilityStream(ds, opt, fractions, func(_ int, r *ScalabilityPairResult) error {
+			digest.Add(r.GainShares[0])
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if digest.Stream.N() == 0 {
+			b.Fatal("stream delivered nothing")
+		}
+	}
+}
+
+// TestScalabilityStreamConstantMemory pins the streaming pipeline's
+// memory contract: records streamed through a constant-memory sink
+// become garbage almost immediately — retention is O(workers), not
+// O(pairs). Each record gets a finalizer; after the run, (almost) every
+// record must be collectable. A pipeline that secretly retained results
+// (the pre-streaming materialize-then-reduce idiom) keeps all of them
+// live and fails this test.
+func TestScalabilityStreamConstantMemory(t *testing.T) {
+	ds := smallDataset(t)
+	ds.Warm(0)
+
+	var streamed, finalized atomic.Int64
+	digest := stats.NewDigest()
+	err := ScalabilityStream(ds, Options{MaxPairs: 16, Seed: 5, Workers: 4}, []float64{0.5, 1.0},
+		func(idx int, r *ScalabilityPairResult) error {
+			streamed.Add(1)
+			runtime.SetFinalizer(r, func(*ScalabilityPairResult) { finalized.Add(1) })
+			digest.Add(r.GainShares[1]) // constant-memory aggregation
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := streamed.Load()
+	if total < 10 {
+		t.Fatalf("only %d records streamed; dataset too small for the retention check", total)
+	}
+
+	// Allow a small constant number of records to linger (the last few
+	// can be pinned by the final GC cycle); O(pairs) retention keeps all
+	// of them and trips the bound.
+	const slack = 4
+	deadline := time.Now().Add(10 * time.Second)
+	for finalized.Load() < total-slack && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := finalized.Load(); got < total-slack {
+		t.Fatalf("only %d of %d streamed records were collectable; results are being retained", got, total)
+	}
+	if digest.Stream.N() != total {
+		t.Fatalf("digest folded %d samples, want %d", digest.Stream.N(), total)
+	}
+}

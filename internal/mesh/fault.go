@@ -4,28 +4,84 @@ import (
 	"fmt"
 	"net"
 	"sync/atomic"
+
+	"repro/internal/runner"
 )
 
 // FaultPlan injects deterministic failures into a wire run so tests and
 // CI can prove the mesh self-heals: after every injected fault the run
 // must still converge to the exact serial reference result, pair by
 // pair, with zero operator intervention (the epoch-resync handshake,
-// DESIGN.md §7). Faults target the mesh's first pair — its initiator's
-// connection and its responder agent — which keeps runs reproducible.
+// DESIGN.md §7). Each fault names its target pair by index into the
+// mesh's deterministic pair list (the zero value targets the first
+// pair, the historical schedule), so seeded schedules can spread faults
+// over many pairs while staying reproducible.
 //
-// Epoch indices are zero-based and epoch 0 is a valid target; set a
-// field negative to disable that fault.
+// Epoch indices are zero-based and epoch 0 is a valid target; set an
+// epoch field negative to disable that fault.
 type FaultPlan struct {
-	// KillConnEpoch kills the first pair's connection mid-session
+	// KillConnEpoch kills the KillPair-th pair's connection mid-session
 	// during that epoch: the session fails on both ends, neither
 	// controller advances, and the pair must redial and re-run the
 	// epoch on a retry.
 	KillConnEpoch int
-	// RestartEpoch tears the first pair's responder agent down after
-	// that epoch completes and rebuilds it from scratch — fresh
+	// RestartEpoch tears the RestartPair-th pair's responder agent down
+	// after that epoch completes and rebuilds it from scratch — fresh
 	// controllers at epoch 0, new listener — so every pair involving it
 	// must epoch-resync to continue.
 	RestartEpoch int
+	// KillPair and RestartPair select the target pairs. Indices are
+	// normalized modulo the mesh's pair count, so a seeded plan works
+	// for any mesh size.
+	KillPair    int
+	RestartPair int
+}
+
+// faultTarget normalizes a pair index against the mesh's pair count.
+func faultTarget(idx, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	idx %= n
+	if idx < 0 {
+		idx += n
+	}
+	return idx
+}
+
+// RandomFaultPlan derives a seeded fault schedule: the connection kill
+// lands in a seed-chosen epoch on a seed-chosen pair, and the agent
+// restart tears down a seed-chosen pair's responder after an epoch
+// early enough that the mesh must keep negotiating through the
+// recovery. The plan is deterministic in (seed, epochs) alone — the
+// splitmix64 derivation is the runner's — so a failing schedule is
+// replayable from its seed.
+//
+// A single-epoch mesh cannot exercise the restart fault at all: the
+// restart fires after an epoch completes, and with epochs <= 1 the
+// only candidate is the final one, making the restart a no-op (and a
+// wire.Resyncs > 0 expectation unsatisfiable). Use epochs >= 2 for a
+// meaningful schedule.
+func RandomFaultPlan(seed int64, epochs int) *FaultPlan {
+	draw := func(k, n int) int {
+		if n <= 0 {
+			return 0
+		}
+		return int(uint64(runner.PairSeed(seed, k)) % uint64(n))
+	}
+	// Leave at least one epoch after the restart so the restarted agent
+	// actually has to resync and serve again.
+	restartSpan := epochs - 1
+	if restartSpan < 1 {
+		restartSpan = 1
+	}
+	const anyPair = 1 << 20 // normalized modulo the pair count at run time
+	return &FaultPlan{
+		KillConnEpoch: draw(0, epochs),
+		KillPair:      draw(1, anyPair),
+		RestartEpoch:  draw(2, restartSpan),
+		RestartPair:   draw(3, anyPair),
+	}
 }
 
 // faultAttempts bounds how many times a faulted run re-drives one epoch

@@ -184,6 +184,9 @@ func Run(opt Options) (*Result, error) {
 		return nil, err
 	}
 	cache := pairsim.NewTableCache()
+	// Load-metric base capacities are per pair, not per controller: both
+	// endpoints (and any restarted agent) share one derivation.
+	caps := continuous.NewCapacityCache()
 
 	// One agent per participating ISP, each with a listener. Dials are
 	// routed through per-agent holders so a restarted agent's fresh
@@ -193,6 +196,13 @@ func Run(opt Options) (*Result, error) {
 	holders := make(map[int]*dialHolder)
 	nameToIdx := make(map[string]int)
 	var kill killSwitch
+	// Resolve the fault schedule's target pairs once (indices are seeded
+	// and normalized modulo the pair count).
+	killPair, restartPair := -1, -1
+	if opt.Faults != nil {
+		killPair = faultTarget(opt.Faults.KillPair, len(pairs))
+		restartPair = faultTarget(opt.Faults.RestartPair, len(pairs))
+	}
 	defer func() {
 		for _, ln := range listeners {
 			ln.Close()
@@ -225,11 +235,11 @@ func Run(opt Options) (*Result, error) {
 			Timeout:     opt.Timeout,
 			Logf:        opt.Logf,
 		})
-		for _, mp := range pairs {
+		for pi, mp := range pairs {
 			if mp.i != i && mp.j != i {
 				continue
 			}
-			ctl, err := continuous.NewWithMetric(pairsim.New(mp.pair, cache), opt.P, opt.Metric)
+			ctl, err := continuous.NewWithMetricShared(pairsim.New(mp.pair, cache), opt.P, opt.Metric, caps)
 			if err != nil {
 				return err
 			}
@@ -237,7 +247,7 @@ func Run(opt Options) (*Result, error) {
 				// The lower-index agent initiates (it is Pair.A, hence
 				// protocol side A); the higher-index one serves.
 				dial := holders[mp.j].dial
-				if opt.Faults != nil && mp.i == pairs[0].i && mp.j == pairs[0].j {
+				if pi == killPair {
 					target := holders[mp.j]
 					dial = func() (net.Conn, error) {
 						c, err := target.dial()
@@ -356,7 +366,7 @@ func Run(opt Options) (*Result, error) {
 			return nil, errors.Join(errs...)
 		}
 		if f := opt.Faults; f != nil && epoch == f.RestartEpoch {
-			if err := restartAgent(pairs[0].j); err != nil {
+			if err := restartAgent(pairs[restartPair].j); err != nil {
 				return nil, err
 			}
 		}
@@ -396,11 +406,12 @@ func RunSerial(opt Options) (*Result, error) {
 		return nil, err
 	}
 	cache := pairsim.NewTableCache()
+	caps := continuous.NewCapacityCache()
 	res := &Result{}
 	seen := make(map[int]bool)
 	for _, mp := range pairs {
 		seen[mp.i], seen[mp.j] = true, true
-		ctl, err := continuous.NewWithMetric(pairsim.New(mp.pair, cache), opt.P, opt.Metric)
+		ctl, err := continuous.NewWithMetricShared(pairsim.New(mp.pair, cache), opt.P, opt.Metric, caps)
 		if err != nil {
 			return nil, err
 		}

@@ -50,6 +50,35 @@ func TestTableCacheConcurrent(t *testing.T) {
 	}
 }
 
+// TestTableCacheWarm pins that warming shards the Dijkstra cost without
+// changing anything observable: every later Get returns the instance
+// Warm installed, for any worker count, concurrently with lazy Gets.
+func TestTableCacheWarm(t *testing.T) {
+	pair := figure1Pair()
+	isps := []*topology.ISP{pair.A, pair.B}
+	for _, workers := range []int{1, 4} {
+		cache := NewTableCache()
+		var lazy *routing.Table
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // lazy user racing the warm-up
+			defer wg.Done()
+			lazy = cache.Get(isps[0])
+		}()
+		cache.Warm(isps, workers)
+		wg.Wait()
+		if got := cache.Get(isps[0]); got != lazy {
+			t.Fatalf("workers=%d: warm and lazy callers saw different tables", workers)
+		}
+		cache.Warm(isps, workers) // idempotent
+		for i, isp := range isps {
+			if cache.Get(isp).ISP != isp {
+				t.Errorf("workers=%d: table %d built for wrong ISP", workers, i)
+			}
+		}
+	}
+}
+
 // TestTableCacheConcurrentSystems exercises the cache through New, the
 // way the experiment runner uses it: many goroutines building Systems
 // for the same pair concurrently.

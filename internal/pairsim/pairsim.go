@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -52,6 +53,17 @@ func (c *TableCache) Get(isp *topology.ISP) *routing.Table {
 	entry := e.(*cacheEntry)
 	entry.once.Do(func() { entry.table = routing.New(isp) })
 	return entry.table
+}
+
+// Warm computes the routing tables of every given ISP, sharding the
+// per-ISP all-pairs Dijkstra across workers goroutines (0 =
+// GOMAXPROCS). It is the cold-start path of an experiment run: tables
+// are otherwise computed lazily by the first pair that touches each
+// ISP, which serializes most of the Dijkstra cost behind the first few
+// pairs. Warming is idempotent, safe concurrently with Get, and changes
+// no result — tables depend only on the ISP.
+func (c *TableCache) Warm(isps []*topology.ISP, workers int) {
+	runner.ForEachIndex(len(isps), workers, func(i int) { c.Get(isps[i]) })
 }
 
 // System is a directed view of an ISP pair: traffic flows from Up

@@ -106,8 +106,124 @@ func ForEachPair[P, R any](pairs []P, opt Options, fn PairFunc[P, R], reduce Red
 	return nil
 }
 
+// Indexed carries one pair's result together with its pair index, for
+// delivery over a Stream channel.
+type Indexed[R any] struct {
+	Idx int
+	Res R
+}
+
+// StreamRun is a running Stream evaluation. Results arrive on C in
+// strict pair-index order; the channel closes when the run finishes,
+// errors, or is stopped. The consumer must drain C or call Stop (both
+// are safe); Err is valid once C is closed.
+type StreamRun[R any] struct {
+	// C delivers each pair's result exactly once, in pair-index order.
+	C <-chan Indexed[R]
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	err      error
+}
+
+// Stop cancels the run: queued pairs are skipped, in-flight pairs
+// finish and are discarded, and C closes shortly after. Stopping is not
+// an error. Safe to call multiple times and concurrently with draining.
+func (s *StreamRun[R]) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// Err reports the run's outcome. It must only be called after C has
+// closed (the happens-before edge that makes the read safe).
+func (s *StreamRun[R]) Err() error { return s.err }
+
+// Drain stops the run, consumes any remaining results, and returns
+// Err. It is the convenient way to finish a stream after a consumer
+// loop exits early: without the implicit Stop, finishing would mean
+// evaluating every remaining pair just to discard it.
+func (s *StreamRun[R]) Drain() error {
+	s.Stop()
+	for range s.C {
+	}
+	return s.err
+}
+
+// Stream is the channel form of ForEachPair: it evaluates fn over every
+// pair on the worker pool and delivers results over a channel instead
+// of a reducer callback, retaining nothing — steady-state memory is
+// O(workers), not O(pairs). Delivery order and the determinism contract
+// are identical to ForEachPair: same per-pair RNG, results in strict
+// pair-index order, first error at the lowest pair index wins.
+//
+//	run := runner.Stream(pairs, opt, fn)
+//	for r := range run.C {
+//		... // consume r.Res; call run.Stop() to cancel early
+//	}
+//	if err := run.Err(); err != nil { ... }
+func Stream[P, R any](pairs []P, opt Options, fn PairFunc[P, R]) *StreamRun[R] {
+	ch := make(chan Indexed[R])
+	s := &StreamRun[R]{C: ch, stop: make(chan struct{})}
+	go func() {
+		s.err = ForEachPair(pairs, opt, fn, func(i int, r R) error {
+			select {
+			case ch <- Indexed[R]{Idx: i, Res: r}:
+				return nil
+			case <-s.stop:
+				return ErrStop
+			}
+		})
+		close(ch)
+	}()
+	return s
+}
+
+// ForEachIndex runs fn(i) for every i in [0, n) across workers
+// goroutines (0 = GOMAXPROCS) and waits for completion. It is the
+// cold-start sharding primitive: fn must be safe to run concurrently
+// with other indices and must not depend on evaluation order (e.g.
+// warming per-ISP routing tables, deriving per-pair selection keys).
+func ForEachIndex(n, workers int, fn func(i int)) {
+	w := Options{Workers: workers}.workerCount(n)
+	if n <= 0 {
+		return
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// reorderWindowPerWorker sizes the bounded claim-ahead window of the
+// parallel reducer: at most this many undelivered results per worker
+// may exist at once. It is the constant behind the pipeline's
+// O(workers) steady-state memory contract (DESIGN.md §8): without the
+// bound, one slow head-of-line pair would let fast workers race ahead
+// and park O(pairs) completed results in the reorder buffer.
+const reorderWindowPerWorker = 4
+
 // forEachParallel is the Workers>1 path of ForEachPair: a work-stealing
-// pool feeding a single ordering reducer.
+// pool feeding a single ordering reducer through a bounded reorder
+// window.
 func forEachParallel[P, R any](pairs []P, opt Options, workers int, fn PairFunc[P, R], reduce ReduceFunc[R]) error {
 	type slot struct {
 		idx int
@@ -115,17 +231,39 @@ func forEachParallel[P, R any](pairs []P, opt Options, workers int, fn PairFunc[
 		err error
 	}
 	n := len(pairs)
+	window := reorderWindowPerWorker * workers
 	var (
-		next int64 = -1 // atomically claimed pair cursor
-		stop atomic.Bool
-		wg   sync.WaitGroup
-		out  = make(chan slot, workers)
+		next     int64 = -1 // atomically claimed pair cursor
+		stop     atomic.Bool
+		stopOnce sync.Once
+		halt     = make(chan struct{}) // closed exactly once on stop
+		wg       sync.WaitGroup
+		out      = make(chan slot, workers)
+		// tickets caps claimed-but-not-yet-reduced pairs at window: a
+		// worker takes a ticket per claim, the reducer returns it once
+		// the result leaves the reorder buffer. Peak retention is
+		// therefore O(workers), independent of pair-runtime skew.
+		tickets = make(chan struct{}, window)
 	)
+	stopAll := func() {
+		stopOnce.Do(func() {
+			stop.Store(true)
+			close(halt)
+		})
+	}
+	for i := 0; i < window; i++ {
+		tickets <- struct{}{}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
+				select {
+				case <-tickets:
+				case <-halt:
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
@@ -138,7 +276,7 @@ func forEachParallel[P, R any](pairs []P, opt Options, workers int, fn PairFunc[
 					// Claims are monotonic, so every index below this
 					// one was already claimed and the lowest-index
 					// error still wins deterministically.
-					stop.Store(true)
+					stopAll()
 				}
 				out <- slot{idx: i, res: r, err: err}
 				if err != nil {
@@ -156,10 +294,16 @@ func forEachParallel[P, R any](pairs []P, opt Options, workers int, fn PairFunc[
 	// delivered one has been claimed by some worker and will be
 	// delivered too (workers deliver before exiting on error), so the
 	// cursor can always advance to the first error.
-	pending := make(map[int]slot, workers)
+	pending := make(map[int]slot, window)
 	nextIdx := 0
 	var retErr error
 	halted := false
+	returnTicket := func() {
+		select {
+		case tickets <- struct{}{}:
+		default: // halted drain can exceed the outstanding count; drop
+		}
+	}
 	for s := range out {
 		if halted {
 			continue // drain so no worker blocks on send
@@ -172,19 +316,20 @@ func forEachParallel[P, R any](pairs []P, opt Options, workers int, fn PairFunc[
 			}
 			delete(pending, nextIdx)
 			nextIdx++
+			returnTicket()
 			if cur.err == nil {
 				cur.err = reduce(cur.idx, cur.res)
 				if errors.Is(cur.err, ErrStop) {
 					cur.err = nil
 					halted = true
-					stop.Store(true)
+					stopAll()
 					break
 				}
 			}
 			if cur.err != nil {
 				retErr = cur.err
 				halted = true
-				stop.Store(true)
+				stopAll()
 				break
 			}
 		}

@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the streaming half of the toolkit: accumulators that
+// consume one sample at a time in O(1)/bounded memory and merge, so the
+// experiment pipeline can aggregate production-scale runs without
+// retaining sample slices (DESIGN.md §8). Both types are deterministic:
+// the state after a fixed sequence of Add/Merge calls depends on that
+// sequence alone, and the runner's ordered reducer fixes the sequence,
+// so streaming aggregates are byte-identical across worker counts.
+
+// Stream accumulates count, mean, min, and max online. The zero value
+// is an empty accumulator ready for use.
+type Stream struct {
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// Add folds one sample in. NaNs are dropped, mirroring NewCDF.
+func (s *Stream) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+}
+
+// Merge folds another accumulator's samples in.
+func (s *Stream) Merge(o *Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+}
+
+// N returns the number of samples folded in.
+func (s *Stream) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean (0 when empty, like CDF.Mean).
+func (s *Stream) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest sample; it panics when empty.
+func (s *Stream) Min() float64 {
+	if s.n == 0 {
+		panic("stats: Min of empty Stream")
+	}
+	return s.min
+}
+
+// Max returns the largest sample; it panics when empty.
+func (s *Stream) Max() float64 {
+	if s.n == 0 {
+		panic("stats: Max of empty Stream")
+	}
+	return s.max
+}
+
+// sketchCap is the default point capacity of a QuantileSketch: exact
+// quantiles up to this many samples, ~32 KiB of floats, and a rank
+// error that stays below 1/sketchCap per compaction level beyond it.
+const sketchCap = 4096
+
+// wpoint is one weighted point of a sketch: v stands for w original
+// samples at or near v.
+type wpoint struct {
+	v float64
+	w float64
+}
+
+// QuantileSketch estimates quantiles from a stream in bounded memory.
+// Up to its capacity it simply keeps every sample, so quantiles are
+// EXACT (matching CDF.Quantile's nearest-rank convention) for every
+// dataset this repo ships; past the capacity it compacts: points are
+// sorted and adjacent pairs collapse into one point of doubled weight,
+// alternating deterministically between keeping the lower and the upper
+// member. Sketches merge, so per-shard digests can be combined.
+//
+// The zero value is unusable; construct with NewQuantileSketch.
+type QuantileSketch struct {
+	cap         int
+	points      []wpoint
+	compactions int
+	n           int64 // samples represented (sum of weights)
+}
+
+// NewQuantileSketch returns a sketch holding at most capacity points
+// (0 selects the default, 4096).
+func NewQuantileSketch(capacity int) *QuantileSketch {
+	if capacity <= 0 {
+		capacity = sketchCap
+	}
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &QuantileSketch{cap: capacity, points: make([]wpoint, 0, capacity+1)}
+}
+
+// Add folds one sample in. NaNs are dropped, mirroring NewCDF.
+func (q *QuantileSketch) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	q.points = append(q.points, wpoint{v: x, w: 1})
+	q.n++
+	if len(q.points) > q.cap {
+		q.compact()
+	}
+}
+
+// Merge folds another sketch's points in.
+func (q *QuantileSketch) Merge(o *QuantileSketch) {
+	q.points = append(q.points, o.points...)
+	q.n += o.n
+	for len(q.points) > q.cap {
+		q.compact()
+	}
+}
+
+// sortPoints orders the points canonically by (value, weight). The
+// weight tie-break matters: sorting happens both in compact and in
+// Quantile, and a value-only comparator under an unstable sort would
+// let a mid-stream quantile query permute equal-valued points and
+// change the next compaction's pairing — breaking determinism in the
+// Add/Merge sequence. With the canonical order, equal (v, w) points
+// are interchangeable, so the state is well-defined regardless of when
+// queries happen.
+func (q *QuantileSketch) sortPoints() {
+	sort.Slice(q.points, func(i, j int) bool {
+		if q.points[i].v != q.points[j].v {
+			return q.points[i].v < q.points[j].v
+		}
+		return q.points[i].w < q.points[j].w
+	})
+}
+
+// compact halves the point count: sort canonically, collapse each
+// adjacent pair into one point carrying both weights. The surviving
+// value alternates between the pair's lower and upper member so the
+// bias cancels across compactions; the alternation is driven by a
+// counter, keeping the whole structure deterministic in the Add/Merge
+// sequence.
+func (q *QuantileSketch) compact() {
+	q.sortPoints()
+	keepUpper := q.compactions%2 == 1
+	out := q.points[:0]
+	for i := 0; i+1 < len(q.points); i += 2 {
+		p := q.points[i]
+		if keepUpper {
+			p.v = q.points[i+1].v
+		}
+		p.w += q.points[i+1].w
+		out = append(out, p)
+	}
+	if len(q.points)%2 == 1 {
+		out = append(out, q.points[len(q.points)-1])
+	}
+	q.points = out
+	q.compactions++
+}
+
+// N returns the number of samples represented.
+func (q *QuantileSketch) N() int64 { return q.n }
+
+// Quantile returns the estimated q-quantile (exact while no compaction
+// has happened), using the same nearest-rank convention as
+// CDF.Quantile. It panics on an empty sketch or out-of-range qq.
+func (q *QuantileSketch) Quantile(qq float64) float64 {
+	if q.n == 0 {
+		panic("stats: quantile of empty QuantileSketch")
+	}
+	if qq < 0 || qq > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range", qq))
+	}
+	q.sortPoints()
+	target := qq * float64(q.n)
+	var cum float64
+	for _, p := range q.points {
+		cum += p.w
+		if cum >= target {
+			return p.v
+		}
+	}
+	return q.points[len(q.points)-1].v
+}
+
+// Median returns the 0.5 quantile.
+func (q *QuantileSketch) Median() float64 { return q.Quantile(0.5) }
+
+// Digest couples a Stream with a QuantileSketch: the constant-memory
+// stand-in for a retained sample slice, summarizable like a CDF. The
+// zero value is an empty digest ready for use (the sketch is created
+// with the default capacity on first Add/Merge).
+type Digest struct {
+	Stream Stream
+	Sketch *QuantileSketch
+}
+
+// NewDigest returns an empty digest with the default sketch capacity.
+func NewDigest() *Digest {
+	return &Digest{Sketch: NewQuantileSketch(0)}
+}
+
+// Add folds one sample in.
+func (d *Digest) Add(x float64) {
+	if d.Sketch == nil {
+		d.Sketch = NewQuantileSketch(0)
+	}
+	d.Stream.Add(x)
+	d.Sketch.Add(x)
+}
+
+// Merge folds another digest's samples in.
+func (d *Digest) Merge(o *Digest) {
+	if d.Sketch == nil {
+		d.Sketch = NewQuantileSketch(0)
+	}
+	d.Stream.Merge(&o.Stream)
+	if o.Sketch != nil {
+		d.Sketch.Merge(o.Sketch)
+	}
+}
+
+// Summary returns the one-line digest in the same format as
+// Summary(CDF): n, mean, median, p90, max. While the sketch has not
+// compacted, the quantiles are exact and the line matches the batch
+// one up to floating-point rounding of the mean (the stream sums in
+// insertion order, the CDF over sorted samples).
+func (d *Digest) Summary() string {
+	if d.Stream.N() == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.3f median=%.3f p90=%.3f max=%.3f",
+		d.Stream.N(), d.Stream.Mean(), d.Sketch.Median(), d.Sketch.Quantile(0.9), d.Stream.Max())
+}

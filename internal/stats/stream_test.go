@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamMatchesCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 999)
+	var s Stream
+	for i := range samples {
+		samples[i] = rng.NormFloat64() * 10
+		s.Add(samples[i])
+	}
+	c := NewCDF(samples)
+	if s.N() != int64(c.N()) {
+		t.Fatalf("N = %d, want %d", s.N(), c.N())
+	}
+	if math.Abs(s.Mean()-c.Mean()) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", s.Mean(), c.Mean())
+	}
+	if s.Min() != c.Min() || s.Max() != c.Max() {
+		t.Errorf("Min/Max = %v/%v, want %v/%v", s.Min(), s.Max(), c.Min(), c.Max())
+	}
+}
+
+func TestStreamNaNAndMerge(t *testing.T) {
+	var a, b Stream
+	a.Add(1)
+	a.Add(math.NaN())
+	a.Add(3)
+	b.Add(-2)
+	a.Merge(&b)
+	if a.N() != 3 {
+		t.Fatalf("N = %d, want 3 (NaN dropped)", a.N())
+	}
+	if a.Min() != -2 || a.Max() != 3 {
+		t.Errorf("Min/Max = %v/%v, want -2/3", a.Min(), a.Max())
+	}
+	var empty Stream
+	a.Merge(&empty)
+	if a.N() != 3 {
+		t.Error("merging an empty stream changed the count")
+	}
+}
+
+// Below its capacity the sketch keeps every sample, so quantiles are
+// exact — bit-identical to the batch CDF under the same convention.
+func TestQuantileSketchExactBelowCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 7, 100, 1001} {
+		samples := make([]float64, n)
+		sk := NewQuantileSketch(2000)
+		for i := range samples {
+			samples[i] = rng.Float64() * 100
+			sk.Add(samples[i])
+		}
+		c := NewCDF(samples)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+			if got, want := sk.Quantile(q), c.Quantile(q); got != want {
+				t.Fatalf("n=%d q=%v: sketch %v, CDF %v", n, q, got, want)
+			}
+		}
+	}
+}
+
+// Past its capacity the sketch compacts; quantiles stay close in rank.
+func TestQuantileSketchApproxAboveCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 50000
+	samples := make([]float64, n)
+	sk := NewQuantileSketch(512)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()
+		sk.Add(samples[i])
+	}
+	c := NewCDF(samples)
+	if sk.N() != n {
+		t.Fatalf("N = %d, want %d", sk.N(), n)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		est := sk.Quantile(q)
+		// Rank of the estimate in the true distribution must be within
+		// a few percent of the requested rank.
+		if rank := c.At(est); math.Abs(rank-q) > 0.05 {
+			t.Errorf("q=%v: estimate %v has true rank %v", q, est, rank)
+		}
+	}
+}
+
+// The sketch is deterministic in the Add sequence, and merging shard
+// sketches represents every sample exactly once.
+func TestQuantileSketchDeterministicMerge(t *testing.T) {
+	feed := func(sk *QuantileSketch, seed int64, n int) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			sk.Add(rng.Float64())
+		}
+	}
+	a1, a2 := NewQuantileSketch(256), NewQuantileSketch(256)
+	feed(a1, 1, 10000)
+	feed(a2, 1, 10000)
+	if a1.Quantile(0.5) != a2.Quantile(0.5) || a1.Quantile(0.9) != a2.Quantile(0.9) {
+		t.Error("identical Add sequences produced different sketches")
+	}
+
+	merged := NewQuantileSketch(256)
+	feed(merged, 2, 5000)
+	other := NewQuantileSketch(256)
+	feed(other, 3, 5000)
+	merged.Merge(other)
+	if merged.N() != 10000 {
+		t.Fatalf("merged N = %d, want 10000", merged.N())
+	}
+	if got := merged.Quantile(0.5); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("merged median %v far from 0.5", got)
+	}
+}
+
+// Querying a sketch mid-stream must not perturb its state: the
+// canonical (value, weight) point order makes compaction pairing
+// independent of when Quantile's internal sort runs.
+func TestQuantileSketchQueryDoesNotPerturb(t *testing.T) {
+	feed := func(quered bool) *QuantileSketch {
+		sk := NewQuantileSketch(64)
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 5000; i++ {
+			// Coarse values force duplicates so unstable-sort order of
+			// equal values would matter without the canonical tie-break.
+			sk.Add(float64(rng.Intn(20)))
+			if quered && i%37 == 0 {
+				sk.Quantile(0.5)
+			}
+		}
+		return sk
+	}
+	plain, queried := feed(false), feed(true)
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if a, b := plain.Quantile(q), queried.Quantile(q); a != b {
+			t.Fatalf("q=%v: mid-stream queries changed the sketch (%v vs %v)", q, a, b)
+		}
+	}
+}
+
+func TestDigestSummaryMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]float64, 300)
+	d := NewDigest()
+	for i := range samples {
+		samples[i] = rng.Float64() * 42
+		d.Add(samples[i])
+	}
+	if got, want := d.Summary(), Summary(NewCDF(samples)); got != want {
+		t.Errorf("digest summary %q != batch summary %q", got, want)
+	}
+	if (&Digest{Sketch: NewQuantileSketch(0)}).Summary() != "n=0" {
+		t.Error("empty digest summary")
+	}
+}
+
+// The zero value of Digest is usable, like Stream's.
+func TestDigestZeroValue(t *testing.T) {
+	var d Digest
+	if d.Summary() != "n=0" {
+		t.Errorf("zero-value summary = %q", d.Summary())
+	}
+	d.Add(2)
+	d.Add(4)
+	var e Digest
+	e.Merge(&d)
+	var empty Digest
+	e.Merge(&empty) // nil sketch on the source side
+	// Nearest-rank median of {2, 4} is 2 (CDF.Quantile convention).
+	if e.Stream.N() != 2 || e.Sketch.Median() != 2 {
+		t.Errorf("zero-value digest misbehaved: %s", e.Summary())
+	}
+}

@@ -12,7 +12,7 @@ pr="${1:?usage: scripts/bench.sh <pr-number>}"
 bench_json="BENCH_runner.json"
 [ -f "$bench_json" ] || { echo "bench.sh: $bench_json not found (run from the repo root)" >&2; exit 1; }
 
-out=$(go test -run '^$' -bench 'BenchmarkRunnerWorkers|BenchmarkMeshSessions' -benchtime 3x .)
+out=$(go test -run '^$' -bench 'BenchmarkRunnerWorkers|BenchmarkRunnerStream|BenchmarkMeshSessions' -benchtime 3x .)
 printf '%s\n' "$out"
 
 # Benchmark lines look like:
