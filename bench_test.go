@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/metrics"
 	"repro/internal/nexit"
+	"repro/internal/nexitwire"
 	"repro/internal/pairsim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -443,6 +445,7 @@ func BenchmarkMeshSessions(b *testing.B) {
 	}
 	for _, w := range counts {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			var sessions int64
 			var window time.Duration
 			for i := 0; i < b.N; i++ {
@@ -462,6 +465,82 @@ func BenchmarkMeshSessions(b *testing.B) {
 			b.ReportMetric(float64(sessions)/window.Seconds(), "sessions/s")
 		})
 	}
+}
+
+// BenchmarkWireSession measures one wire session end to end over an
+// in-memory pipe: a single initiator/responder pair renegotiating the
+// same distance table, connection reused across sessions exactly as the
+// daemons reuse theirs. It isolates the protocol hot path — framing,
+// codec, batched proposals, per-session state — from the mesh
+// scheduler, so allocs/op here is the wire layer's own budget (tracked
+// in BENCH_runner.json; the buffer-reuse contract is DESIGN.md §9).
+func BenchmarkWireSession(b *testing.B) {
+	ds := dataset(b)
+	pair := ds.DistancePairs()[0]
+	s := pairsim.New(pair, ds.Cache)
+	rev := s.Reverse()
+	wAB := traffic.New(pair.A, pair.B, traffic.Identical, nil)
+	wBA := traffic.New(pair.B, pair.A, traffic.Identical, nil)
+	items := nexit.Items(wAB.Flows, wBA.Flows)
+	defaults := make([]int, len(items))
+	for i, it := range items {
+		if it.Dir == nexit.AtoB {
+			defaults[i] = s.EarlyExit(it.Flow)
+		} else {
+			defaults[i] = rev.EarlyExit(it.Flow)
+		}
+	}
+	numAlts := s.NumAlternatives()
+
+	connA, connB := net.Pipe()
+	defer connA.Close()
+	defer connB.Close()
+	cA, cB := nexitwire.NewConn(connA), nexitwire.NewConn(connB)
+
+	// Distance evaluators are stateless across sessions, so both sides
+	// reuse one — the same shape as a daemon pair with cached
+	// controllers.
+	resp := &nexitwire.Responder{
+		Name:     "agent-b",
+		Eval:     nexit.NewDistanceEvaluator(s, nexit.SideB, 10),
+		Items:    items,
+		Defaults: defaults,
+		NumAlts:  numAlts,
+		Timeout:  30 * time.Second,
+	}
+	ini := &nexitwire.Initiator{
+		Name:    "agent-a",
+		Cfg:     nexit.DefaultDistanceConfig(),
+		Eval:    nexit.NewDistanceEvaluator(s, nexit.SideA, 10),
+		Timeout: 30 * time.Second,
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			hello, err := nexitwire.AcceptHelloConn(cB, 30*time.Second)
+			if err != nil {
+				done <- err
+				return
+			}
+			if _, err := resp.ServeSessionConn(cB, hello); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < b.N; i++ {
+		if _, err := ini.RunConn(cA, items, defaults, numAlts); err != nil {
+			b.Fatalf("initiator: %v", err)
+		}
+	}
+	if err := <-done; err != nil {
+		b.Fatalf("responder: %v", err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
 }
 
 // BenchmarkExtraScalability regenerates the §6 claim that negotiating

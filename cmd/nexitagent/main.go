@@ -34,7 +34,8 @@
 // epochs (0 = until interrupted), pacing rounds by -interval, and shuts
 // down gracefully on SIGINT/SIGTERM. With -debug-addr it serves live
 // status at /debug/vars (including each peer's metric and resync
-// count).
+// count) and the Go profiling endpoints at /debug/pprof/ — the probes
+// the wire/session hot-path work was profiled with (DESIGN.md §9).
 //
 // Failures self-heal (the epoch-resync handshake, DESIGN.md §7): each
 // round drives the lowest epoch any peer still needs, so a failed
@@ -53,6 +54,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -91,7 +93,7 @@ func main() {
 		metricFlag = flag.String("metric", "distance", "negotiation objective for every peer: distance, bandwidth, or fortz-thorup (override per peer with -peer index/metric)")
 		maxSess    = flag.Int("max-sessions", 0, "bound on concurrent sessions per direction (0 = GOMAXPROCS)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-exchange wire deadline")
-		debugAddr  = flag.String("debug-addr", "", "serve expvar status on this address (/debug/vars)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar status (/debug/vars) and pprof (/debug/pprof/) on this address")
 		quiet      = flag.Bool("quiet", false, "suppress per-epoch report lines")
 	)
 	var specs []peerSpec
@@ -220,6 +222,16 @@ func main() {
 		go func() {
 			mux := http.NewServeMux()
 			mux.Handle("/debug/vars", expvar.Handler())
+			// The daemon uses a private mux, so the net/http/pprof
+			// handlers must be wired explicitly (the package's init only
+			// touches http.DefaultServeMux). Index serves every profile
+			// (heap, goroutine, ...); the named routes cover the handlers
+			// that are not plain profile lookups.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "nexitagent: debug server:", err)
 			}

@@ -170,8 +170,11 @@ type peerState struct {
 	Peer
 	initiate bool
 
-	mu   sync.Mutex
-	conn net.Conn // cached outbound connection (initiator only)
+	mu sync.Mutex
+	// conn is the cached outbound connection (initiator only). Caching
+	// the wire Conn rather than the raw net.Conn carries the session's
+	// frame buffers across epochs (DESIGN.md §9).
+	conn *nexitwire.Conn
 	// backoff is the next dial-retry delay. It escalates (doubling, up
 	// to MaxDialBackoff) across failed attempts and epochs, and resets
 	// only after a successful session, so one old failure cannot slow
@@ -299,8 +302,11 @@ func (a *Agent) Serve(ln net.Listener) error {
 // timeout, or a session error.
 func (a *Agent) handleConn(conn net.Conn) {
 	defer conn.Close()
+	// One wire Conn per transport connection: its frame buffers are
+	// reused by every session the connection carries.
+	c := nexitwire.NewConn(conn)
 	for {
-		hello, err := nexitwire.AcceptHello(conn, a.cfg.IdleTimeout)
+		hello, err := nexitwire.AcceptHelloConn(c, a.cfg.IdleTimeout)
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				a.logf("agentd %s: inbound connection: %v", a.cfg.Name, err)
@@ -311,12 +317,12 @@ func (a *Agent) handleConn(conn net.Conn) {
 		if p == nil || p.initiate {
 			a.sessionsFailed.Add(1)
 			reason := fmt.Sprintf("agent %s is not configured to serve peer %q", a.cfg.Name, hello.Name)
-			_ = nexitwire.Reject(conn, a.timeout(), reason)
+			_ = nexitwire.RejectConn(c, a.timeout(), reason)
 			a.logf("agentd %s: %s", a.cfg.Name, reason)
 			return
 		}
 		a.inSem <- struct{}{}
-		err = a.serveSession(p, conn, hello)
+		err = a.serveSession(p, c, hello)
 		<-a.inSem
 		if err != nil {
 			a.sessionsFailed.Add(1)
@@ -360,7 +366,7 @@ func (a *Agent) peerList() []*peerState {
 // intervention. A responder that is ahead cannot rewind; it rejects
 // with the canonical epoch-skew reason so the initiator can
 // fast-forward itself and retry.
-func (a *Agent) serveSession(p *peerState, conn net.Conn, hello *nexitwire.Hello) error {
+func (a *Agent) serveSession(p *peerState, conn *nexitwire.Conn, hello *nexitwire.Hello) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	a.sessionsActive.Add(1)
@@ -371,7 +377,7 @@ func (a *Agent) serveSession(p *peerState, conn net.Conn, hello *nexitwire.Hello
 	// — version and metric must be vetted before the epoch is trusted.
 	if hello.Version != nexitwire.Version {
 		err := fmt.Errorf("nexitwire: peer version %d, want %d", hello.Version, nexitwire.Version)
-		_ = nexitwire.Reject(conn, a.timeout(), err.Error())
+		_ = nexitwire.RejectConn(conn, a.timeout(), err.Error())
 		p.fail(err)
 		return fmt.Errorf("agentd: rejected session from %s: %w", p.Name, err)
 	}
@@ -379,19 +385,19 @@ func (a *Agent) serveSession(p *peerState, conn net.Conn, hello *nexitwire.Hello
 		!(metric == "" && p.Ctl.Metric == continuous.MetricDistance) {
 		err := fmt.Errorf("nexitwire: metric mismatch: peer negotiates %q, we negotiate %q",
 			metric, p.Ctl.Metric)
-		_ = nexitwire.Reject(conn, a.timeout(), err.Error())
+		_ = nexitwire.RejectConn(conn, a.timeout(), err.Error())
 		p.fail(err)
 		return fmt.Errorf("agentd: rejected session from %s: %w", p.Name, err)
 	}
 
 	if at := p.Ctl.EpochIndex(); at > int(hello.Epoch) {
 		err := &nexitwire.EpochSkewError{Initiator: int(hello.Epoch), Responder: at}
-		_ = nexitwire.Reject(conn, a.timeout(), err.Error())
+		_ = nexitwire.RejectConn(conn, a.timeout(), err.Error())
 		p.fail(err)
 		return fmt.Errorf("agentd: rejected session from %s: %w", p.Name, err)
 	} else if at < int(hello.Epoch) {
 		if err := a.seekLocked(p, int(hello.Epoch)); err != nil {
-			_ = nexitwire.Reject(conn, a.timeout(), err.Error())
+			_ = nexitwire.RejectConn(conn, a.timeout(), err.Error())
 			return err
 		}
 	}
@@ -410,7 +416,7 @@ func (a *Agent) serveSession(p *peerState, conn net.Conn, hello *nexitwire.Hello
 			NumAlts:  numAlts,
 			Timeout:  a.timeout(),
 		}
-		sess, err := resp.ServeSession(conn, hello)
+		sess, err := resp.ServeSessionConn(conn, hello)
 		if err != nil {
 			return nil, err
 		}
@@ -623,7 +629,7 @@ func (a *Agent) sessionLocked(ctx context.Context, p *peerState, epoch int) (*co
 			Eval:    p.Ctl.NewEvaluator(p.Side),
 			Timeout: a.timeout(),
 		}
-		res, err := ini.Run(conn, items, defaults, numAlts)
+		res, err := ini.RunConn(conn, items, defaults, numAlts)
 		if err != nil {
 			return nil, err
 		}
@@ -652,7 +658,7 @@ func (a *Agent) sessionLocked(ctx context.Context, p *peerState, epoch int) (*co
 // .backoff) and the waits observe ctx, so cancellation — SIGINT in the
 // daemon — interrupts the ladder instead of sleeping it out. Callers
 // hold p.mu.
-func (a *Agent) ensureConnLocked(ctx context.Context, p *peerState) (net.Conn, error) {
+func (a *Agent) ensureConnLocked(ctx context.Context, p *peerState) (*nexitwire.Conn, error) {
 	if p.conn != nil {
 		return p.conn, nil
 	}
@@ -678,8 +684,8 @@ func (a *Agent) ensureConnLocked(ctx context.Context, p *peerState) (net.Conn, e
 		}
 		conn, err := p.Dial()
 		if err == nil {
-			p.conn = conn
-			return conn, nil
+			p.conn = nexitwire.NewConn(conn)
+			return p.conn, nil
 		}
 		lastErr = err
 		a.logf("agentd %s: dial %s attempt %d: %v", a.cfg.Name, p.Name, attempt+1, err)

@@ -12,8 +12,9 @@
 //
 // The controller is metric-generic: the epoch's negotiation objective
 // is a named Metric (distance, bandwidth, Fortz–Thorup), and
-// NewEvaluator builds the matching fresh evaluator for either protocol
-// side at the start of every epoch. Invariants the daemon layer builds
+// NewEvaluator supplies the matching evaluator for either protocol
+// side, reset to a clean slate at the start of every epoch. Invariants
+// the daemon layer builds
 // on: epochs are deterministic in (system, metric, workloads) — no
 // hidden RNG, no wall-clock — and an epoch that errors does not
 // advance, so both endpoints of a wire pair stay in lockstep; a
@@ -125,6 +126,31 @@ type Controller struct {
 	// metrics use them; both endpoints of a wire pair derive the same
 	// vectors because they depend on the system alone.
 	capA, capB []float64
+
+	// evalA and evalB cache the per-side evaluators across epochs.
+	// Sessions are serialized per controller (the daemon layer holds its
+	// pair lock across each epoch; simulations run epochs sequentially),
+	// and the stateful evaluators reset to their pre-session loads
+	// between uses, so reuse is observationally identical to building
+	// fresh ones — it only drops the per-epoch view/scratch rebuild from
+	// the session hot path (DESIGN.md §9).
+	evalA, evalB nexit.Evaluator
+
+	// Per-epoch scratch reused across Epoch calls under the same
+	// serialization guarantee. The engine and wire layer never retain
+	// these past the epoch's session.
+	obsScratch      []obs
+	negotiableSet   map[flowid.Signature]bool
+	itemsScratch    []nexit.Item
+	defaultsScratch []int
+	keysScratch     []key
+}
+
+// obs is one observed flow of an epoch (see Epoch step 1).
+type obs struct {
+	k    key
+	flow traffic.Flow
+	sig  flowid.Signature
 }
 
 // key identifies a flow across epochs.
@@ -262,26 +288,46 @@ func baseCapacities(sys, rev *pairsim.System) (capA, capB []float64) {
 	return capacity.Assign(loadA, capacity.Options{}), capacity.Assign(loadB, capacity.Options{})
 }
 
-// NewEvaluator builds a fresh evaluator for one epoch's session on the
+// NewEvaluator returns the evaluator for one epoch's session on the
 // given protocol side (SideA is the pair's A / wire initiator). The
 // load-based evaluators are stateful within a session — commits move
 // link load — so every epoch starts from a clean slate over the
-// controller's fixed base capacities. Both endpoints of a wire pair and
-// the serial in-process reference construct the identical evaluator,
-// which is what keeps the concurrent wire outcome pinned to the serial
-// reference for every metric.
+// controller's fixed base capacities: the controller builds each side's
+// evaluator once and resets it to zero load between epochs, which is
+// indistinguishable from constructing fresh (sessions are serialized
+// per controller). Both endpoints of a wire pair and the serial
+// in-process reference start each epoch from the identical evaluator
+// state, which is what keeps the concurrent wire outcome pinned to the
+// serial reference for every metric.
 func (c *Controller) NewEvaluator(side nexit.Side) nexit.Evaluator {
+	cached := &c.evalA
+	if side == nexit.SideB {
+		cached = &c.evalB
+	}
+	if *cached != nil {
+		switch e := (*cached).(type) {
+		case *nexit.BandwidthEvaluator:
+			e.Reset(nil)
+		case *nexit.FortzThorupEvaluator:
+			e.Reset(nil)
+		}
+		return *cached
+	}
 	capv := c.capA
 	if side == nexit.SideB {
 		capv = c.capB
 	}
+	var eval nexit.Evaluator
 	switch c.Metric {
 	case MetricBandwidth:
-		return nexit.NewBandwidthEvaluator(c.Sys, side, c.P, make([]float64, len(capv)), capv)
+		eval = nexit.NewBandwidthEvaluator(c.Sys, side, c.P, make([]float64, len(capv)), capv)
 	case MetricFortzThorup:
-		return nexit.NewFortzThorupEvaluator(c.Sys, side, c.P, make([]float64, len(capv)), capv)
+		eval = nexit.NewFortzThorupEvaluator(c.Sys, side, c.P, make([]float64, len(capv)), capv)
+	default:
+		eval = nexit.NewDistanceEvaluator(c.Sys, side, c.P)
 	}
-	return nexit.NewDistanceEvaluator(c.Sys, side, c.P)
+	*cached = eval
+	return eval
 }
 
 // Epoch processes one epoch's workloads (both directions) and returns
@@ -292,12 +338,7 @@ func (c *Controller) Epoch(wAB, wBA *traffic.Workload) (*EpochReport, error) {
 
 	// 1. Observe traffic; the registry decides which flows are stable
 	// enough to negotiate.
-	type obs struct {
-		k    key
-		flow traffic.Flow
-		sig  flowid.Signature
-	}
-	var all []obs
+	all := c.obsScratch[:0]
 	record := func(f traffic.Flow, dir nexit.Direction) {
 		k := key{dir: dir, src: f.Src, dst: f.Dst}
 		sig := flowid.Signature{
@@ -314,17 +355,22 @@ func (c *Controller) Epoch(wAB, wBA *traffic.Workload) (*EpochReport, error) {
 	for _, f := range wBA.Flows {
 		record(f, nexit.BtoA)
 	}
+	c.obsScratch = all
 	rep.Observed = len(all)
 	rep.Expired = len(c.Registry.Expire(c.epoch))
 
 	// 2. Build the negotiation table from the stable flows.
-	negotiable := make(map[flowid.Signature]bool)
+	if c.negotiableSet == nil {
+		c.negotiableSet = make(map[flowid.Signature]bool)
+	}
+	negotiable := c.negotiableSet
+	clear(negotiable)
 	for _, fi := range c.Registry.Negotiable() {
 		negotiable[fi.Sig] = true
 	}
-	var items []nexit.Item
-	var defaults []int
-	var keys []key
+	items := c.itemsScratch[:0]
+	defaults := c.defaultsScratch[:0]
+	keys := c.keysScratch[:0]
 	for _, o := range all {
 		if !negotiable[o.sig] {
 			continue
@@ -335,6 +381,7 @@ func (c *Controller) Epoch(wAB, wBA *traffic.Workload) (*EpochReport, error) {
 		defaults = append(defaults, c.currentChoice(o.k, f))
 		keys = append(keys, o.k)
 	}
+	c.itemsScratch, c.defaultsScratch, c.keysScratch = items, defaults, keys
 	rep.Negotiated = len(items)
 
 	// 3. Negotiate with the ledger-adjusted configuration. A remote

@@ -123,7 +123,11 @@ func (v view) pathLinks(it Item, k int) []int {
 // ScalePerFlow is handled by the caller contract but falls back to the
 // same table-wide unit when a flow has no non-zero delta.
 func cardinalDenominator(deltas [][]float64, scale Scale) float64 {
-	var mags []float64
+	total := 0
+	for _, ds := range deltas {
+		total += len(ds)
+	}
+	mags := make([]float64, 0, total)
 	for _, ds := range deltas {
 		for _, d := range ds {
 			if a := math.Abs(d); a > 0 {
@@ -158,11 +162,10 @@ func cardinalDenominator(deltas [][]float64, scale Scale) float64 {
 // mapDeltas converts per-item, per-alternative metric deltas (positive =
 // better than default) to preference classes.
 func mapDeltas(deltas [][]float64, p int, mapping Mapping, scale Scale) [][]int {
-	out := make([][]int, len(deltas))
+	out := makeIntRows(deltas)
 	switch mapping {
 	case Ordinal:
 		for i, ds := range deltas {
-			out[i] = make([]int, len(ds))
 			for k, d := range ds {
 				// Rank = number of strictly-between deltas of the same
 				// sign plus one, clamped to P.
@@ -192,13 +195,9 @@ func mapDeltas(deltas [][]float64, p int, mapping Mapping, scale Scale) [][]int 
 	default: // Cardinal
 		denom := cardinalDenominator(deltas, scale)
 		if denom == 0 {
-			for i, ds := range deltas {
-				out[i] = make([]int, len(ds))
-			}
 			return out
 		}
 		for i, ds := range deltas {
-			out[i] = make([]int, len(ds))
 			for k, d := range ds {
 				// Floor rounding throughout: a class is a certified
 				// LOWER bound on the real improvement, for losses and
@@ -250,15 +249,15 @@ func (e *DistanceEvaluator) Prefs(items []Item, defaults []int) [][]int {
 // path). Aggregating evaluators (e.g. destination-based routing) sum
 // these before quantizing.
 func (e *DistanceEvaluator) RawDeltas(items []Item, defaults []int) [][]float64 {
-	deltas := make([][]float64, len(items))
-	for i, it := range items {
-		na := len(e.view.ixOwn)
-		deltas[i] = make([]float64, na)
+	na := len(e.view.ixOwn)
+	deltas := makeDeltaRows(len(items), na)
+	forEachItem(len(items), na, func(i int) {
+		it := items[i]
 		base := e.view.distKm(it, defaults[i])
 		for k := 0; k < na; k++ {
 			deltas[i][k] = base - e.view.distKm(it, k)
 		}
-	}
+	})
 	return deltas
 }
 
@@ -315,18 +314,26 @@ func (e *BandwidthEvaluator) alternativeCost(it Item, k int) float64 {
 	return metrics.MaxIncreaseOnPath(e.Load, e.Cap, links, it.Flow.Size)
 }
 
-// Prefs implements Evaluator.
+// Prefs implements Evaluator. Link loads are only read here, so the
+// per-item loop is sharded by forEachItem when large.
 func (e *BandwidthEvaluator) Prefs(items []Item, defaults []int) [][]int {
-	deltas := make([][]float64, len(items))
-	for i, it := range items {
-		na := len(e.view.ixOwn)
-		deltas[i] = make([]float64, na)
+	na := len(e.view.ixOwn)
+	deltas := makeDeltaRows(len(items), na)
+	forEachItem(len(items), na, func(i int) {
+		it := items[i]
 		base := e.alternativeCost(it, defaults[i])
 		for k := 0; k < na; k++ {
 			deltas[i][k] = base - e.alternativeCost(it, k)
 		}
-	}
+	})
 	return mapDeltas(deltas, e.P, e.Mapping, e.Scale)
+}
+
+// Reset restores the evaluator to the given pre-session link loads (or
+// all-zero when load is nil), letting callers reuse one evaluator
+// across epochs instead of reconstructing it.
+func (e *BandwidthEvaluator) Reset(load []float64) {
+	setLoad(e.Load, load)
 }
 
 // Commit implements Evaluator: the committed flow's size is added to its
@@ -386,18 +393,26 @@ func (e *FortzThorupEvaluator) alternativeCost(it Item, k int) float64 {
 	return cost
 }
 
-// Prefs implements Evaluator.
+// Prefs implements Evaluator. Link loads are only read here, so the
+// per-item loop is sharded by forEachItem when large.
 func (e *FortzThorupEvaluator) Prefs(items []Item, defaults []int) [][]int {
-	deltas := make([][]float64, len(items))
-	for i, it := range items {
-		na := len(e.view.ixOwn)
-		deltas[i] = make([]float64, na)
+	na := len(e.view.ixOwn)
+	deltas := makeDeltaRows(len(items), na)
+	forEachItem(len(items), na, func(i int) {
+		it := items[i]
 		base := e.alternativeCost(it, defaults[i])
 		for k := 0; k < na; k++ {
 			deltas[i][k] = base - e.alternativeCost(it, k)
 		}
-	}
+	})
 	return mapDeltas(deltas, e.P, e.Mapping, e.Scale)
+}
+
+// Reset restores the evaluator to the given pre-session link loads (or
+// all-zero when load is nil), letting callers reuse one evaluator
+// across epochs instead of reconstructing it.
+func (e *FortzThorupEvaluator) Reset(load []float64) {
+	setLoad(e.Load, load)
 }
 
 // Commit implements Evaluator.
@@ -415,6 +430,20 @@ func (e *FortzThorupEvaluator) Revert(it Item, alt, def int) {
 	for _, li := range e.view.pathLinks(it, def) {
 		e.Load[li] += it.Flow.Size
 	}
+}
+
+// setLoad copies src into dst, zero-filling when src is nil.
+func setLoad(dst, src []float64) {
+	if src == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("nexit: reset load vector has %d entries for %d links", len(src), len(dst)))
+	}
+	copy(dst, src)
 }
 
 // StaticEvaluator discloses fixed preference lists; it is used by tests

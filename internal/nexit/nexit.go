@@ -115,6 +115,21 @@ type Config struct {
 	// uses this to forward accept/veto decisions to the remote agent.
 	AcceptHook func(acceptor Side, p Proposal) bool
 
+	// BatchAcceptHook, when non-nil, takes precedence over AcceptHook
+	// and receives whole runs of proposals at once: the engine plans the
+	// maximal sequence of proposals it would make if every one were
+	// accepted (the sequence is deterministic in the current preference
+	// state, so it can be computed without committing anything), and the
+	// hook returns how many leading proposals the counterpart accepted.
+	// A return short of the batch means proposal [n] was vetoed and the
+	// tail was never considered; the engine records the veto and
+	// replans, exactly as if the proposals had been asked one by one.
+	// The wire protocol uses this to collapse per-item accept/commit
+	// round trips into one frame exchange per batch; the negotiation
+	// outcome (assignment, gains, rounds, transcript, stop reason) is
+	// identical to the unbatched run by construction.
+	BatchAcceptHook func(batch []Proposal) int
+
 	// ExtraDeficitA and ExtraDeficitB widen the respective side's
 	// cumulative-deficit allowance under early termination. They
 	// implement the credit mechanism the paper sketches in §3
@@ -254,11 +269,23 @@ type negotiation struct {
 	prefsA, prefsB [][]int
 	remaining      []bool
 	vetoed         map[[2]int]bool // (itemID, alt) pairs rejected by veto
+	nVetoed        int             // live veto count; skips map lookups when zero
 	numAlts        int
 
 	// order holds remaining item IDs sorted by best combined gain,
 	// descending; rebuilt after reassignment or veto.
 	order []int
+
+	// bestCache memoizes bestAlt per item ID: proposal scans call it
+	// O(order) times per round but its inputs (prefs, vetoes) only
+	// change on reassignment or veto, so entries survive whole runs of
+	// commits. Invalidated per ID on veto, wholesale on refreshPrefs.
+	bestCache []bestEntry
+	// orderSums is rebuildOrder's per-ID sort-key scratch.
+	orderSums []int
+	// remScratch and defScratch are refreshPrefs' working sets.
+	remScratch []Item
+	defScratch []int
 
 	// commits records accepted trades with their historical classes for
 	// the terminal unwind.
@@ -271,6 +298,12 @@ type negotiation struct {
 	sinceReassign  float64
 	lastTurn       Side
 	haveTurn       bool
+}
+
+// bestEntry caches one bestAlt result.
+type bestEntry struct {
+	alt, sum int
+	ok       bool
 }
 
 // Negotiate runs the protocol and returns the result. numAlts is the
@@ -309,11 +342,16 @@ func Negotiate(cfg Config, evalA, evalB Evaluator, items []Item, defaults []int,
 	for i := range n.remaining {
 		n.remaining[i] = true
 	}
+	n.bestCache = make([]bestEntry, len(items))
 	for _, it := range items {
 		n.totalSize += it.Flow.Size
 	}
 	n.refreshPrefs()
-	n.run()
+	if cfg.BatchAcceptHook != nil {
+		n.runBatched()
+	} else {
+		n.run()
+	}
 	n.unwindDeficits()
 	return n.result, nil
 }
@@ -397,16 +435,17 @@ func (n *negotiation) unwindDeficits() {
 // refreshPrefs (re)collects preference lists from both evaluators for
 // the remaining items and rebuilds the selection order.
 func (n *negotiation) refreshPrefs() {
-	var rem []Item
+	rem := n.remScratch[:0]
 	for _, it := range n.items {
 		if n.remaining[it.ID] {
 			rem = append(rem, it)
 		}
 	}
-	defaults := make([]int, len(rem))
-	for i, it := range rem {
-		defaults[i] = n.defaults[it.ID]
+	defaults := n.defScratch[:0]
+	for _, it := range rem {
+		defaults = append(defaults, n.defaults[it.ID])
 	}
+	n.remScratch, n.defScratch = rem, defaults
 	pa := n.evalA.Prefs(rem, defaults)
 	pb := n.evalB.Prefs(rem, defaults)
 	if n.prefsA == nil {
@@ -414,14 +453,23 @@ func (n *negotiation) refreshPrefs() {
 		n.prefsB = make([][]int, len(n.items))
 	}
 	for i, it := range rem {
-		n.prefsA[it.ID] = clampPrefs(pa[i], n.cfg.PrefBound)
-		n.prefsB[it.ID] = clampPrefs(pb[i], n.cfg.PrefBound)
+		// Clamp into rows owned by the negotiation: evaluators may hand
+		// out views of internal tables, so the returned slices are never
+		// adopted directly.
+		n.prefsA[it.ID] = clampPrefsInto(n.prefsA[it.ID], pa[i], n.cfg.PrefBound)
+		n.prefsB[it.ID] = clampPrefsInto(n.prefsB[it.ID], pb[i], n.cfg.PrefBound)
+	}
+	for i := range n.bestCache {
+		n.bestCache[i].ok = false
 	}
 	n.rebuildOrder()
 }
 
-func clampPrefs(p []int, bound int) []int {
-	out := make([]int, len(p))
+func clampPrefsInto(dst, p []int, bound int) []int {
+	if cap(dst) < len(p) {
+		dst = make([]int, len(p))
+	}
+	dst = dst[:len(p)]
 	for i, v := range p {
 		if v > bound {
 			v = bound
@@ -429,18 +477,21 @@ func clampPrefs(p []int, bound int) []int {
 		if v < -bound {
 			v = -bound
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out
+	return dst
 }
 
 // bestAlt returns the best non-vetoed alternative of an item under the
 // max-sum criterion and its combined gain.
 func (n *negotiation) bestAlt(id int) (alt, sum int) {
+	if e := n.bestCache[id]; e.ok {
+		return e.alt, e.sum
+	}
 	alt, sum = n.defaults[id], 0
 	bestSum := -1 << 30
 	for k := 0; k < n.numAlts; k++ {
-		if n.vetoed[[2]int{id, k}] {
+		if n.nVetoed > 0 && n.vetoed[[2]int{id, k}] {
 			continue
 		}
 		s := n.prefsA[id][k] + n.prefsB[id][k]
@@ -448,6 +499,7 @@ func (n *negotiation) bestAlt(id int) (alt, sum int) {
 			bestSum, alt = s, k
 		}
 	}
+	n.bestCache[id] = bestEntry{alt: alt, sum: bestSum, ok: true}
 	return alt, bestSum
 }
 
@@ -460,14 +512,16 @@ func (n *negotiation) rebuildOrder() {
 			n.order = append(n.order, id)
 		}
 	}
-	sums := make(map[int]int, len(n.order))
+	if n.orderSums == nil {
+		n.orderSums = make([]int, len(n.items))
+	}
 	for _, id := range n.order {
 		_, s := n.bestAlt(id)
-		sums[id] = s
+		n.orderSums[id] = s
 	}
 	sort.SliceStable(n.order, func(i, j int) bool {
-		if sums[n.order[i]] != sums[n.order[j]] {
-			return sums[n.order[i]] > sums[n.order[j]]
+		if n.orderSums[n.order[i]] != n.orderSums[n.order[j]] {
+			return n.orderSums[n.order[i]] > n.orderSums[n.order[j]]
 		}
 		return n.order[i] < n.order[j]
 	})
@@ -509,11 +563,173 @@ func (n *negotiation) run() {
 		n.result.Rounds++
 		if !accepted {
 			// Veto: exclude this (item, alt) pair and re-evaluate.
-			n.vetoed[[2]int{id, alt}] = true
-			n.rebuildOrder()
+			n.veto(id, alt)
 			continue
 		}
 		n.commit(id, alt, pA, pB)
+	}
+}
+
+// veto excludes an (item, alt) pair and re-evaluates the order.
+func (n *negotiation) veto(id, alt int) {
+	n.vetoed[[2]int{id, alt}] = true
+	n.nVetoed++
+	n.bestCache[id].ok = false
+	n.rebuildOrder()
+}
+
+// engineSnap captures the engine state planBatch mutates while
+// simulating rounds, so runBatched can restore it before applying the
+// counterpart's decisions for real.
+type engineSnap struct {
+	gainA, gainB, rounds          int
+	negotiatedSize, sinceReassign float64
+	lastTurn                      Side
+	haveTurn                      bool
+}
+
+func (n *negotiation) snapshot() engineSnap {
+	return engineSnap{
+		gainA: n.result.GainA, gainB: n.result.GainB, rounds: n.result.Rounds,
+		negotiatedSize: n.negotiatedSize, sinceReassign: n.sinceReassign,
+		lastTurn: n.lastTurn, haveTurn: n.haveTurn,
+	}
+}
+
+func (n *negotiation) restore(s engineSnap, committed, orderSnap []int) {
+	n.result.GainA, n.result.GainB, n.result.Rounds = s.gainA, s.gainB, s.rounds
+	n.negotiatedSize, n.sinceReassign = s.negotiatedSize, s.sinceReassign
+	n.lastTurn, n.haveTurn = s.lastTurn, s.haveTurn
+	for _, id := range committed {
+		n.remaining[id] = true
+	}
+	n.order = append(n.order[:0], orderSnap...)
+}
+
+// runBatched is run() when Config.BatchAcceptHook is set: instead of
+// asking the counterpart about one proposal per round, the engine plans
+// the maximal run of proposals it would make if every one were accepted
+// and submits them as a batch. The plan is a faithful simulation of the
+// round loop (same decideTurn/propose/shouldStop code over the same
+// state), so applying the accepted prefix reproduces the unbatched
+// negotiation exactly; a veto truncates the batch at the vetoed
+// proposal, which is recorded and replanned around just as in run().
+//
+// A batch ends early at a reassignment boundary (preferences must be
+// recollected before further rounds can be planned) and is capped at
+// one proposal under CoinToss turns: planning ahead would draw turn
+// decisions from the Rng for proposals a veto may discard, desyncing
+// the stream from the serial reference.
+func (n *negotiation) runBatched() {
+	maxBatch := 0 // unlimited
+	if n.cfg.Turn == CoinToss {
+		maxBatch = 1
+	}
+	var (
+		batch     []Proposal
+		committed []int
+		orderSnap []int
+	)
+	for {
+		n.compactOrder()
+		if len(n.order) == 0 {
+			n.result.Stopped = StopAllNegotiated
+			return
+		}
+		snap := n.snapshot()
+		orderSnap = append(orderSnap[:0], n.order...)
+		batch, committed = batch[:0], committed[:0]
+		reason, stopped := n.planBatch(&batch, &committed, maxBatch)
+		n.restore(snap, committed, orderSnap)
+		if len(batch) == 0 {
+			// The very next round stops; no proposal ever reaches the
+			// counterpart.
+			n.result.Stopped = reason
+			return
+		}
+		accepted := n.cfg.BatchAcceptHook(batch)
+		if accepted > len(batch) {
+			accepted = len(batch)
+		}
+		if accepted < 0 {
+			accepted = 0
+		}
+		for _, p := range batch[:accepted] {
+			n.result.Transcript = append(n.result.Transcript, p)
+			n.result.Rounds++
+			n.lastTurn, n.haveTurn = p.Proposer, true
+			n.commit(p.ItemID, p.Alt, p.PrefA, p.PrefB)
+		}
+		if accepted < len(batch) {
+			// Proposal [accepted] was vetoed and the tail discarded.
+			p := batch[accepted]
+			p.Accepted = false
+			n.result.Transcript = append(n.result.Transcript, p)
+			n.result.Rounds++
+			n.lastTurn, n.haveTurn = p.Proposer, true
+			n.veto(p.ItemID, p.Alt)
+			continue
+		}
+		if stopped {
+			// Fully accepted and the simulation saw the stop condition
+			// fire on the round after the batch; the state after apply
+			// equals the simulated state, so the stop holds as derived.
+			n.result.Stopped = reason
+			return
+		}
+	}
+}
+
+// planBatch simulates rounds assuming every proposal is accepted,
+// appending to batch, until a stop condition fires (returned with
+// stopped=true), a reassignment boundary is crossed, or maxBatch
+// proposals are planned (stopped=false: more rounds may follow once the
+// batch is applied). Simulated commits touch only the bookkeeping that
+// decideTurn/propose/shouldStop read — gains, rounds, remaining, order,
+// traffic counters — never evaluators, assignments, or the transcript;
+// committed collects the IDs taken off the table so restore can put
+// them back.
+func (n *negotiation) planBatch(batch *[]Proposal, committed *[]int, maxBatch int) (StopReason, bool) {
+	for {
+		n.compactOrder()
+		if len(n.order) == 0 {
+			return StopAllNegotiated, true
+		}
+		proposer := n.decideTurn()
+		id, alt, ok := n.propose(proposer)
+		if !ok {
+			proposer = proposer.Other()
+			n.lastTurn = proposer
+			id, alt, ok = n.propose(proposer)
+		}
+		if !ok {
+			return StopNoJointGain, true
+		}
+		if reason, stop := n.shouldStop(id, alt); stop {
+			return reason, true
+		}
+		pA, pB := n.prefsA[id][alt], n.prefsB[id][alt]
+		*batch = append(*batch, Proposal{
+			Round: n.result.Rounds, Proposer: proposer, ItemID: id, Alt: alt,
+			PrefA: pA, PrefB: pB, Accepted: true,
+		})
+		n.result.Rounds++
+		n.remaining[id] = false
+		*committed = append(*committed, id)
+		n.result.GainA += pA
+		n.result.GainB += pB
+		size := n.items[id].Flow.Size
+		n.negotiatedSize += size
+		n.sinceReassign += size
+		if n.cfg.ReassignFraction > 0 && n.totalSize > 0 &&
+			n.sinceReassign >= n.cfg.ReassignFraction*n.totalSize {
+			// The real commit of this proposal refreshes preferences;
+			// nothing past it can be planned from the current tables.
+			return 0, false
+		}
+		if maxBatch > 0 && len(*batch) >= maxBatch {
+			return 0, false
+		}
 	}
 }
 

@@ -1,0 +1,71 @@
+package nexit
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelEvalThreshold is the minimum number of (item, alternative)
+// evaluations before sharding the per-item loop pays for the goroutine
+// handoff. Below it the serial loop wins on every machine.
+const parallelEvalThreshold = 4096
+
+// maxEvalWorkers bounds the per-pair worker set so one large pair
+// cannot monopolize the scheduler when many pairs negotiate at once.
+const maxEvalWorkers = 4
+
+// forEachItem runs fn(i) for 0 <= i < n. Rounds are inherently
+// sequential but per-item preference evaluation is not, so when the
+// work is large enough and more than one CPU is available the loop is
+// sharded across a bounded worker set. fn must write only to
+// index-disjoint state; the shards then compose to exactly the serial
+// result regardless of scheduling.
+func forEachItem(n, perItem int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > maxEvalWorkers {
+		workers = maxEvalWorkers
+	}
+	if workers <= 1 || n*perItem < parallelEvalThreshold {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// makeDeltaRows carves an items x alts delta matrix out of one backing
+// allocation.
+func makeDeltaRows(items, alts int) [][]float64 {
+	rows := make([][]float64, items)
+	flat := make([]float64, items*alts)
+	for i := range rows {
+		rows[i], flat = flat[:alts:alts], flat[alts:]
+	}
+	return rows
+}
+
+// makeIntRows carves a zeroed class matrix matching the shape of deltas
+// out of one backing allocation.
+func makeIntRows(deltas [][]float64) [][]int {
+	total := 0
+	for _, ds := range deltas {
+		total += len(ds)
+	}
+	flat := make([]int, total)
+	rows := make([][]int, len(deltas))
+	for i, ds := range deltas {
+		rows[i], flat = flat[:len(ds):len(ds)], flat[len(ds):]
+	}
+	return rows
+}

@@ -202,7 +202,7 @@ func (n *negotiation) propose(proposer Side) (id, alt int, ok bool) {
 		id, alt = -1, -1
 		for _, cand := range n.order {
 			for k := 0; k < n.numAlts; k++ {
-				if n.vetoed[[2]int{cand, k}] || !n.affordable(proposer, cand, k) {
+				if (n.nVetoed > 0 && n.vetoed[[2]int{cand, k}]) || !n.affordable(proposer, cand, k) {
 					continue
 				}
 				o, t := own[cand][k], other[cand][k]
@@ -254,7 +254,7 @@ func (n *negotiation) scanMaxSum(proposer Side, own, other [][]int, filter func(
 			}
 		}
 		for k := 0; k < n.numAlts; k++ {
-			if n.vetoed[[2]int{cand, k}] || !n.affordable(proposer, cand, k) {
+			if (n.nVetoed > 0 && n.vetoed[[2]int{cand, k}]) || !n.affordable(proposer, cand, k) {
 				continue
 			}
 			if filter != nil && !filter(cand, k) {

@@ -49,8 +49,10 @@ const (
 	// (Hello carries the named objective, mismatches reject cleanly);
 	// 3 = epoch resync (Hello carries the initiator's epoch index so a
 	// restarted or lagging endpoint can fast-forward instead of staying
-	// skewed forever).
-	Version = 3
+	// skewed forever); 4 = batched proposals (ProposeBatch/BatchAccept
+	// collapse per-item accept+commit round trips into one exchange per
+	// run of proposals).
+	Version = 4
 	// MaxFrameSize bounds incoming frames; a peer advertising more is
 	// rejected rather than buffered (defense against resource
 	// exhaustion, and no legitimate frame approaches it).
@@ -72,6 +74,9 @@ const (
 	MsgRevert
 	MsgDone
 	MsgError
+	// v4 batched frames, appended per the append-only compat rule.
+	MsgProposeBatch
+	MsgBatchAccept
 )
 
 // String names the message type.
@@ -97,6 +102,10 @@ func (t MsgType) String() string {
 		return "done"
 	case MsgError:
 		return "error"
+	case MsgProposeBatch:
+		return "propose-batch"
+	case MsgBatchAccept:
+		return "batch-accept"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }
@@ -183,6 +192,23 @@ type ErrorMsg struct {
 	Reason string
 }
 
+// ProposeBatch (v4) carries a run of proposals the initiator's engine
+// would make if each preceding one is accepted. The responder decides
+// them in order — committing accepted proposals as if an AcceptRequest
+// and a Commit had arrived back to back — and stops at its first veto,
+// discarding the tail (those proposals were planned assuming the vetoed
+// one stood, so they are void).
+type ProposeBatch struct {
+	Proposals []AcceptRequest
+}
+
+// BatchAccept answers a ProposeBatch: the responder accepted (and
+// committed) the first Accepted proposals. Accepted < len(Proposals)
+// means proposal [Accepted] was vetoed and the rest discarded.
+type BatchAccept struct {
+	Accepted uint32
+}
+
 // frameWriter serializes frames onto a writer.
 type frameWriter struct {
 	w   io.Writer
@@ -202,24 +228,40 @@ func (fw *frameWriter) writeFrame(t MsgType, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame from r.
+// readFrame reads one frame from r into a fresh buffer.
 func readFrame(r io.Reader) (MsgType, []byte, error) {
+	t, body, _, err := readFrameInto(r, nil)
+	return t, body, err
+}
+
+// readFrameInto reads one frame from r, reusing scratch as the read
+// buffer when it is large enough. It returns the (possibly grown)
+// scratch for the caller to keep for the next frame. The returned body
+// ALIASES scratch: it is valid only until the next readFrameInto call
+// with the same buffer, and decoders must copy what they keep (every
+// decoder in this package does; wire_test.go's aliasing test pins it).
+// The MaxFrameSize guard runs before any allocation, so a corrupt or
+// hostile length prefix cannot make us buffer unbounded memory.
+func readFrameInto(r io.Reader, scratch []byte) (MsgType, []byte, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, nil, scratch, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 {
-		return 0, nil, fmt.Errorf("nexitwire: empty frame")
+		return 0, nil, scratch, fmt.Errorf("nexitwire: empty frame")
 	}
 	if n > MaxFrameSize {
-		return 0, nil, fmt.Errorf("nexitwire: frame of %d bytes exceeds limit", n)
+		return 0, nil, scratch, fmt.Errorf("nexitwire: frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
+	if uint32(cap(scratch)) < n {
+		scratch = make([]byte, n)
+	}
+	body := scratch[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, err
+		return 0, nil, scratch, err
 	}
-	return MsgType(body[0]), body[1:], nil
+	return MsgType(body[0]), body[1:], scratch, nil
 }
 
 // --- payload encoding ------------------------------------------------
@@ -316,8 +358,10 @@ func (d *dec) done() error {
 
 // Message marshaling.
 
-func encodeHello(h *Hello) []byte {
-	var e enc
+func encodeHello(h *Hello) []byte { return appendHello(nil, h) }
+
+func appendHello(b []byte, h *Hello) []byte {
+	e := enc{b: b}
 	e.u16(h.Version)
 	e.str(h.Name)
 	e.u16(h.NumAlts)
@@ -360,8 +404,10 @@ func decodeHello(b []byte) (*Hello, error) {
 	return h, d.done()
 }
 
-func encodePrefsRequest(m *PrefsRequest) []byte {
-	var e enc
+func encodePrefsRequest(m *PrefsRequest) []byte { return appendPrefsRequest(nil, m) }
+
+func appendPrefsRequest(b []byte, m *PrefsRequest) []byte {
+	e := enc{b: b}
 	e.u32(uint32(len(m.ItemIDs)))
 	for i := range m.ItemIDs {
 		e.u32(m.ItemIDs[i])
@@ -387,8 +433,10 @@ func decodePrefsRequest(b []byte) (*PrefsRequest, error) {
 	return m, d.done()
 }
 
-func encodePrefsResponse(m *PrefsResponse) []byte {
-	var e enc
+func encodePrefsResponse(m *PrefsResponse) []byte { return appendPrefsResponse(nil, m) }
+
+func appendPrefsResponse(b []byte, m *PrefsResponse) []byte {
+	e := enc{b: b}
 	e.u32(uint32(len(m.Prefs)))
 	if len(m.Prefs) > 0 {
 		e.u16(uint16(len(m.Prefs[0])))
@@ -426,8 +474,10 @@ func decodePrefsResponse(b []byte) (*PrefsResponse, error) {
 	return m, d.done()
 }
 
-func encodeAcceptRequest(m *AcceptRequest) []byte {
-	var e enc
+func encodeAcceptRequest(m *AcceptRequest) []byte { return appendAcceptRequest(nil, m) }
+
+func appendAcceptRequest(b []byte, m *AcceptRequest) []byte {
+	e := enc{b: b}
 	e.u32(m.Round)
 	e.u32(m.ItemID)
 	e.u16(m.Alt)
@@ -446,8 +496,10 @@ func decodeAcceptRequest(b []byte) (*AcceptRequest, error) {
 	return m, d.done()
 }
 
-func encodeAcceptResponse(m *AcceptResponse) []byte {
-	var e enc
+func encodeAcceptResponse(m *AcceptResponse) []byte { return appendAcceptResponse(nil, m) }
+
+func appendAcceptResponse(b []byte, m *AcceptResponse) []byte {
+	e := enc{b: b}
 	e.boolean(m.Accepted)
 	return e.b
 }
@@ -458,8 +510,10 @@ func decodeAcceptResponse(b []byte) (*AcceptResponse, error) {
 	return m, d.done()
 }
 
-func encodeCommit(m *Commit) []byte {
-	var e enc
+func encodeCommit(m *Commit) []byte { return appendCommit(nil, m) }
+
+func appendCommit(b []byte, m *Commit) []byte {
+	e := enc{b: b}
 	e.u32(m.ItemID)
 	e.u16(m.Alt)
 	return e.b
@@ -471,8 +525,10 @@ func decodeCommit(b []byte) (*Commit, error) {
 	return m, d.done()
 }
 
-func encodeRevert(m *Revert) []byte {
-	var e enc
+func encodeRevert(m *Revert) []byte { return appendRevert(nil, m) }
+
+func appendRevert(b []byte, m *Revert) []byte {
+	e := enc{b: b}
 	e.u32(m.ItemID)
 	e.u16(m.Alt)
 	e.u16(m.Def)
@@ -485,8 +541,10 @@ func decodeRevert(b []byte) (*Revert, error) {
 	return m, d.done()
 }
 
-func encodeDone(m *Done) []byte {
-	var e enc
+func encodeDone(m *Done) []byte { return appendDone(nil, m) }
+
+func appendDone(b []byte, m *Done) []byte {
+	e := enc{b: b}
 	e.u32(uint32(len(m.Assign)))
 	for _, a := range m.Assign {
 		e.u16(a)
@@ -518,8 +576,10 @@ func decodeDone(b []byte) (*Done, error) {
 	return m, d.done()
 }
 
-func encodeError(m *ErrorMsg) []byte {
-	var e enc
+func encodeError(m *ErrorMsg) []byte { return appendError(nil, m) }
+
+func appendError(b []byte, m *ErrorMsg) []byte {
+	e := enc{b: b}
 	e.str(m.Reason)
 	return e.b
 }
@@ -527,5 +587,61 @@ func encodeError(m *ErrorMsg) []byte {
 func decodeError(b []byte) (*ErrorMsg, error) {
 	d := dec{b: b}
 	m := &ErrorMsg{Reason: d.str()}
+	return m, d.done()
+}
+
+// proposalWireSize is the encoded size of one batched proposal: round
+// u32 + item u32 + alt u16 + class i8.
+const proposalWireSize = 11
+
+func encodeProposeBatch(m *ProposeBatch) []byte { return appendProposeBatch(nil, m) }
+
+func appendProposeBatch(b []byte, m *ProposeBatch) []byte {
+	e := enc{b: b}
+	e.u32(uint32(len(m.Proposals)))
+	for i := range m.Proposals {
+		p := &m.Proposals[i]
+		e.u32(p.Round)
+		e.u32(p.ItemID)
+		e.u16(p.Alt)
+		e.i8(p.PrefInitiator)
+	}
+	return e.b
+}
+
+func decodeProposeBatch(b []byte) (*ProposeBatch, error) {
+	d := dec{b: b}
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Guard allocations against lying headers: every claimed proposal
+	// must be backed by payload bytes.
+	if n > len(b)/proposalWireSize {
+		return nil, fmt.Errorf("nexitwire: propose batch claims %d proposals", n)
+	}
+	m := &ProposeBatch{Proposals: make([]AcceptRequest, 0, n)}
+	for i := 0; i < n; i++ {
+		m.Proposals = append(m.Proposals, AcceptRequest{
+			Round:         d.u32(),
+			ItemID:        d.u32(),
+			Alt:           d.u16(),
+			PrefInitiator: d.i8(),
+		})
+	}
+	return m, d.done()
+}
+
+func encodeBatchAccept(m *BatchAccept) []byte { return appendBatchAccept(nil, m) }
+
+func appendBatchAccept(b []byte, m *BatchAccept) []byte {
+	e := enc{b: b}
+	e.u32(m.Accepted)
+	return e.b
+}
+
+func decodeBatchAccept(b []byte) (*BatchAccept, error) {
+	d := dec{b: b}
+	m := &BatchAccept{Accepted: d.u32()}
 	return m, d.done()
 }

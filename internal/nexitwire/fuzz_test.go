@@ -23,6 +23,8 @@ func TestDecodersNeverPanic(t *testing.T) {
 		{"revert", func(b []byte) error { _, err := decodeRevert(b); return err }},
 		{"done", func(b []byte) error { _, err := decodeDone(b); return err }},
 		{"error", func(b []byte) error { _, err := decodeError(b); return err }},
+		{"propose-batch", func(b []byte) error { _, err := decodeProposeBatch(b); return err }},
+		{"batch-accept", func(b []byte) error { _, err := decodeBatchAccept(b); return err }},
 	}
 	for _, d := range decoders {
 		d := d

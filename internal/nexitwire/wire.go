@@ -137,12 +137,19 @@ func (in *Initiator) timeout() time.Duration {
 // one connection across negotiation epochs instead of redialing (the
 // responder answers each Hello with ServeConn/ServeSession in turn).
 func (in *Initiator) Run(conn net.Conn, items []nexit.Item, defaults []int, numAlts int) (*nexit.Result, error) {
+	return in.RunConn(NewConn(conn), items, defaults, numAlts)
+}
+
+// RunConn is Run over a reusable Conn: a long-lived agent wraps each
+// peer connection once and amortizes the frame buffers across all the
+// sessions (epochs) it initiates on it.
+func (in *Initiator) RunConn(c *Conn, items []nexit.Item, defaults []int, numAlts int) (*nexit.Result, error) {
 	if in.Cfg.PrefBound > 127 {
 		return nil, fmt.Errorf("nexitwire: preference bound %d exceeds the wire format's int8 classes", in.Cfg.PrefBound)
 	}
-	s := &session{conn: conn, fw: frameWriter{w: conn}, timeout: in.timeout()}
+	s := c.s.reset(in.timeout())
 
-	if err := s.send(MsgHello, encodeHello(&Hello{
+	if err := s.sendEnc(MsgHello, appendHello(s.enc[:0], &Hello{
 		Version:      Version,
 		Name:         in.Name,
 		NumAlts:      uint16(numAlts),
@@ -187,23 +194,46 @@ func (in *Initiator) Run(conn net.Conn, items []nexit.Item, defaults []int, numA
 
 	remote := &remoteEvaluator{s: s, own: in.Eval, numAlts: numAlts}
 	cfg := in.Cfg
-	cfg.AcceptHook = func(acceptor nexit.Side, p nexit.Proposal) bool {
+	cfg.BatchAcceptHook = func(batch []nexit.Proposal) int {
 		// The remote agent ratifies every proposal: when it is the
 		// acceptor this is the paper's veto; when the engine proposed on
-		// its behalf, ratification confirms the simulated turn. A wire
-		// failure counts as a veto so the engine winds down cleanly.
-		accepted, err := remote.askAccept(p)
+		// its behalf, ratification confirms the simulated turn. The whole
+		// planned run travels in one ProposeBatch frame; the responder
+		// commits the prefix it accepts, so the echoes of those commits
+		// from the engine are suppressed.
+		limit := len(batch)
+		if remote.err != nil {
+			// The session is already dead and the result will be
+			// discarded (RunConn returns remote.err) — accept everything
+			// so the engine winds down on the cheap all-accept path
+			// instead of replanning after a veto per proposal.
+			return limit
+		}
+		if in.Accept != nil {
+			// The initiator's own accept policy vetoes proposals made on
+			// the responder's turn before they are put on the wire; the
+			// batch is truncated there so the responder never commits
+			// past our own veto.
+			for i := range batch {
+				if batch[i].Proposer == nexit.SideB && !in.Accept(batch[i]) {
+					limit = i
+					break
+				}
+			}
+		}
+		if limit == 0 {
+			return 0
+		}
+		accepted, err := remote.proposeBatch(batch[:limit])
 		if err != nil {
 			remote.err = err
-			return false
+			return limit // dead session: wind down, result is discarded
 		}
-		if !accepted {
-			return false
+		remote.suppress += accepted
+		if accepted < limit {
+			return accepted
 		}
-		if acceptor == nexit.SideA && in.Accept != nil {
-			return in.Accept(p)
-		}
-		return true
+		return limit
 	}
 
 	res, err := nexit.Negotiate(cfg, in.Eval, remote, items, defaults, numAlts)
@@ -225,7 +255,7 @@ func (in *Initiator) Run(conn net.Conn, items []nexit.Item, defaults []int, numA
 	for i, a := range res.Assign {
 		done.Assign[i] = uint16(a)
 	}
-	if err := s.send(MsgDone, encodeDone(done)); err != nil {
+	if err := s.sendEnc(MsgDone, appendDone(s.enc[:0], done)); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -240,26 +270,46 @@ type remoteEvaluator struct {
 	own     nexit.Evaluator
 	numAlts int
 	err     error
+	// suppress counts engine commits already applied responder-side by
+	// a fused ProposeBatch, so they are not echoed as Commit frames.
+	suppress int
+	// scratch buffers reused across the session's wire calls. The rows
+	// returned by Prefs alias prefRows; that is safe because the engine
+	// clamps them into its own tables before the next call.
+	req      PrefsRequest
+	prefRows [][]int
+	prefFlat []int
+	batch    []AcceptRequest
 }
 
-// Prefs implements nexit.Evaluator.
+// Prefs implements nexit.Evaluator. The returned rows are scratch,
+// valid until the next Prefs call; the engine (the only caller) copies
+// them immediately.
 func (r *remoteEvaluator) Prefs(items []nexit.Item, defaults []int) [][]int {
-	out := make([][]int, len(items))
-	for i := range out {
-		out[i] = make([]int, r.numAlts)
+	need := len(items) * r.numAlts
+	if cap(r.prefFlat) < need {
+		r.prefFlat = make([]int, need)
 	}
+	flat := r.prefFlat[:need]
+	for i := range flat {
+		flat[i] = 0
+	}
+	out := r.prefRows[:0]
+	for i := 0; i < len(items); i++ {
+		out = append(out, flat[i*r.numAlts:(i+1)*r.numAlts])
+	}
+	r.prefRows = out
 	if r.err != nil {
 		return out
 	}
-	req := &PrefsRequest{
-		ItemIDs:  make([]uint32, len(items)),
-		Defaults: make([]uint16, len(items)),
-	}
+	req := &r.req
+	req.ItemIDs = req.ItemIDs[:0]
+	req.Defaults = req.Defaults[:0]
 	for i, it := range items {
-		req.ItemIDs[i] = uint32(it.ID)
-		req.Defaults[i] = uint16(defaults[i])
+		req.ItemIDs = append(req.ItemIDs, uint32(it.ID))
+		req.Defaults = append(req.Defaults, uint16(defaults[i]))
 	}
-	if err := r.s.send(MsgPrefsRequest, encodePrefsRequest(req)); err != nil {
+	if err := r.s.sendEnc(MsgPrefsRequest, appendPrefsRequest(r.s.enc[:0], req)); err != nil {
 		r.err = err
 		return out
 	}
@@ -289,12 +339,19 @@ func (r *remoteEvaluator) Prefs(items []nexit.Item, defaults []int) [][]int {
 	return out
 }
 
-// Commit implements nexit.Evaluator.
+// Commit implements nexit.Evaluator. Commits the responder already
+// applied as part of an accepted batch are consumed silently; anything
+// else (none today, but the per-item frames remain in the protocol) is
+// forwarded.
 func (r *remoteEvaluator) Commit(it nexit.Item, alt int) {
+	if r.suppress > 0 {
+		r.suppress--
+		return
+	}
 	if r.err != nil {
 		return
 	}
-	if err := r.s.send(MsgCommit, encodeCommit(&Commit{ItemID: uint32(it.ID), Alt: uint16(alt)})); err != nil {
+	if err := r.s.sendEnc(MsgCommit, appendCommit(r.s.enc[:0], &Commit{ItemID: uint32(it.ID), Alt: uint16(alt)})); err != nil {
 		r.err = err
 	}
 }
@@ -305,36 +362,45 @@ func (r *remoteEvaluator) Revert(it nexit.Item, alt, def int) {
 	if r.err != nil {
 		return
 	}
-	if err := r.s.send(MsgRevert, encodeRevert(&Revert{
+	if err := r.s.sendEnc(MsgRevert, appendRevert(r.s.enc[:0], &Revert{
 		ItemID: uint32(it.ID), Alt: uint16(alt), Def: uint16(def),
 	})); err != nil {
 		r.err = err
 	}
 }
 
-// askAccept forwards an accept decision to the responder.
-func (r *remoteEvaluator) askAccept(p nexit.Proposal) (bool, error) {
+// proposeBatch submits a planned run of proposals and returns how many
+// leading ones the responder accepted (and committed).
+func (r *remoteEvaluator) proposeBatch(batch []nexit.Proposal) (int, error) {
 	if r.err != nil {
-		return false, r.err
+		return 0, r.err
 	}
-	req := &AcceptRequest{
-		Round:         uint32(p.Round),
-		ItemID:        uint32(p.ItemID),
-		Alt:           uint16(p.Alt),
-		PrefInitiator: int8(p.PrefA),
+	pb := r.batch[:0]
+	for i := range batch {
+		p := &batch[i]
+		pb = append(pb, AcceptRequest{
+			Round:         uint32(p.Round),
+			ItemID:        uint32(p.ItemID),
+			Alt:           uint16(p.Alt),
+			PrefInitiator: int8(p.PrefA),
+		})
 	}
-	if err := r.s.send(MsgAcceptRequest, encodeAcceptRequest(req)); err != nil {
-		return false, err
+	r.batch = pb
+	if err := r.s.sendEnc(MsgProposeBatch, appendProposeBatch(r.s.enc[:0], &ProposeBatch{Proposals: pb})); err != nil {
+		return 0, err
 	}
-	body, err := r.s.expect(MsgAcceptResponse)
+	body, err := r.s.expect(MsgBatchAccept)
 	if err != nil {
-		return false, err
+		return 0, err
 	}
-	resp, err := decodeAcceptResponse(body)
+	resp, err := decodeBatchAccept(body)
 	if err != nil {
-		return false, err
+		return 0, err
 	}
-	return resp.Accepted, nil
+	if int(resp.Accepted) > len(batch) {
+		return 0, fmt.Errorf("nexitwire: peer accepted %d of %d batched proposals", resp.Accepted, len(batch))
+	}
+	return int(resp.Accepted), nil
 }
 
 // Responder serves one side of a negotiation: it answers preference and
@@ -381,10 +447,15 @@ func (r *Responder) timeout() time.Duration {
 // DefaultTimeout. io.EOF is returned unwrapped when the peer closes the
 // connection cleanly between sessions.
 func AcceptHello(conn net.Conn, timeout time.Duration) (*Hello, error) {
+	return AcceptHelloConn(NewConn(conn), timeout)
+}
+
+// AcceptHelloConn is AcceptHello over a reusable Conn.
+func AcceptHelloConn(c *Conn, timeout time.Duration) (*Hello, error) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	s := &session{conn: conn, fw: frameWriter{w: conn}, timeout: timeout}
+	s := c.s.reset(timeout)
 	t, body, err := s.recv()
 	if err != nil {
 		return nil, err
@@ -399,11 +470,16 @@ func AcceptHello(conn net.Conn, timeout time.Duration) (*Hello, error) {
 // daemon uses it when the Hello names a peer it is not configured for.
 // A zero timeout selects DefaultTimeout.
 func Reject(conn net.Conn, timeout time.Duration, reason string) error {
+	return RejectConn(NewConn(conn), timeout, reason)
+}
+
+// RejectConn is Reject over a reusable Conn.
+func RejectConn(c *Conn, timeout time.Duration, reason string) error {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	s := &session{conn: conn, fw: frameWriter{w: conn}, timeout: timeout}
-	return s.send(MsgError, encodeError(&ErrorMsg{Reason: reason}))
+	s := c.s.reset(timeout)
+	return s.sendEnc(MsgError, appendError(s.enc[:0], &ErrorMsg{Reason: reason}))
 }
 
 // ServeConn handles one session and returns the final result. It
@@ -423,7 +499,14 @@ func (r *Responder) ServeConn(conn net.Conn) (*SessionResult, error) {
 // read (see AcceptHello). It validates the hello against the locally
 // configured universe and serves the rest of the session.
 func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, error) {
-	s := &session{conn: conn, fw: frameWriter{w: conn}, timeout: r.timeout()}
+	return r.ServeSessionConn(NewConn(conn), hello)
+}
+
+// ServeSessionConn is ServeSession over a reusable Conn; pair it with
+// AcceptHelloConn on the same Conn so the whole inbound side of a
+// long-lived connection shares one set of frame buffers.
+func (r *Responder) ServeSessionConn(c *Conn, hello *Hello) (*SessionResult, error) {
+	s := c.s.reset(r.timeout())
 	wantHash := WorkloadHash(r.Items, r.Defaults, r.NumAlts)
 	switch {
 	case hello.Version != Version:
@@ -440,7 +523,7 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 	case hello.WorkloadHash != wantHash:
 		return nil, s.abort(fmt.Errorf("nexitwire: workload hash mismatch"))
 	}
-	if err := s.send(MsgHelloAck, encodeHello(&Hello{
+	if err := s.sendEnc(MsgHelloAck, appendHello(s.enc[:0], &Hello{
 		Version: Version, Name: r.Name,
 		NumAlts: uint16(r.NumAlts), NumItems: uint32(len(r.Items)),
 		WorkloadHash: wantHash,
@@ -455,6 +538,22 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 	// lastPrefs remembers the classes most recently disclosed per item,
 	// for accounting the cumulative gain as commits arrive.
 	lastPrefs := make(map[int][]int, len(r.Items))
+	// commit fuses the bookkeeping a Commit frame (or an accepted
+	// batched proposal) triggers.
+	commit := func(itemID, alt int) {
+		assign[itemID] = alt
+		if row, ok := lastPrefs[itemID]; ok && alt < len(row) {
+			gainB += row[alt]
+		}
+		r.Eval.Commit(r.Items[itemID], alt)
+	}
+	// Per-request scratch, reused across the session's serve loop.
+	var (
+		items    []nexit.Item
+		defaults []int
+		resp     PrefsResponse
+		respFlat []int8
+	)
 
 	for {
 		t, body, err := s.recv()
@@ -467,19 +566,25 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 			if err != nil {
 				return nil, err
 			}
-			items := make([]nexit.Item, len(req.ItemIDs))
-			defaults := make([]int, len(req.ItemIDs))
+			items = items[:0]
+			defaults = defaults[:0]
 			for i, id := range req.ItemIDs {
 				if int(id) >= len(r.Items) {
 					return nil, s.abort(fmt.Errorf("nexitwire: peer referenced unknown item %d", id))
 				}
-				items[i] = r.Items[id]
-				defaults[i] = int(req.Defaults[i])
+				items = append(items, r.Items[id])
+				defaults = append(defaults, int(req.Defaults[i]))
 			}
 			prefs := r.Eval.Prefs(items, defaults)
-			resp := &PrefsResponse{Prefs: make([][]int8, len(prefs))}
+			if need := len(prefs) * r.NumAlts; cap(respFlat) < need {
+				respFlat = make([]int8, need)
+			}
+			resp.Prefs = resp.Prefs[:0]
 			for i, row := range prefs {
-				resp.Prefs[i] = make([]int8, r.NumAlts)
+				out := respFlat[i*r.NumAlts : (i+1)*r.NumAlts]
+				for k := range out {
+					out[k] = 0
+				}
 				for k := 0; k < r.NumAlts && k < len(row); k++ {
 					p := row[k]
 					if p > 127 {
@@ -488,11 +593,12 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 					if p < -128 {
 						p = -128
 					}
-					resp.Prefs[i][k] = int8(p)
+					out[k] = int8(p)
 				}
+				resp.Prefs = append(resp.Prefs, out)
 				lastPrefs[items[i].ID] = row
 			}
-			if err := s.send(MsgPrefsResponse, encodePrefsResponse(resp)); err != nil {
+			if err := s.sendEnc(MsgPrefsResponse, appendPrefsResponse(s.enc[:0], &resp)); err != nil {
 				return nil, err
 			}
 		case MsgAcceptRequest:
@@ -504,7 +610,31 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 			if r.Accept != nil {
 				accepted = r.Accept(*req)
 			}
-			if err := s.send(MsgAcceptResponse, encodeAcceptResponse(&AcceptResponse{Accepted: accepted})); err != nil {
+			if err := s.sendEnc(MsgAcceptResponse, appendAcceptResponse(s.enc[:0], &AcceptResponse{Accepted: accepted})); err != nil {
+				return nil, err
+			}
+		case MsgProposeBatch:
+			pb, err := decodeProposeBatch(body)
+			if err != nil {
+				return nil, err
+			}
+			// Decide the run in order, committing accepted proposals as
+			// an AcceptRequest + Commit would have, and stop at the
+			// first veto: the discarded tail was planned assuming the
+			// vetoed proposal stood, so it is void.
+			accepted := 0
+			for i := range pb.Proposals {
+				req := &pb.Proposals[i]
+				if int(req.ItemID) >= len(r.Items) || int(req.Alt) >= r.NumAlts {
+					return nil, s.abort(fmt.Errorf("nexitwire: batched proposal out of range"))
+				}
+				if r.Accept != nil && !r.Accept(*req) {
+					break
+				}
+				commit(int(req.ItemID), int(req.Alt))
+				accepted++
+			}
+			if err := s.sendEnc(MsgBatchAccept, appendBatchAccept(s.enc[:0], &BatchAccept{Accepted: uint32(accepted)})); err != nil {
 				return nil, err
 			}
 		case MsgCommit:
@@ -515,11 +645,7 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 			if int(c.ItemID) >= len(r.Items) || int(c.Alt) >= r.NumAlts {
 				return nil, s.abort(fmt.Errorf("nexitwire: commit out of range"))
 			}
-			assign[c.ItemID] = int(c.Alt)
-			if row, ok := lastPrefs[int(c.ItemID)]; ok && int(c.Alt) < len(row) {
-				gainB += row[c.Alt]
-			}
-			r.Eval.Commit(r.Items[c.ItemID], int(c.Alt))
+			commit(int(c.ItemID), int(c.Alt))
 		case MsgRevert:
 			c, err := decodeRevert(body)
 			if err != nil {
@@ -578,24 +704,66 @@ func (r *Responder) ServeSession(conn net.Conn, hello *Hello) (*SessionResult, e
 }
 
 // session wraps a connection with framed, deadline-bounded exchanges.
+// Its buffers — the frame writer's output buffer, the encode scratch,
+// and the read scratch — are reused across frames, and, when the
+// session lives inside a Conn, across every session the connection
+// carries. Received frame bodies alias rbuf and are only valid until
+// the next recv; decoders copy everything they keep (the buffer-
+// ownership contract, DESIGN.md §9).
 type session struct {
 	conn    net.Conn
 	fw      frameWriter
 	timeout time.Duration
+	enc     []byte // outbound payload scratch (appendX builds on it)
+	rbuf    []byte // inbound frame scratch (bodies alias it)
+
+	// armedRead/armedWrite coarsen deadline re-arming: net.Conn
+	// deadlines cost a timer update per call (net.Pipe allocates one),
+	// so a deadline armed less than a quarter-timeout ago is kept. Every
+	// exchange still completes or fails within [3/4, 1]x timeout.
+	armedRead  time.Time
+	armedWrite time.Time
+}
+
+// reset prepares the session for a (new) run of exchanges with the
+// given timeout, keeping its buffers.
+func (s *session) reset(timeout time.Duration) *session {
+	if s.timeout != timeout {
+		s.timeout = timeout
+		s.armedRead, s.armedWrite = time.Time{}, time.Time{}
+	}
+	return s
 }
 
 func (s *session) send(t MsgType, payload []byte) error {
-	if err := s.conn.SetWriteDeadline(time.Now().Add(s.timeout)); err != nil {
-		return err
+	now := time.Now()
+	if now.Sub(s.armedWrite) > s.timeout>>2 {
+		if err := s.conn.SetWriteDeadline(now.Add(s.timeout)); err != nil {
+			return err
+		}
+		s.armedWrite = now
 	}
 	return s.stallErr("send "+t.String(), s.fw.writeFrame(t, payload))
 }
 
+// sendEnc sends a payload built on the session's encode scratch (via
+// the appendX encoders) and retains the grown buffer for the next
+// message.
+func (s *session) sendEnc(t MsgType, payload []byte) error {
+	s.enc = payload[:0]
+	return s.send(t, payload)
+}
+
 func (s *session) recv() (MsgType, []byte, error) {
-	if err := s.conn.SetReadDeadline(time.Now().Add(s.timeout)); err != nil {
-		return 0, nil, err
+	now := time.Now()
+	if now.Sub(s.armedRead) > s.timeout>>2 {
+		if err := s.conn.SetReadDeadline(now.Add(s.timeout)); err != nil {
+			return 0, nil, err
+		}
+		s.armedRead = now
 	}
-	t, body, err := readFrame(s.conn)
+	t, body, scratch, err := readFrameInto(s.conn, s.rbuf)
+	s.rbuf = scratch
 	return t, body, s.stallErr("awaiting reply", err)
 }
 
@@ -641,6 +809,30 @@ func (s *session) unexpected(t MsgType) error {
 
 // abort best-effort notifies the peer before failing.
 func (s *session) abort(err error) error {
-	_ = s.send(MsgError, encodeError(&ErrorMsg{Reason: err.Error()}))
+	_ = s.sendEnc(MsgError, appendError(s.enc[:0], &ErrorMsg{Reason: err.Error()}))
 	return err
 }
+
+// Conn wraps a net.Conn with the reusable frame machinery — write
+// buffer, encode scratch, read scratch — that would otherwise be
+// reallocated for every session a long-lived connection carries. A
+// daemon that keeps one connection per peer direction should create one
+// Conn per connection and pass it to RunConn / AcceptHelloConn /
+// ServeSessionConn; the net.Conn-based entry points remain as
+// single-session conveniences. A Conn serves one session at a time,
+// like the underlying protocol.
+type Conn struct {
+	s session
+}
+
+// NewConn wraps c. It does not take over lifecycle management: closing
+// remains the caller's job (Close forwards for convenience).
+func NewConn(c net.Conn) *Conn {
+	return &Conn{s: session{conn: c, fw: frameWriter{w: c}}}
+}
+
+// NetConn returns the wrapped connection.
+func (c *Conn) NetConn() net.Conn { return c.s.conn }
+
+// Close closes the wrapped connection.
+func (c *Conn) Close() error { return c.s.conn.Close() }

@@ -12,24 +12,34 @@ pr="${1:?usage: scripts/bench.sh <pr-number>}"
 bench_json="BENCH_runner.json"
 [ -f "$bench_json" ] || { echo "bench.sh: $bench_json not found (run from the repo root)" >&2; exit 1; }
 
-out=$(go test -run '^$' -bench 'BenchmarkRunnerWorkers|BenchmarkRunnerStream|BenchmarkMeshSessions' -benchtime 3x .)
+out=$(go test -run '^$' -bench 'BenchmarkRunnerWorkers|BenchmarkRunnerStream|BenchmarkMeshSessions|BenchmarkWireSession' -benchtime 3x .)
 printf '%s\n' "$out"
 
 # Benchmark lines look like:
 #   BenchmarkRunnerWorkers/workers=1-2  3  320000000 ns/op  21.70 pairs/s
-# Emit "name workers unit value" rows for the custom metrics.
+#   BenchmarkMeshSessions/workers=1-2   3  130000000 ns/op  526.2 sessions/s  48000 B/op  1096 allocs/op
+# Emit "name sub unit value" rows for the custom metrics plus the
+# allocation counter (benchmarks without a sub-benchmark get sub
+# "single").
 rows=$(printf '%s\n' "$out" | awk '
 	/^Benchmark/ {
-		split($1, parts, "/"); name = parts[1]; sub(/-[0-9]+$/, "", parts[2])
+		split($1, parts, "/")
+		name = parts[1]; sub(/-[0-9]+$/, "", name)
+		key = parts[2] == "" ? "single" : parts[2]; sub(/-[0-9]+$/, "", key)
 		for (i = 2; i < NF; i++)
-			if ($(i + 1) == "pairs/s" || $(i + 1) == "sessions/s")
-				print name, parts[2], $(i + 1), $i
+			if ($(i + 1) == "pairs/s" || $(i + 1) == "sessions/s" || $(i + 1) == "allocs/op")
+				print name, key, $(i + 1), $i
 	}')
 [ -n "$rows" ] || { echo "bench.sh: no benchmark metrics parsed" >&2; exit 1; }
 
+# Throughput metrics land as {unit, <sub>: value}; allocs/op rows nest
+# under an "allocs/op" object so each benchmark records both.
 entry=$(printf '%s\n' "$rows" | jq -Rn --argjson pr "$pr" '
 	reduce (inputs | split(" ") | select(length == 4)) as $r ({pr: $pr};
-		.[$r[0]] += {unit: $r[2], ($r[1]): ($r[3] | tonumber)})')
+		if $r[2] == "allocs/op"
+		then .[$r[0]]["allocs/op"] += {($r[1]): ($r[3] | tonumber)}
+		else .[$r[0]] += {unit: $r[2], ($r[1]): ($r[3] | tonumber)}
+		end)')
 
 tmp=$(mktemp)
 jq --argjson entry "$entry" '.history += [$entry]' "$bench_json" > "$tmp"
