@@ -222,6 +222,12 @@ func main() {
 		go func() {
 			mux := http.NewServeMux()
 			mux.Handle("/debug/vars", expvar.Handler())
+			mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+				if err := agent.WriteMetrics(w); err != nil {
+					fmt.Fprintln(os.Stderr, "nexitagent: /metrics:", err)
+				}
+			})
 			// The daemon uses a private mux, so the net/http/pprof
 			// handlers must be wired explicitly (the package's init only
 			// touches http.DefaultServeMux). Index serves every profile

@@ -357,9 +357,13 @@ func runStreaming(w io.Writer, ds *experiments.Dataset, fig string, opt experime
 		Experiment string            `json:"experiment"`
 		Results    int               `json:"results"`
 		Series     map[string]string `json:"series"`
+		// Digests carries each series' mergeable state, so nexitplot can
+		// fold sharded runs back into one whole-run summary (run
+		// elsewhere, aggregate here — DESIGN.md §10).
+		Digests map[string]*stats.Digest `json:"digests,omitempty"`
 	}
 	emitSummary := func(exp string, n int, digests map[string]*stats.Digest) error {
-		s := summary{Experiment: exp, Results: n, Series: map[string]string{}}
+		s := summary{Experiment: exp, Results: n, Series: map[string]string{}, Digests: digests}
 		for name, d := range digests {
 			s.Series[name] = d.Summary()
 		}

@@ -61,6 +61,7 @@ import (
 	"repro/internal/continuous"
 	"repro/internal/nexit"
 	"repro/internal/nexitwire"
+	"repro/internal/telemetry"
 )
 
 // Default daemon parameters.
@@ -154,11 +155,28 @@ type Agent struct {
 	closed atomic.Bool
 	wg     sync.WaitGroup // inbound connection handlers
 
-	sessionsActive    atomic.Int64
-	sessionsInitiated atomic.Int64
-	sessionsServed    atomic.Int64
-	sessionsFailed    atomic.Int64
-	resyncs           atomic.Int64
+	// The agent's telemetry registry (base label agent=<name>) and the
+	// metric handles written on the session paths. Handles are resolved
+	// once here; sessions write through them wait-free (DESIGN.md §10
+	// names every metric).
+	reg               *telemetry.Registry
+	sessionsActive    *telemetry.Gauge
+	sessionsInitiated *telemetry.Counter
+	sessionsServed    *telemetry.Counter
+	sessionsFailed    *telemetry.Counter
+	resyncs           *telemetry.Counter
+	dialRetries       *telemetry.Counter
+
+	// Wire-level counters, folded from each connection's WireStats
+	// after every session (Conn.TakeStats).
+	wireFramesSent *telemetry.Counter
+	wireFramesRecv *telemetry.Counter
+	wireBytesSent  *telemetry.Counter
+	wireBytesRecv  *telemetry.Counter
+	wireHelloUs    *telemetry.Counter
+	wirePrefsUs    *telemetry.Counter
+	wireProposeUs  *telemetry.Counter
+	wireCommitUs   *telemetry.Counter
 }
 
 // peerState is one neighbor's runtime state. mu serializes the peer's
@@ -169,6 +187,13 @@ type Agent struct {
 type peerState struct {
 	Peer
 	initiate bool
+
+	// lat is the peer's session-latency histogram
+	// (agentd_session_seconds{peer=...}): wall time of each successful
+	// epoch session, fast-forward replay included. Its merged count
+	// across peers equals sessions initiated + served — the invariant
+	// the telemetry tests pin.
+	lat *telemetry.Histogram
 
 	mu sync.Mutex
 	// conn is the cached outbound connection (initiator only). Caching
@@ -218,13 +243,55 @@ func New(cfg Config) *Agent {
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = DefaultIdleTimeout
 	}
+	reg := telemetry.NewRegistry(telemetry.Label{Key: "agent", Value: cfg.Name})
+	dirSent := telemetry.Label{Key: "dir", Value: "sent"}
+	dirRecv := telemetry.Label{Key: "dir", Value: "recv"}
+	phase := func(v string) telemetry.Label { return telemetry.Label{Key: "phase", Value: v} }
 	return &Agent{
 		cfg:    cfg,
 		outSem: make(chan struct{}, cfg.MaxSessions),
 		inSem:  make(chan struct{}, cfg.MaxSessions),
 		peers:  make(map[string]*peerState),
 		conns:  make(map[net.Conn]struct{}),
+
+		reg:               reg,
+		sessionsActive:    reg.GaugeOf("agentd_sessions_active"),
+		sessionsInitiated: reg.CounterOf("agentd_sessions_initiated_total"),
+		sessionsServed:    reg.CounterOf("agentd_sessions_served_total"),
+		sessionsFailed:    reg.CounterOf("agentd_sessions_failed_total"),
+		resyncs:           reg.CounterOf("agentd_resyncs_total"),
+		dialRetries:       reg.CounterOf("agentd_dial_retries_total"),
+		wireFramesSent:    reg.CounterOf("agentd_wire_frames_total", dirSent),
+		wireFramesRecv:    reg.CounterOf("agentd_wire_frames_total", dirRecv),
+		wireBytesSent:     reg.CounterOf("agentd_wire_bytes_total", dirSent),
+		wireBytesRecv:     reg.CounterOf("agentd_wire_bytes_total", dirRecv),
+		wireHelloUs:       reg.CounterOf("agentd_wire_phase_microseconds_total", phase("hello")),
+		wirePrefsUs:       reg.CounterOf("agentd_wire_phase_microseconds_total", phase("prefs")),
+		wireProposeUs:     reg.CounterOf("agentd_wire_phase_microseconds_total", phase("propose")),
+		wireCommitUs:      reg.CounterOf("agentd_wire_phase_microseconds_total", phase("commit")),
 	}
+}
+
+// Metrics returns the agent's telemetry registry — the source for the
+// /metrics exposition and for mesh-wide aggregation.
+func (a *Agent) Metrics() *telemetry.Registry { return a.reg }
+
+// foldWire drains a connection's accumulated wire stats into the
+// agent's counters. Called between sessions (the Conn discipline), so
+// the handles absorb one delta per session, not per frame.
+func (a *Agent) foldWire(c *nexitwire.Conn) {
+	st := c.TakeStats()
+	if st == (nexitwire.WireStats{}) {
+		return
+	}
+	a.wireFramesSent.Add(st.FramesSent)
+	a.wireFramesRecv.Add(st.FramesRecv)
+	a.wireBytesSent.Add(st.BytesSent)
+	a.wireBytesRecv.Add(st.BytesRecv)
+	a.wireHelloUs.Add(st.HelloNanos / 1e3)
+	a.wirePrefsUs.Add(st.PrefsNanos / 1e3)
+	a.wireProposeUs.Add(st.ProposeNanos / 1e3)
+	a.wireCommitUs.Add(st.CommitNanos / 1e3)
 }
 
 // Name returns the agent's name.
@@ -248,7 +315,11 @@ func (a *Agent) AddPeer(p Peer) error {
 	if _, dup := a.peers[p.Name]; dup {
 		return fmt.Errorf("agentd: duplicate peer %s", p.Name)
 	}
-	a.peers[p.Name] = &peerState{Peer: p, initiate: p.Side == nexit.SideA}
+	a.peers[p.Name] = &peerState{
+		Peer:     p,
+		initiate: p.Side == nexit.SideA,
+		lat:      a.reg.HistogramOf("agentd_session_seconds", nil, telemetry.Label{Key: "peer", Value: p.Name}),
+	}
 	return nil
 }
 
@@ -315,17 +386,21 @@ func (a *Agent) handleConn(conn net.Conn) {
 		}
 		p := a.peer(hello.Name)
 		if p == nil || p.initiate {
-			a.sessionsFailed.Add(1)
+			a.sessionsFailed.Inc()
 			reason := fmt.Sprintf("agent %s is not configured to serve peer %q", a.cfg.Name, hello.Name)
 			_ = nexitwire.RejectConn(c, a.timeout(), reason)
+			a.foldWire(c)
 			a.logf("agentd %s: %s", a.cfg.Name, reason)
 			return
 		}
 		a.inSem <- struct{}{}
 		err = a.serveSession(p, c, hello)
 		<-a.inSem
+		// One fold per session (success or failure): every frame the
+		// serving side exchanged lands in the wire counters.
+		a.foldWire(c)
 		if err != nil {
-			a.sessionsFailed.Add(1)
+			a.sessionsFailed.Inc()
 			a.logf("agentd %s: session from %s: %v", a.cfg.Name, p.Name, err)
 			return
 		}
@@ -367,6 +442,7 @@ func (a *Agent) peerList() []*peerState {
 // with the canonical epoch-skew reason so the initiator can
 // fast-forward itself and retry.
 func (a *Agent) serveSession(p *peerState, conn *nexitwire.Conn, hello *nexitwire.Hello) error {
+	start := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	a.sessionsActive.Add(1)
@@ -436,7 +512,10 @@ func (a *Agent) serveSession(p *peerState, conn *nexitwire.Conn, hello *nexitwir
 		return err
 	}
 	p.record(rep, rounds, stopped)
-	a.sessionsServed.Add(1)
+	// Latency lands exactly where the session counter moves, so a
+	// quiesced agent's histogram totals equal its session counters.
+	p.lat.Observe(time.Since(start).Seconds())
+	a.sessionsServed.Inc()
 	return nil
 }
 
@@ -488,7 +567,7 @@ func (a *Agent) RunEpoch(ctx context.Context, epoch int) (map[string]*continuous
 				// any other, so it is visible in the status surface.
 				err := fmt.Errorf("agentd: epoch %d with %s cancelled: %w", epoch, p.Name, ctx.Err())
 				p.fail(err)
-				a.sessionsFailed.Add(1)
+				a.sessionsFailed.Inc()
 				mu.Lock()
 				out = append(out, outcome{p.Name, nil, err})
 				mu.Unlock()
@@ -557,7 +636,7 @@ func (a *Agent) negotiateEpoch(ctx context.Context, p *peerState, epoch int) (*c
 		return nil, nil // already negotiated; idempotent skip
 	} else if at < epoch {
 		if err := a.seekLocked(p, epoch); err != nil {
-			a.sessionsFailed.Add(1)
+			a.sessionsFailed.Inc()
 			return nil, err
 		}
 	}
@@ -571,7 +650,7 @@ func (a *Agent) negotiateEpoch(ctx context.Context, p *peerState, epoch int) (*c
 		// were driven from scratch). Catch up locally and retry once at
 		// its epoch; the report returned is for that later epoch.
 		if serr := a.seekLocked(p, skew.Responder); serr != nil {
-			a.sessionsFailed.Add(1)
+			a.sessionsFailed.Inc()
 			return nil, serr
 		}
 		return a.sessionLocked(ctx, p, skew.Responder)
@@ -597,7 +676,7 @@ func (a *Agent) seekLocked(p *peerState, epoch int) error {
 		p.fail(err)
 		return err
 	}
-	a.resyncs.Add(1)
+	a.resyncs.Inc()
 	p.stats.Lock()
 	p.stats.resyncs++
 	p.stats.epochs = p.Ctl.EpochIndex()
@@ -611,10 +690,11 @@ func (a *Agent) seekLocked(p *peerState, epoch int) error {
 // wire session for the given epoch, with failure bookkeeping. Callers
 // hold p.mu and must have the controller at exactly that epoch.
 func (a *Agent) sessionLocked(ctx context.Context, p *peerState, epoch int) (*continuous.EpochReport, error) {
+	start := time.Now()
 	conn, err := a.ensureConnLocked(ctx, p)
 	if err != nil {
 		p.fail(err)
-		a.sessionsFailed.Add(1)
+		a.sessionsFailed.Inc()
 		return nil, err
 	}
 	wAB, wBA := p.Workloads(epoch)
@@ -638,18 +718,20 @@ func (a *Agent) sessionLocked(ctx context.Context, p *peerState, epoch int) (*co
 	}
 	rep, err := p.Ctl.Epoch(wAB, wBA)
 	p.Ctl.Negotiate = nil
+	a.foldWire(conn) // drain the session's frames before any Close
 	if err != nil {
 		// The connection's session state is unknown; drop it so the next
 		// epoch redials from scratch.
 		conn.Close()
 		p.conn = nil
 		p.fail(err)
-		a.sessionsFailed.Add(1)
+		a.sessionsFailed.Inc()
 		return nil, err
 	}
 	p.record(rep, rounds, stopped)
+	p.lat.Observe(time.Since(start).Seconds())
 	p.backoff = 0 // a healthy session clears the dial-backoff ladder
-	a.sessionsInitiated.Add(1)
+	a.sessionsInitiated.Inc()
 	return rep, nil
 }
 
@@ -671,6 +753,7 @@ func (a *Agent) ensureConnLocked(ctx context.Context, p *peerState) (*nexitwire.
 	var lastErr error
 	for attempt := 0; attempt < a.cfg.DialAttempts; attempt++ {
 		if attempt > 0 {
+			a.dialRetries.Inc()
 			timer := time.NewTimer(p.backoff)
 			select {
 			case <-timer.C:

@@ -3,14 +3,19 @@ package agentd
 import (
 	"encoding/json"
 	"expvar"
+	"io"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Status is the agent's introspection snapshot: the long-running
 // process's answer to "what has this daemon been doing" (the paper's §6
 // deployment concern, in the spirit of TerraServer's operations
 // experience — make the persistent process observable). It marshals to
-// JSON and is also what the expvar surface publishes.
+// JSON and is also what the expvar surface publishes; cmd/nexitplot's
+// watch mode and mesh.AggregateStatuses both consume it.
 type Status struct {
 	Name              string `json:"name"`
 	SessionsActive    int64  `json:"sessions_active"`
@@ -20,8 +25,27 @@ type Status struct {
 	// Resyncs counts epoch fast-forwards across all peers: each one is
 	// a pair that healed itself after a failed session or a restart
 	// (the epoch-resync handshake, DESIGN.md §7).
-	Resyncs int64        `json:"resyncs"`
-	Peers   []PeerStatus `json:"peers"`
+	Resyncs int64 `json:"resyncs"`
+	// DialRetries counts outbound dial attempts beyond the first of
+	// each ladder — the backoff pressure the agent is under.
+	DialRetries int64        `json:"dial_retries"`
+	Wire        WireStatus   `json:"wire"`
+	Peers       []PeerStatus `json:"peers"`
+}
+
+// WireStatus is the agent's cumulative wire traffic: frame and byte
+// counts per direction and per-phase wire time, folded from every
+// connection's nexitwire.WireStats after each session.
+type WireStatus struct {
+	FramesSent int64 `json:"frames_sent"`
+	FramesRecv int64 `json:"frames_recv"`
+	BytesSent  int64 `json:"bytes_sent"`
+	BytesRecv  int64 `json:"bytes_recv"`
+	// Phase times are cumulative microseconds of blocking wire time.
+	HelloUs   int64 `json:"hello_us"`
+	PrefsUs   int64 `json:"prefs_us"`
+	ProposeUs int64 `json:"propose_us"`
+	CommitUs  int64 `json:"commit_us"`
 }
 
 // PeerStatus is one neighbor's slice of the snapshot.
@@ -51,19 +75,37 @@ type PeerStatus struct {
 	LedgerBalance int    `json:"ledger_balance"`
 	LastStop      string `json:"last_stop,omitempty"`
 	LastError     string `json:"last_error,omitempty"`
+	// Latency is the peer's session-latency histogram
+	// (agentd_session_seconds{peer=...}): mergeable across peers and
+	// agents, shared bucket ladder (telemetry.DefaultLatencyBuckets).
+	Latency *telemetry.HistogramSnapshot `json:"latency,omitempty"`
 }
 
-// Status snapshots the agent. Safe to call concurrently with sessions.
+// Status snapshots the agent. Safe to call concurrently with sessions:
+// every telemetry cell is read atomically and only the per-peer stats
+// mutex is taken — never a session mutex.
 func (a *Agent) Status() Status {
 	st := Status{
 		Name:              a.cfg.Name,
-		SessionsActive:    a.sessionsActive.Load(),
-		SessionsInitiated: a.sessionsInitiated.Load(),
-		SessionsServed:    a.sessionsServed.Load(),
-		SessionsFailed:    a.sessionsFailed.Load(),
-		Resyncs:           a.resyncs.Load(),
+		SessionsActive:    a.sessionsActive.Value(),
+		SessionsInitiated: a.sessionsInitiated.Value(),
+		SessionsServed:    a.sessionsServed.Value(),
+		SessionsFailed:    a.sessionsFailed.Value(),
+		Resyncs:           a.resyncs.Value(),
+		DialRetries:       a.dialRetries.Value(),
+		Wire: WireStatus{
+			FramesSent: a.wireFramesSent.Value(),
+			FramesRecv: a.wireFramesRecv.Value(),
+			BytesSent:  a.wireBytesSent.Value(),
+			BytesRecv:  a.wireBytesRecv.Value(),
+			HelloUs:    a.wireHelloUs.Value(),
+			PrefsUs:    a.wirePrefsUs.Value(),
+			ProposeUs:  a.wireProposeUs.Value(),
+			CommitUs:   a.wireCommitUs.Value(),
+		},
 	}
 	for _, p := range a.peerList() {
+		lat := p.lat.Snapshot()
 		// Only the stats mutex is taken — never the session mutex — so
 		// a snapshot cannot hang behind a stalled peer's session.
 		p.stats.Lock()
@@ -81,6 +123,7 @@ func (a *Agent) Status() Status {
 			LedgerBalance: p.stats.ledger,
 			LastStop:      p.stats.lastStop,
 			LastError:     p.stats.lastErr,
+			Latency:       &lat,
 		})
 		p.stats.Unlock()
 	}
@@ -96,22 +139,44 @@ func (a *Agent) StatusJSON() []byte {
 	return b
 }
 
-// expvarMu serializes the check-then-publish below (expvar panics on
-// duplicate names).
-var expvarMu sync.Mutex
+// WriteMetrics renders the agent's telemetry in the Prometheus text
+// exposition format (the -debug-addr /metrics endpoint).
+func (a *Agent) WriteMetrics(w io.Writer) error {
+	return a.reg.WritePrometheus(w)
+}
+
+// expvarMu serializes check-then-publish below (expvar panics on
+// duplicate names); expvarAgents holds the indirection that lets a
+// restarted agent re-claim its name.
+var (
+	expvarMu     sync.Mutex
+	expvarAgents = map[string]*atomic.Pointer[Agent]{}
+)
 
 // PublishExpvar registers the agent's live status as an expvar under
 // the given name ("agentd.<agent name>" when empty), so any expvar
-// endpoint — e.g. nexitagent's -debug-addr — exposes it. Re-publishing
-// an already-taken name is a no-op.
+// endpoint — e.g. nexitagent's -debug-addr — exposes it.
+//
+// The published func reads through an indirection: when a restarted
+// agent re-publishes under a name this package already owns, the
+// expvar is re-pointed at the live agent instead of serving the dead
+// one's snapshot forever. A name owned by someone else entirely (a
+// foreign expvar.Publish) is left alone, as before.
 func (a *Agent) PublishExpvar(name string) {
 	if name == "" {
 		name = "agentd." + a.cfg.Name
 	}
 	expvarMu.Lock()
 	defer expvarMu.Unlock()
+	if holder, ok := expvarAgents[name]; ok {
+		holder.Store(a)
+		return
+	}
 	if expvar.Get(name) != nil {
 		return
 	}
-	expvar.Publish(name, expvar.Func(func() any { return a.Status() }))
+	holder := &atomic.Pointer[Agent]{}
+	holder.Store(a)
+	expvarAgents[name] = holder
+	expvar.Publish(name, expvar.Func(func() any { return holder.Load().Status() }))
 }

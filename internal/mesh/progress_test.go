@@ -1,0 +1,92 @@
+package mesh
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// A clean mesh run's rollup must reconcile exactly with the per-agent
+// statuses it folds: counter totals are sums, the latency histogram
+// accounts for every session from both ends, and the epoch frontier is
+// in lockstep at the configured epoch count.
+func TestResultProgress(t *testing.T) {
+	opt := testOptions()
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := res.Progress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Agents != res.ISPs {
+		t.Errorf("rollup covers %d agents, mesh had %d", pr.Agents, res.ISPs)
+	}
+	if pr.Pairs != len(res.Pairs) {
+		t.Errorf("rollup sees %d pairs, mesh ran %d", pr.Pairs, len(res.Pairs))
+	}
+
+	// Totals are sums of the snapshots.
+	var initiated, served, failed, frames int64
+	for _, st := range res.Agents {
+		initiated += st.SessionsInitiated
+		served += st.SessionsServed
+		failed += st.SessionsFailed
+		frames += st.Wire.FramesSent
+	}
+	if pr.SessionsInitiated != initiated || pr.SessionsServed != served || pr.SessionsFailed != failed {
+		t.Errorf("session totals diverge: rollup %+v, sums %d/%d/%d", pr, initiated, served, failed)
+	}
+	if pr.Wire.FramesSent != frames || pr.Wire.FramesSent == 0 {
+		t.Errorf("wire frames %d, want nonzero sum %d", pr.Wire.FramesSent, frames)
+	}
+
+	// A clean run: every pair completes every epoch, both ends observe
+	// each session, nothing is in flight at the end.
+	wantSessions := int64(len(res.Pairs) * opt.Epochs)
+	if pr.SessionsInitiated != wantSessions || pr.SessionsServed != wantSessions {
+		t.Errorf("initiated/served %d/%d, want %d each", pr.SessionsInitiated, pr.SessionsServed, wantSessions)
+	}
+	if pr.SessionsActive != 0 {
+		t.Errorf("%d sessions still active at quiescence", pr.SessionsActive)
+	}
+	if pr.EpochMin != opt.Epochs || pr.EpochMax != opt.Epochs {
+		t.Errorf("epoch frontier [%d,%d], want lockstep at %d", pr.EpochMin, pr.EpochMax, opt.Epochs)
+	}
+	// The merged histogram saw every session twice: once from the
+	// initiator's clock, once from the responder's.
+	if pr.Latency.Count != initiated+served {
+		t.Errorf("latency count %d != sessions %d", pr.Latency.Count, initiated+served)
+	}
+	if pr.Wire.HelloUs <= 0 || pr.Wire.ProposeUs <= 0 {
+		t.Errorf("phase time missing from rollup: %+v", pr.Wire)
+	}
+
+	// The rollup is the watch-mode wire format: it must survive JSON.
+	b, err := json.Marshal(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Progress
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Latency.Count != pr.Latency.Count || back.EpochMax != pr.EpochMax {
+		t.Errorf("JSON round-trip lost data: %+v -> %+v", pr, back)
+	}
+}
+
+// A serial run has no agents: the rollup is empty, not an error.
+func TestProgressSerialEmpty(t *testing.T) {
+	res, err := RunSerial(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := res.Progress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Agents != 0 || pr.Latency.Count != 0 || pr.Pairs != 0 {
+		t.Errorf("serial rollup not empty: %+v", pr)
+	}
+}

@@ -723,6 +723,11 @@ type session struct {
 	// exchange still completes or fails within [3/4, 1]x timeout.
 	armedRead  time.Time
 	armedWrite time.Time
+
+	// stats accumulates frame/byte counts and per-phase wire time for
+	// the connection's owner (Conn.TakeStats). Plain fields: one
+	// session at a time means one writer.
+	stats WireStats
 }
 
 // reset prepares the session for a (new) run of exchanges with the
@@ -743,7 +748,11 @@ func (s *session) send(t MsgType, payload []byte) error {
 		}
 		s.armedWrite = now
 	}
-	return s.stallErr("send "+t.String(), s.fw.writeFrame(t, payload))
+	err := s.fw.writeFrame(t, payload)
+	if err == nil {
+		s.stats.observeSent(t, len(payload), time.Since(now))
+	}
+	return s.stallErr("send "+t.String(), err)
 }
 
 // sendEnc sends a payload built on the session's encode scratch (via
@@ -764,6 +773,9 @@ func (s *session) recv() (MsgType, []byte, error) {
 	}
 	t, body, scratch, err := readFrameInto(s.conn, s.rbuf)
 	s.rbuf = scratch
+	if err == nil {
+		s.stats.observeRecv(t, len(body), time.Since(now))
+	}
 	return t, body, s.stallErr("awaiting reply", err)
 }
 

@@ -1,0 +1,330 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func testDataset(t *testing.T) *experiments.Dataset {
+	t.Helper()
+	cfg := gen.DefaultConfig()
+	cfg.NumISPs = 12
+	ds, err := experiments.Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func testOpts() (experiments.Options, experiments.BandwidthOptions) {
+	opt := experiments.Options{MaxPairs: 6, Seed: 1, Workers: 2}
+	return opt, experiments.BandwidthOptions{Options: opt, Workload: traffic.Gravity, MaxFailures: 8}
+}
+
+// streamLines replays runStreaming's emission for the three figure
+// experiments: one envelope per record, one summary line (with
+// digests) per experiment — the NDJSON a `nexitsim -stream -fig all`
+// run writes for those experiments.
+func streamLines(t *testing.T, ds *experiments.Dataset, opt experiments.Options, bopt experiments.BandwidthOptions) [][]byte {
+	t.Helper()
+	type envelope struct {
+		Experiment string `json:"experiment"`
+		Index      int    `json:"index"`
+		Data       any    `json:"data"`
+	}
+	type summary struct {
+		Experiment string                   `json:"experiment"`
+		Results    int                      `json:"results"`
+		Series     map[string]string        `json:"series"`
+		Digests    map[string]*stats.Digest `json:"digests,omitempty"`
+	}
+	var lines [][]byte
+	emit := func(v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, b)
+	}
+	emitSummary := func(exp string, n int, digests map[string]*stats.Digest) {
+		s := summary{Experiment: exp, Results: n, Series: map[string]string{}, Digests: digests}
+		for name, d := range digests {
+			s.Series[name] = d.Summary()
+		}
+		emit(s)
+	}
+
+	neg, opt2 := stats.NewDigest(), stats.NewDigest()
+	n := 0
+	err := experiments.DistanceStream(ds, opt, func(idx int, r *experiments.DistancePairResult) error {
+		neg.Add(r.GainNeg)
+		opt2.Add(r.GainOpt)
+		n++
+		emit(envelope{Experiment: "distance", Index: idx, Data: r})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitSummary("distance", n, map[string]*stats.Digest{"gain_negotiated": neg, "gain_optimal": opt2})
+
+	upNeg, downNeg := stats.NewDigest(), stats.NewDigest()
+	cases, err := experiments.BandwidthStream(ds, bopt, func(idx int, r *experiments.BandwidthCaseResult) error {
+		upNeg.Add(r.UpNeg)
+		downNeg.Add(r.DownNeg)
+		emit(envelope{Experiment: "bandwidth", Index: idx, Data: r})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitSummary("bandwidth", cases, map[string]*stats.Digest{"up_negotiated": upNeg, "down_negotiated": downNeg})
+
+	truthful, cheat := stats.NewDigest(), stats.NewDigest()
+	n = 0
+	err = experiments.DistanceCheatStream(ds, opt, func(idx int, r *experiments.CheatPairResult) error {
+		truthful.Add(r.TotalTruthful)
+		cheat.Add(r.TotalCheat)
+		n++
+		emit(envelope{Experiment: "distance-cheat", Index: idx, Data: r})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitSummary("distance-cheat", n, map[string]*stats.Digest{"total_truthful": truthful, "total_cheat": cheat})
+	return lines
+}
+
+// batchFigures renders figures 4a through 11 exactly as cmd/nexitsim's
+// figure mode prints them (same sections, tables, summary and
+// decoration lines) from the batch experiment results.
+func batchFigures(t *testing.T, ds *experiments.Dataset, opt experiments.Options, bopt experiments.BandwidthOptions, n int) string {
+	t.Helper()
+	dres, err := experiments.Distance(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := experiments.Bandwidth(ds, bopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := experiments.DistanceCheat(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	section := func(title string) { fmt.Fprintf(&b, "\n=== %s ===\n", title) }
+	printSeries := func(xLabel string, min, max float64, curves map[string]*stats.CDF, order []string) {
+		b.WriteString(stats.FormatSeries(xLabel, min, max, n, curves, order))
+		for _, name := range order {
+			fmt.Fprintf(&b, "  %s: %s\n", name, stats.Summary(curves[name]))
+		}
+	}
+
+	section("Figure 4a — distance: total gain over default routing (CDF of ISP pairs)")
+	fmt.Fprintf(&b, "pairs: %d\n", dres.Pairs)
+	printSeries("% gain", 0, 15, map[string]*stats.CDF{
+		"negotiated": stats.NewCDF(dres.PairGainNeg),
+		"optimal":    stats.NewCDF(dres.PairGainOpt),
+	}, []string{"negotiated", "optimal"})
+
+	section("Figure 4b — distance: individual ISP gain (CDF of ISPs)")
+	printSeries("% gain", -20, 40, map[string]*stats.CDF{
+		"negotiated": stats.NewCDF(dres.IndGainNeg),
+		"optimal":    stats.NewCDF(dres.IndGainOpt),
+	}, []string{"negotiated", "optimal"})
+	losers := 0
+	for _, g := range dres.IndGainOpt {
+		if g < 0 {
+			losers++
+		}
+	}
+	fmt.Fprintf(&b, "ISPs losing under global optimum: %d/%d (paper: roughly a third)\n",
+		losers, len(dres.IndGainOpt))
+
+	section("Figure 5 — flow-local strategies: total gain (CDF of ISP pairs)")
+	printSeries("% gain", 0, 15, map[string]*stats.CDF{
+		"flow-both-better": stats.NewCDF(dres.PairGainBothBetter),
+		"flow-Pareto":      stats.NewCDF(dres.PairGainPareto),
+	}, []string{"flow-both-better", "flow-Pareto"})
+
+	section("Figure 6 — distance: per-flow gain (CDF of flows, all pairs pooled)")
+	printSeries("% gain", 0, 60, map[string]*stats.CDF{
+		"negotiated": stats.NewCDF(dres.FlowGainNeg),
+		"optimal":    stats.NewCDF(dres.FlowGainOpt),
+	}, []string{"negotiated", "optimal"})
+	negCDF := stats.NewCDF(dres.FlowGainNeg)
+	fmt.Fprintf(&b, "flows gaining >20%%: %.1f%%   >50%%: %.1f%% (paper: 7%% and 1%%)\n",
+		100*negCDF.FractionAbove(20), 100*negCDF.FractionAbove(50))
+
+	section("Figure 7 — bandwidth: MEL relative to optimal after a failure (CDF of failure cases)")
+	fmt.Fprintf(&b, "failure cases: %d\n", bres.FailureCases)
+	fmt.Fprintln(&b, "upstream ISP:")
+	printSeries("load ratio", 0, 6, map[string]*stats.CDF{
+		"negotiated": stats.NewCDF(bres.UpNeg),
+		"default":    stats.NewCDF(bres.UpDef),
+	}, []string{"negotiated", "default"})
+	fmt.Fprintln(&b, "downstream ISP:")
+	printSeries("load ratio", 0, 6, map[string]*stats.CDF{
+		"negotiated": stats.NewCDF(bres.DownNeg),
+		"default":    stats.NewCDF(bres.DownDef),
+	}, []string{"negotiated", "default"})
+
+	section("Figure 8 — unilateral upstream optimization: downstream MEL vs default (CDF)")
+	printSeries("load ratio", 1, 6, map[string]*stats.CDF{
+		"upstream-optimized": stats.NewCDF(bres.UnilateralDownRatio),
+	}, []string{"upstream-optimized"})
+	hurt := stats.NewCDF(bres.UnilateralDownRatio).FractionAbove(2)
+	fmt.Fprintf(&b, "cases where downstream MEL more than doubles: %.1f%% (paper: ~10%%)\n", 100*hurt)
+
+	section("Figure 9 — diverse criteria: upstream bandwidth vs downstream distance")
+	fmt.Fprintln(&b, "upstream ISP (MEL ratio to optimal):")
+	printSeries("load ratio", 0, 6, map[string]*stats.CDF{
+		"negotiated": stats.NewCDF(bres.DiverseUpNeg),
+		"default":    stats.NewCDF(bres.DiverseUpDef),
+	}, []string{"negotiated", "default"})
+	fmt.Fprintln(&b, "downstream ISP (distance gain over default):")
+	printSeries("% gain", 0, 80, map[string]*stats.CDF{
+		"negotiated": stats.NewCDF(bres.DiverseDownGain),
+	}, []string{"negotiated"})
+
+	section("Figure 10a — cheating (distance): total gain (CDF of ISP pairs)")
+	fmt.Fprintf(&b, "pairs: %d\n", cres.Pairs)
+	printSeries("% gain", 0, 15, map[string]*stats.CDF{
+		"both truthful": stats.NewCDF(cres.TotalTruthful),
+		"one cheater":   stats.NewCDF(cres.TotalCheat),
+	}, []string{"both truthful", "one cheater"})
+	section("Figure 10b — cheating (distance): individual gain (CDF of ISPs)")
+	printSeries("% gain", 0, 15, map[string]*stats.CDF{
+		"both truthful": stats.NewCDF(cres.IndTruthful),
+		"cheater":       stats.NewCDF(cres.IndCheater),
+		"truthful":      stats.NewCDF(cres.IndVictim),
+	}, []string{"both truthful", "cheater", "truthful"})
+	delta := stats.NewCDF(cres.CheaterDelta)
+	fmt.Fprintf(&b, "paired effect of cheating on the cheater itself: mean %+.2f%%, hurts in %.0f%% of pairs\n",
+		delta.Mean(), 100*delta.At(-1e-9))
+
+	section("Figure 11 — cheating (bandwidth): MEL ratio to optimal (CDF of failure cases)")
+	fmt.Fprintln(&b, "upstream ISP (the cheater):")
+	printSeries("load ratio", 0, 6, map[string]*stats.CDF{
+		"both truthful": stats.NewCDF(bres.UpNeg),
+		"one cheater":   stats.NewCDF(bres.CheatUpNeg),
+		"default":       stats.NewCDF(bres.UpDef),
+	}, []string{"both truthful", "one cheater", "default"})
+	fmt.Fprintln(&b, "downstream ISP (truthful):")
+	printSeries("load ratio", 0, 6, map[string]*stats.CDF{
+		"both truthful": stats.NewCDF(bres.DownNeg),
+		"one cheater":   stats.NewCDF(bres.CheatDownNeg),
+		"default":       stats.NewCDF(bres.DownDef),
+	}, []string{"both truthful", "one cheater", "default"})
+	return b.String()
+}
+
+func render(t *testing.T, f *Fold) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// diffLine fails with the first line where two renderings diverge —
+// far more readable than dumping both documents.
+func diffLine(t *testing.T, what, got, want string) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			t.Fatalf("%s: line %d diverges:\n  got  %q\n  want %q", what, i+1, g[i], w[i])
+		}
+	}
+	t.Fatalf("%s: lengths diverge: got %d lines, want %d", what, len(g), len(w))
+}
+
+// The fold must reproduce the batch figure sections byte for byte:
+// same tables (GridCDF == CDF.Series on the fixed axes), same summary
+// lines (digest sketches uncompacted at this scale), same decoration
+// lines (integer counts through the same arithmetic).
+func TestFoldReproducesBatchFigures(t *testing.T) {
+	ds := testDataset(t)
+	opt, bopt := testOpts()
+	const points = 16
+
+	fold := NewFold(points)
+	for _, line := range streamLines(t, ds, opt, bopt) {
+		// Records only: the batch reference has no summaries section.
+		if bytes.Contains(line, []byte(`"data"`)) {
+			if err := fold.AddLine(line); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := render(t, fold)
+	want := batchFigures(t, ds, opt, bopt, points)
+	diffLine(t, "fold vs batch", got, want)
+}
+
+// Any line-split of a run folds to the same bytes as the whole run,
+// shards fed in any order — the CI merge-parity contract.
+func TestFoldShardParity(t *testing.T) {
+	ds := testDataset(t)
+	opt, bopt := testOpts()
+	lines := streamLines(t, ds, opt, bopt)
+
+	whole := NewFold(16)
+	for _, line := range lines {
+		if err := whole.AddLine(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantOut := render(t, whole)
+	if !strings.Contains(wantOut, "Streaming summaries") {
+		t.Fatal("no summaries section; summary lines were not folded")
+	}
+
+	// Interleave NR%2, then feed the odd shard first.
+	sharded := NewFold(16)
+	for pass, want := range []int{1, 0} {
+		_ = pass
+		for i, line := range lines {
+			if i%2 != want {
+				continue
+			}
+			if err := sharded.AddLine(line); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	diffLine(t, "sharded vs whole", render(t, sharded), wantOut)
+}
+
+// Lines from unknown experiments are skipped and counted, never fatal.
+func TestFoldUnknownExperiment(t *testing.T) {
+	f := NewFold(8)
+	if err := f.AddLine([]byte(`{"experiment":"hyperspace","index":0,"data":{"x":1}}`)); err != nil {
+		t.Fatalf("unknown experiment should not error: %v", err)
+	}
+	if f.Unknown != 1 {
+		t.Fatalf("Unknown = %d, want 1", f.Unknown)
+	}
+	if err := f.AddLine([]byte(`   `)); err != nil {
+		t.Fatalf("blank line should fold to nothing: %v", err)
+	}
+	if err := f.AddLine([]byte(`{broken`)); err == nil {
+		t.Fatal("corrupt JSON must error")
+	}
+}

@@ -1,0 +1,84 @@
+package plot
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/agentd"
+	"repro/internal/mesh"
+)
+
+// DecodeVars extracts agentd status snapshots from an expvar
+// /debug/vars JSON document (nexitagent's -debug-addr). Any top-level
+// value that carries the agentd.Status shape — an object with "name",
+// "peers" and "sessions_initiated" keys — is taken as one agent;
+// everything else (memstats, cmdline, foreign expvars) is skipped.
+// Snapshots come back sorted by agent name so repeated polls render
+// stably.
+func DecodeVars(data []byte) ([]agentd.Status, error) {
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(data, &vars); err != nil {
+		return nil, fmt.Errorf("plot: /debug/vars is not a JSON object: %w", err)
+	}
+	var out []agentd.Status
+	for _, raw := range vars {
+		var probe map[string]json.RawMessage
+		if json.Unmarshal(raw, &probe) != nil {
+			continue
+		}
+		if _, ok := probe["name"]; !ok {
+			continue
+		}
+		if _, ok := probe["peers"]; !ok {
+			continue
+		}
+		if _, ok := probe["sessions_initiated"]; !ok {
+			continue
+		}
+		var st agentd.Status
+		if err := json.Unmarshal(raw, &st); err != nil || st.Name == "" {
+			continue
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// FormatProgress renders one watch-mode line from a mesh-wide rollup:
+// the frontier, the health counters, and the latency profile. rate is
+// completed sessions per second since the previous poll (negative:
+// unknown, first poll).
+func FormatProgress(pr mesh.Progress, rate float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "agents=%d pairs=%d epochs=%d", pr.Agents, pr.Pairs, pr.EpochMin)
+	if pr.EpochMax != pr.EpochMin {
+		fmt.Fprintf(&b, "..%d", pr.EpochMax)
+	}
+	fmt.Fprintf(&b, " sessions=%d active=%d failed=%d resyncs=%d retries=%d",
+		pr.SessionsInitiated, pr.SessionsActive, pr.SessionsFailed, pr.Resyncs, pr.DialRetries)
+	if rate >= 0 {
+		fmt.Fprintf(&b, " rate=%.1f/s", rate)
+	}
+	if pr.Latency.Count > 0 {
+		fmt.Fprintf(&b, " p50=%.1fms p90=%.1fms",
+			1000*pr.Latency.Quantile(0.5), 1000*pr.Latency.Quantile(0.9))
+	}
+	return b.String()
+}
+
+// SessionRate differences two rollups taken dt seconds apart into a
+// sessions-per-second figure (initiated side, so each pair session
+// counts once). Returns -1 when the window is degenerate.
+func SessionRate(prev, cur mesh.Progress, dtSeconds float64) float64 {
+	if dtSeconds <= 0 || prev.Agents == 0 {
+		return -1
+	}
+	d := cur.SessionsInitiated - prev.SessionsInitiated
+	if d < 0 { // an agent restarted and its counters reset
+		return -1
+	}
+	return float64(d) / dtSeconds
+}

@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/agentd"
+	"repro/internal/mesh"
+	"repro/internal/telemetry"
+)
+
+// DecodeVars must pick the agentd statuses out of a /debug/vars
+// document and leave the stock expvars (memstats, cmdline) and foreign
+// entries alone.
+func TestDecodeVars(t *testing.T) {
+	lat := telemetry.NewHistogram(nil)
+	lat.Observe(0.002)
+	snap := lat.Snapshot()
+	st := agentd.Status{
+		Name:              "isp002",
+		SessionsInitiated: 7,
+		Peers:             []agentd.PeerStatus{{Name: "isp003", Initiator: true, Epochs: 4, Latency: &snap}},
+	}
+	st2 := st
+	st2.Name = "isp001"
+	doc := map[string]any{
+		"cmdline":       []string{"nexitagent", "-isp", "2"},
+		"memstats":      map[string]any{"Alloc": 12345, "Frees": 6},
+		"agentd.isp002": st,
+		"agentd.isp001": st2,
+		"lookalike":     map[string]any{"name": "x"}, // no peers/sessions keys
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeVars(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "isp001" || got[1].Name != "isp002" {
+		t.Fatalf("decoded %+v, want isp001 and isp002 in order", got)
+	}
+	if got[1].SessionsInitiated != 7 || got[1].Peers[0].Latency == nil || got[1].Peers[0].Latency.Count != 1 {
+		t.Fatalf("status fields lost in transit: %+v", got[1])
+	}
+
+	if _, err := DecodeVars([]byte(`[]`)); err == nil {
+		t.Fatal("a non-object document must error")
+	}
+}
+
+// The progress line carries the frontier, the health counters, and the
+// latency profile; the rate only when a previous poll exists.
+func TestFormatProgressAndRate(t *testing.T) {
+	lat := telemetry.NewHistogram(nil)
+	lat.Observe(0.004)
+	lat.Observe(0.004)
+
+	pr := mesh.Progress{
+		Agents: 3, Pairs: 2, EpochMin: 3, EpochMax: 4,
+		SessionsInitiated: 8, SessionsFailed: 1, Resyncs: 2, DialRetries: 5,
+		Latency: lat.Snapshot(),
+	}
+	line := FormatProgress(pr, -1)
+	for _, want := range []string{"agents=3", "pairs=2", "epochs=3..4", "sessions=8", "failed=1", "resyncs=2", "retries=5", "p50=", "p90="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q missing %q", line, want)
+		}
+	}
+	if strings.Contains(line, "rate=") {
+		t.Errorf("first poll must not claim a rate: %q", line)
+	}
+	pr.EpochMax = 3
+	if line := FormatProgress(pr, 4); !strings.Contains(line, "epochs=3 ") || !strings.Contains(line, "rate=4.0/s") {
+		t.Errorf("lockstep line wrong: %q", line)
+	}
+
+	prev := mesh.Progress{Agents: 3, SessionsInitiated: 2}
+	cur := mesh.Progress{Agents: 3, SessionsInitiated: 8}
+	if r := SessionRate(prev, cur, 2); r != 3 {
+		t.Errorf("rate = %v, want 3", r)
+	}
+	if r := SessionRate(mesh.Progress{}, cur, 2); r != -1 {
+		t.Errorf("first-poll rate = %v, want -1", r)
+	}
+	if r := SessionRate(cur, prev, 2); r != -1 {
+		t.Errorf("counter-reset rate = %v, want -1", r)
+	}
+}

@@ -100,10 +100,18 @@ func (c *CDF) Series(min, max float64, n int) []Point {
 	return out
 }
 
+// SeriesSource is any curve renderable on a fixed x-grid: the batch
+// CDF (retained samples) and the streaming GridCDF (online counts)
+// both qualify, so the same table formatter serves figure mode and the
+// NDJSON fold in cmd/nexitplot.
+type SeriesSource interface {
+	Series(min, max float64, n int) []Point
+}
+
 // FormatSeries renders one or more named CDF curves sampled on a shared
 // x-grid as an aligned text table — the textual equivalent of one paper
 // figure panel.
-func FormatSeries(xLabel string, min, max float64, n int, curves map[string]*CDF, order []string) string {
+func FormatSeries[C SeriesSource](xLabel string, min, max float64, n int, curves map[string]C, order []string) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%12s", xLabel)
 	for _, name := range order {

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -77,6 +78,34 @@ func (s *Stream) Max() float64 {
 		panic("stats: Max of empty Stream")
 	}
 	return s.max
+}
+
+// streamJSON is the wire form of a Stream. encoding/json round-trips
+// float64 exactly (shortest-representation formatting), so a
+// serialized accumulator merges bit-identically to the live one.
+type streamJSON struct {
+	N   int64   `json:"n"`
+	Sum float64 `json:"sum"`
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// MarshalJSON serializes the accumulator for shard transport.
+func (s Stream) MarshalJSON() ([]byte, error) {
+	return json.Marshal(streamJSON{N: s.n, Sum: s.sum, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON restores an accumulator serialized by MarshalJSON.
+func (s *Stream) UnmarshalJSON(data []byte) error {
+	var j streamJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.N < 0 {
+		return fmt.Errorf("stats: Stream with negative n %d", j.N)
+	}
+	s.n, s.sum, s.min, s.max = j.N, j.Sum, j.Min, j.Max
+	return nil
 }
 
 // sketchCap is the default point capacity of a QuantileSketch: exact
@@ -210,6 +239,74 @@ func (q *QuantileSketch) Quantile(qq float64) float64 {
 // Median returns the 0.5 quantile.
 func (q *QuantileSketch) Median() float64 { return q.Quantile(0.5) }
 
+// Mean returns the weighted mean of the sketch's points, summed in
+// canonical (value, weight) order. Unlike Stream.Mean — whose float
+// sum depends on insertion order — this is the same float64 for any
+// Add/Merge order over the same sample multiset (while uncompacted),
+// which is what lets sharded runs reproduce a whole-run summary line
+// byte-identically. While uncompacted it equals CDF.Mean exactly: both
+// sum the same values in sorted order.
+func (q *QuantileSketch) Mean() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	q.sortPoints()
+	var sum float64
+	for _, p := range q.points {
+		sum += p.v * p.w
+	}
+	return sum / float64(q.n)
+}
+
+// sketchJSON is the wire form of a QuantileSketch: the full point set
+// (canonically sorted, so equal states serialize equally) plus the
+// compaction counter that keeps merge determinism intact.
+type sketchJSON struct {
+	Cap         int          `json:"cap"`
+	Compactions int          `json:"compactions"`
+	N           int64        `json:"n"`
+	Points      [][2]float64 `json:"points"`
+}
+
+// MarshalJSON serializes the sketch for shard transport. The receiver
+// is a pointer because serialization canonicalizes point order first.
+func (q *QuantileSketch) MarshalJSON() ([]byte, error) {
+	q.sortPoints()
+	pts := make([][2]float64, len(q.points))
+	for i, p := range q.points {
+		pts[i] = [2]float64{p.v, p.w}
+	}
+	return json.Marshal(sketchJSON{Cap: q.cap, Compactions: q.compactions, N: q.n, Points: pts})
+}
+
+// UnmarshalJSON restores a sketch serialized by MarshalJSON.
+func (q *QuantileSketch) UnmarshalJSON(data []byte) error {
+	var j sketchJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Cap <= 0 {
+		j.Cap = sketchCap
+	}
+	if j.Cap < 8 {
+		j.Cap = 8
+	}
+	var n float64
+	pts := make([]wpoint, len(j.Points))
+	for i, p := range j.Points {
+		pts[i] = wpoint{v: p[0], w: p[1]}
+		n += p[1]
+	}
+	if int64(n) != j.N {
+		return fmt.Errorf("stats: sketch weights sum to %v, header says %d", n, j.N)
+	}
+	q.cap, q.compactions, q.n, q.points = j.Cap, j.Compactions, j.N, pts
+	for len(q.points) > q.cap {
+		q.compact()
+	}
+	return nil
+}
+
 // Digest couples a Stream with a QuantileSketch: the constant-memory
 // stand-in for a retained sample slice, summarizable like a CDF. The
 // zero value is an empty digest ready for use (the sketch is created
@@ -255,4 +352,48 @@ func (d *Digest) Summary() string {
 	}
 	return fmt.Sprintf("n=%d mean=%.3f median=%.3f p90=%.3f max=%.3f",
 		d.Stream.N(), d.Stream.Mean(), d.Sketch.Median(), d.Sketch.Quantile(0.9), d.Stream.Max())
+}
+
+// StableSummary is Summary with the mean drawn from the sketch instead
+// of the stream. Stream.Mean sums in insertion order, so shards merged
+// in a different order can disagree with a whole run in the last float
+// bits; Sketch.Mean sums canonically sorted points, so (while the
+// sketch is uncompacted) the line is byte-identical for ANY sharding
+// of the same samples — and equal to the batch Summary(NewCDF(...))
+// line, which also sums sorted samples. cmd/nexitplot's merge path
+// pins exactly this.
+func (d *Digest) StableSummary() string {
+	if d.Stream.N() == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.3f median=%.3f p90=%.3f max=%.3f",
+		d.Stream.N(), d.Sketch.Mean(), d.Sketch.Median(), d.Sketch.Quantile(0.9), d.Stream.Max())
+}
+
+// digestJSON is the wire form of a Digest: the digest summary line's
+// machine-readable carrier. A digest parsed back from it merges
+// exactly like the live one, which is what makes run-elsewhere /
+// aggregate-here sharding work.
+type digestJSON struct {
+	Stream Stream          `json:"stream"`
+	Sketch *QuantileSketch `json:"sketch,omitempty"`
+}
+
+// MarshalJSON serializes the digest for shard transport.
+func (d *Digest) MarshalJSON() ([]byte, error) {
+	return json.Marshal(digestJSON{Stream: d.Stream, Sketch: d.Sketch})
+}
+
+// UnmarshalJSON restores a digest serialized by MarshalJSON.
+func (d *Digest) UnmarshalJSON(data []byte) error {
+	var j digestJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	d.Stream = j.Stream
+	d.Sketch = j.Sketch
+	if d.Sketch == nil {
+		d.Sketch = NewQuantileSketch(0)
+	}
+	return nil
 }

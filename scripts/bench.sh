@@ -6,6 +6,15 @@
 #     scripts/bench.sh <pr-number>     # or: make bench PR=<pr-number>
 #
 # Requires jq. Run from the repository root (the Makefile target does).
+#
+# Telemetry budget (DESIGN.md §10): wire/session instrumentation must
+# stay within benchmark noise. WireSession allocs/op is the wire
+# layer's own budget — per-frame stats add zero allocations
+# (TestWireStatsObserveDoesNotAllocate pins the observe calls; 1108
+# allocs/op at PRs 6 and 7). MeshSessions allocs/op carries a flat
+# per-agent registry-setup overhead on top; any *per-session* growth
+# shows up as an allocs/op delta that scales with epochs and should be
+# treated as a regression, not noise.
 set -euo pipefail
 
 pr="${1:?usage: scripts/bench.sh <pr-number>}"
