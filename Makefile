@@ -8,10 +8,12 @@ test:
 	go test -race -timeout 20m ./...
 
 # CI's mesh-smoke job: the daemon path end to end, including the
-# fault-injection / epoch-resync recovery variant.
+# fault-injection / epoch-resync recovery variants (replay and
+# snapshot-based) and a short snapshot-decode fuzz burst.
 smoke:
 	go test -short -race -run 'TestMeshMatchesSerial/distance|TestMeshOverTCP|TestMeshNeighborGraph|TestMeshRecovery' ./internal/mesh/...
 	go test -short -race -run 'TestMeshMatchesSerial/bandwidth' ./internal/mesh/...
+	go test -run '^$$' -fuzz 'FuzzSnapshotDecode' -fuzztime 20s ./internal/snapshot/
 
 # Regenerate BENCH_runner.json the way its comment describes and append
 # a PR-tagged history entry: make bench PR=4

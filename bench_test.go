@@ -10,11 +10,13 @@ package main
 import (
 	"fmt"
 	"net"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/continuous"
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/mesh"
@@ -22,6 +24,8 @@ import (
 	"repro/internal/nexit"
 	"repro/internal/nexitwire"
 	"repro/internal/pairsim"
+	"repro/internal/runner"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -541,6 +545,100 @@ func BenchmarkWireSession(b *testing.B) {
 		b.Fatalf("responder: %v", err)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+}
+
+// BenchmarkSeekEpochFromSnapshot measures crash recovery at the
+// controller layer: fast-forwarding a fresh controller to epoch 200
+// by full deterministic replay (SeekEpoch) versus restoring the newest
+// on-disk snapshot and replaying only the tail (SeekEpochFrom,
+// DESIGN.md §11). The store holds snapshots every 20 epochs up to 180,
+// so the snapshot path decodes one file and replays 20 epochs where
+// the full path replays 200 — recovery cost is O(epochs since the
+// last snapshot), not O(controller lifetime). The acceptance bar is
+// from-snapshot ≥5× the full-replay seeks/s; tracked across PRs in
+// BENCH_runner.json.
+func BenchmarkSeekEpochFromSnapshot(b *testing.B) {
+	const (
+		target   = 200
+		interval = 20
+		newest   = 180
+	)
+	cfg := gen.DefaultConfig()
+	cfg.NumISPs = 10
+	cfg.Seed = 1
+	isps, err := gen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := topology.AllPairs(isps, 2, true)
+	if len(pairs) == 0 {
+		b.Fatal("no pairs")
+	}
+	sys := pairsim.New(pairs[0], nil)
+	wl := func(epoch int) (*traffic.Workload, *traffic.Workload) {
+		baseAB := traffic.New(sys.Pair.A, sys.Pair.B, traffic.Gravity, nil)
+		baseBA := traffic.New(sys.Pair.B, sys.Pair.A, traffic.Gravity, nil)
+		rng := runner.PairRand(1, epoch)
+		return continuous.Drift(baseAB, 0.25, rng), continuous.Drift(baseBA, 0.25, rng)
+	}
+
+	// A lived controller runs to the target, persisting a snapshot every
+	// interval epochs but none past the newest — exactly the on-disk
+	// state a daemon killed shortly before epoch 200 leaves behind.
+	store, err := snapshot.NewStore(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lived := continuous.New(sys, 10)
+	for epoch := 0; epoch < target; epoch++ {
+		if _, err := lived.Epoch(wl(epoch)); err != nil {
+			b.Fatal(err)
+		}
+		if idx := lived.EpochIndex(); idx%interval == 0 && idx <= newest {
+			if err := store.Save("bench", lived.Snapshot()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	src := store.Peer("bench")
+
+	// Both recovery paths must land on the lived controller's exact
+	// state before their cost is worth comparing.
+	full := continuous.New(sys, 10)
+	if err := full.SeekEpoch(target, wl); err != nil {
+		b.Fatal(err)
+	}
+	fast := continuous.New(sys, 10)
+	if restored, err := fast.SeekEpochFrom(target, wl, src); err != nil {
+		b.Fatal(err)
+	} else if restored != newest {
+		b.Fatalf("restored from epoch %d, want %d", restored, newest)
+	}
+	if want := lived.Snapshot(); !reflect.DeepEqual(full.Snapshot(), want) ||
+		!reflect.DeepEqual(fast.Snapshot(), want) {
+		b.Fatal("recovery paths diverged from the lived controller")
+	}
+
+	b.Run("full-replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := continuous.New(sys, 10)
+			if err := c.SeekEpoch(target, wl); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "seeks/s")
+	})
+	b.Run("from-snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := continuous.New(sys, 10)
+			if restored, err := c.SeekEpochFrom(target, wl, src); err != nil {
+				b.Fatal(err)
+			} else if restored != newest {
+				b.Fatalf("restored from epoch %d, want %d", restored, newest)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "seeks/s")
+	})
 }
 
 // BenchmarkExtraScalability regenerates the §6 claim that negotiating

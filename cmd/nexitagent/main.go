@@ -44,7 +44,11 @@
 // rejoins without operator intervention. A daemon restarted mid-mesh
 // starts again at epoch 0, learns its neighbors' epoch from their skew
 // rejections, catches up, and continues; no other daemon needs a
-// restart.
+// restart. With -state-dir the daemon additionally persists per-peer
+// snapshots every -snapshot-interval epochs (checksummed, atomically
+// renamed — safe against SIGKILL mid-write) and a restart over the same
+// directory resumes from the newest usable snapshot, replaying only the
+// tail since it instead of the whole history (DESIGN.md §11).
 package main
 
 import (
@@ -68,6 +72,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/nexit"
 	"repro/internal/pairsim"
+	"repro/internal/snapshot"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -95,6 +100,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-exchange wire deadline")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar status (/debug/vars) and pprof (/debug/pprof/) on this address")
 		quiet      = flag.Bool("quiet", false, "suppress per-epoch report lines")
+		stateDir   = flag.String("state-dir", "", "directory for per-peer controller snapshots; a restarted daemon resumes from them and replays only the epochs since the newest snapshot")
+		snapEvery  = flag.Int("snapshot-interval", 0, "epochs between snapshot writes (default 16; needs -state-dir)")
 	)
 	var specs []peerSpec
 	flag.Func("peer", "neighbor `index[/metric][=addr]` (repeatable); addr required when our index is lower (we initiate); /metric overrides -metric for this peer", func(v string) error {
@@ -135,11 +142,26 @@ func main() {
 	if min := 2**interval + *timeout; min > idle {
 		idle = min
 	}
+	// With -state-dir the daemon persists per-peer snapshots and — on a
+	// restart over the same directory — resumes from them, turning
+	// crash-recovery replay from O(lifetime) into O(epochs since the
+	// last snapshot). Corrupt or missing snapshots only degrade to the
+	// old epoch-0 replay (DESIGN.md §11).
+	var store *snapshot.Store
+	if *stateDir != "" {
+		if store, err = snapshot.NewStore(*stateDir, 0); err != nil {
+			fatal(err)
+		}
+	} else if *snapEvery > 0 {
+		fatal(fmt.Errorf("-snapshot-interval needs -state-dir"))
+	}
 	agent := agentd.New(agentd.Config{
-		Name:        agentd.AgentName(*ispIdx),
-		MaxSessions: *maxSess,
-		Timeout:     *timeout,
-		IdleTimeout: idle,
+		Name:             agentd.AgentName(*ispIdx),
+		MaxSessions:      *maxSess,
+		Timeout:          *timeout,
+		IdleTimeout:      idle,
+		Snapshots:        store,
+		SnapshotInterval: *snapEvery,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

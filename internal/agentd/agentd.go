@@ -61,6 +61,7 @@ import (
 	"repro/internal/continuous"
 	"repro/internal/nexit"
 	"repro/internal/nexitwire"
+	"repro/internal/snapshot"
 	"repro/internal/telemetry"
 )
 
@@ -76,15 +77,21 @@ const (
 	// only on a successful session, so the cap keeps a long outage from
 	// escalating into multi-minute waits once the neighbor returns.
 	MaxDialBackoff = 2 * time.Second
-	// MaxEpochSeek bounds how far a resync may fast-forward in one
-	// step. Replay is synchronous work under the peer's session lock,
-	// and the target epoch comes from the other endpoint (the Hello,
-	// or a skew reject's parsed reason), so without a bound a buggy or
-	// hostile peer could demand a multi-billion-epoch replay — hours of
-	// CPU and a permanently advanced controller. A legitimate outage
-	// spanning more epochs than this needs the snapshot/persistence
-	// follow-up (ROADMAP), not a longer replay.
+	// MaxEpochSeek bounds how many epochs a resync may replay in one
+	// step — the tail after any snapshot restore. Replay is synchronous
+	// work under the peer's session lock, and the target epoch comes
+	// from the other endpoint (the Hello, or a skew reject's parsed
+	// reason), so without a bound a buggy or hostile peer could demand
+	// a multi-billion-epoch replay — hours of CPU and a permanently
+	// advanced controller. With snapshots configured the restore runs
+	// first, so a legitimate outage of any length stays within the
+	// bound as long as a snapshot no more than MaxEpochSeek epochs old
+	// survives on disk.
 	MaxEpochSeek = 100_000
+	// DefaultSnapshotInterval is how many epochs pass between snapshot
+	// writes when Config.Snapshots is set but no interval is given: a
+	// restart then replays at most that many epochs per peer.
+	DefaultSnapshotInterval = 16
 	// DefaultIdleTimeout bounds how long a serving connection may sit
 	// between sessions before the agent gives up on it.
 	DefaultIdleTimeout = 5 * time.Minute
@@ -138,6 +145,19 @@ type Config struct {
 	// IdleTimeout bounds the wait for the next session on a serving
 	// connection (DefaultIdleTimeout when zero).
 	IdleTimeout time.Duration
+	// Snapshots, when non-nil, persists per-peer controller snapshots
+	// (the agent's -state-dir): every SnapshotInterval epochs a peer's
+	// state is captured under its session lock and written off the hot
+	// path, registered peers restore from their newest usable snapshot
+	// at startup, and epoch resyncs restore before replaying so a
+	// restart costs O(epochs since the last snapshot), not O(lifetime).
+	// Snapshot failures degrade recovery cost, never correctness: a
+	// corrupt or missing snapshot falls back to an older one, then to
+	// epoch-0 replay (DESIGN.md §11).
+	Snapshots *snapshot.Store
+	// SnapshotInterval is the epoch distance between snapshot writes
+	// (DefaultSnapshotInterval when zero; ignored without Snapshots).
+	SnapshotInterval int
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
 }
@@ -154,6 +174,7 @@ type Agent struct {
 
 	closed atomic.Bool
 	wg     sync.WaitGroup // inbound connection handlers
+	snapWG sync.WaitGroup // in-flight async snapshot writes
 
 	// The agent's telemetry registry (base label agent=<name>) and the
 	// metric handles written on the session paths. Handles are resolved
@@ -166,6 +187,9 @@ type Agent struct {
 	sessionsFailed    *telemetry.Counter
 	resyncs           *telemetry.Counter
 	dialRetries       *telemetry.Counter
+	replayedEpochs    *telemetry.Counter
+	snapshotSaves     *telemetry.Counter
+	snapshotRestores  *telemetry.Counter
 
 	// Wire-level counters, folded from each connection's WireStats
 	// after every session (Conn.TakeStats).
@@ -213,11 +237,18 @@ type peerState struct {
 		sessions int64
 		failures int64
 		resyncs  int64
-		rounds   int64
-		gainUs   int64
-		gainPeer int64
-		lastStop string
-		lastErr  string
+		// replayed counts epochs reconstructed by local replay across
+		// all resyncs; with snapshots working it stays well below the
+		// controller's lifetime epoch count (tail-only recovery — the
+		// invariant the mesh recovery tests pin).
+		replayed     int64
+		snapRestores int64
+		snapSaves    int64
+		rounds       int64
+		gainUs       int64
+		gainPeer     int64
+		lastStop     string
+		lastErr      string
 	}
 }
 
@@ -261,6 +292,9 @@ func New(cfg Config) *Agent {
 		sessionsFailed:    reg.CounterOf("agentd_sessions_failed_total"),
 		resyncs:           reg.CounterOf("agentd_resyncs_total"),
 		dialRetries:       reg.CounterOf("agentd_dial_retries_total"),
+		replayedEpochs:    reg.CounterOf("agentd_replayed_epochs_total"),
+		snapshotSaves:     reg.CounterOf("agentd_snapshot_saves_total"),
+		snapshotRestores:  reg.CounterOf("agentd_snapshot_restores_total"),
 		wireFramesSent:    reg.CounterOf("agentd_wire_frames_total", dirSent),
 		wireFramesRecv:    reg.CounterOf("agentd_wire_frames_total", dirRecv),
 		wireBytesSent:     reg.CounterOf("agentd_wire_bytes_total", dirSent),
@@ -315,13 +349,35 @@ func (a *Agent) AddPeer(p Peer) error {
 	if _, dup := a.peers[p.Name]; dup {
 		return fmt.Errorf("agentd: duplicate peer %s", p.Name)
 	}
-	a.peers[p.Name] = &peerState{
+	ps := &peerState{
 		Peer:     p,
 		initiate: p.Side == nexit.SideA,
 		lat:      a.reg.HistogramOf("agentd_session_seconds", nil, telemetry.Label{Key: "peer", Value: p.Name}),
 	}
+	a.peers[p.Name] = ps
+	// A freshly registered peer resumes from its newest persisted
+	// snapshot (a restarted daemon with -state-dir): the resync
+	// handshake then only replays the tail since the snapshot instead
+	// of the controller's whole lifetime. No snapshot, a corrupt store,
+	// or a configuration mismatch all mean starting from wherever the
+	// controller already is — usually epoch 0.
+	if s := a.cfg.Snapshots; s != nil {
+		if restored, err := ps.Ctl.RestoreLatest(maxInt/2, s.Peer(p.Name)); err != nil {
+			a.logf("agentd %s: peer %s: snapshot restore: %v", a.cfg.Name, p.Name, err)
+		} else if restored >= 0 {
+			a.snapshotRestores.Inc()
+			ps.stats.Lock()
+			ps.stats.snapRestores++
+			ps.stats.epochs = restored
+			ps.stats.ledger = ps.Ctl.Ledger.Balance
+			ps.stats.Unlock()
+			a.logf("agentd %s: peer %s restored from snapshot at epoch %d", a.cfg.Name, p.Name, restored)
+		}
+	}
 	return nil
 }
+
+const maxInt = int(^uint(0) >> 1)
 
 func (a *Agent) timeout() time.Duration {
 	if a.cfg.Timeout > 0 {
@@ -512,6 +568,7 @@ func (a *Agent) serveSession(p *peerState, conn *nexitwire.Conn, hello *nexitwir
 		return err
 	}
 	p.record(rep, rounds, stopped)
+	a.maybeSnapshotLocked(p)
 	// Latency lands exactly where the session counter moves, so a
 	// quiesced agent's histogram totals equal its session counters.
 	p.lat.Observe(time.Since(start).Seconds())
@@ -658,16 +715,29 @@ func (a *Agent) negotiateEpoch(ctx context.Context, p *peerState, epoch int) (*c
 	return nil, err
 }
 
-// seekLocked fast-forwards the peer's controller to the given epoch by
-// deterministic local replay and counts the resync. The target comes
-// from the remote endpoint, so the step is bounded by MaxEpochSeek —
-// a peer demanding an absurd fast-forward gets a labelled refusal, not
-// hours of replay and an unrewindable controller. Callers hold p.mu.
+// seekLocked fast-forwards the peer's controller to the given epoch:
+// first a snapshot restore when a store is configured (jumping straight
+// to the newest usable snapshot at or below the target), then
+// deterministic local replay of the remaining tail, counting the resync
+// and the epochs actually replayed. The target comes from the remote
+// endpoint, so the replayed tail is bounded by MaxEpochSeek — a peer
+// demanding an absurd fast-forward gets a labelled refusal, not hours
+// of replay and an unrewindable controller. Callers hold p.mu.
 func (a *Agent) seekLocked(p *peerState, epoch int) error {
 	from := p.Ctl.EpochIndex()
-	if epoch-from > MaxEpochSeek {
+	restored := -1
+	if s := a.cfg.Snapshots; s != nil {
+		var err error
+		if restored, err = p.Ctl.RestoreLatest(epoch, s.Peer(p.Name)); err != nil {
+			a.logf("agentd %s: resync with %s: snapshot restore: %v", a.cfg.Name, p.Name, err)
+		} else if restored >= 0 {
+			a.snapshotRestores.Inc()
+		}
+	}
+	tailFrom := p.Ctl.EpochIndex()
+	if epoch-tailFrom > MaxEpochSeek {
 		err := fmt.Errorf("agentd: resync with %s: epoch %d is %d epochs ahead of %d, beyond the replay bound %d",
-			p.Name, epoch, epoch-from, from, MaxEpochSeek)
+			p.Name, epoch, epoch-tailFrom, tailFrom, MaxEpochSeek)
 		p.fail(err)
 		return err
 	}
@@ -677,13 +747,56 @@ func (a *Agent) seekLocked(p *peerState, epoch int) error {
 		return err
 	}
 	a.resyncs.Inc()
+	a.replayedEpochs.Add(int64(epoch - tailFrom))
 	p.stats.Lock()
 	p.stats.resyncs++
+	p.stats.replayed += int64(epoch - tailFrom)
+	if restored >= 0 {
+		p.stats.snapRestores++
+	}
 	p.stats.epochs = p.Ctl.EpochIndex()
 	p.stats.ledger = p.Ctl.Ledger.Balance
 	p.stats.Unlock()
-	a.logf("agentd %s: resynced peer %s from epoch %d to %d", a.cfg.Name, p.Name, from, epoch)
+	if restored >= 0 {
+		a.logf("agentd %s: resynced peer %s from epoch %d to %d (snapshot to %d, replayed %d)",
+			a.cfg.Name, p.Name, from, epoch, restored, epoch-tailFrom)
+	} else {
+		a.logf("agentd %s: resynced peer %s from epoch %d to %d", a.cfg.Name, p.Name, from, epoch)
+	}
 	return nil
+}
+
+// maybeSnapshotLocked persists the peer's state when its epoch index
+// crosses a snapshot-interval boundary. The capture (a deep copy) runs
+// under the session lock the caller already holds — it must, for a
+// consistent cut — but the encode and disk write run on their own
+// goroutine, off the hot path; Wait drains them. A failed write only
+// costs future recovery speed, so it is logged, not propagated.
+func (a *Agent) maybeSnapshotLocked(p *peerState) {
+	s := a.cfg.Snapshots
+	if s == nil {
+		return
+	}
+	interval := a.cfg.SnapshotInterval
+	if interval <= 0 {
+		interval = DefaultSnapshotInterval
+	}
+	if idx := p.Ctl.EpochIndex(); idx == 0 || idx%interval != 0 {
+		return
+	}
+	st := p.Ctl.Snapshot()
+	a.snapWG.Add(1)
+	go func() {
+		defer a.snapWG.Done()
+		if err := s.Save(p.Name, st); err != nil {
+			a.logf("agentd %s: snapshot of peer %s at epoch %d: %v", a.cfg.Name, p.Name, st.Epoch, err)
+			return
+		}
+		a.snapshotSaves.Inc()
+		p.stats.Lock()
+		p.stats.snapSaves++
+		p.stats.Unlock()
+	}()
 }
 
 // sessionLocked dials (or reuses) the peer's connection and runs one
@@ -729,6 +842,7 @@ func (a *Agent) sessionLocked(ctx context.Context, p *peerState, epoch int) (*co
 		return nil, err
 	}
 	p.record(rep, rounds, stopped)
+	a.maybeSnapshotLocked(p)
 	p.lat.Observe(time.Since(start).Seconds())
 	p.backoff = 0 // a healthy session clears the dial-backoff ladder
 	a.sessionsInitiated.Inc()
@@ -821,6 +935,10 @@ func (a *Agent) Close() error {
 	return nil
 }
 
-// Wait blocks until every inbound connection handler has exited. Close
-// the serving listener and the agent first.
-func (a *Agent) Wait() { a.wg.Wait() }
+// Wait blocks until every inbound connection handler has exited and
+// every in-flight snapshot write has landed. Close the serving listener
+// and the agent first.
+func (a *Agent) Wait() {
+	a.wg.Wait()
+	a.snapWG.Wait()
+}

@@ -28,9 +28,18 @@ type Status struct {
 	Resyncs int64 `json:"resyncs"`
 	// DialRetries counts outbound dial attempts beyond the first of
 	// each ladder — the backoff pressure the agent is under.
-	DialRetries int64        `json:"dial_retries"`
-	Wire        WireStatus   `json:"wire"`
-	Peers       []PeerStatus `json:"peers"`
+	DialRetries int64 `json:"dial_retries"`
+	// ReplayedEpochs counts epochs reconstructed by local replay across
+	// all resyncs. With snapshots configured it measures only the tails
+	// since the restored snapshots — the recovery cost snapshots are
+	// there to cap (DESIGN.md §11).
+	ReplayedEpochs int64 `json:"replayed_epochs"`
+	// SnapshotSaves and SnapshotRestores count persisted and restored
+	// controller snapshots (zero without a -state-dir).
+	SnapshotSaves    int64        `json:"snapshot_saves"`
+	SnapshotRestores int64        `json:"snapshot_restores"`
+	Wire             WireStatus   `json:"wire"`
+	Peers            []PeerStatus `json:"peers"`
 }
 
 // WireStatus is the agent's cumulative wire traffic: frame and byte
@@ -62,8 +71,13 @@ type PeerStatus struct {
 	Failures int64 `json:"failures"`
 	// Resyncs counts this pair's epoch fast-forwards (local replays
 	// that caught the controller up to its peer after a failure or
-	// restart).
-	Resyncs int64 `json:"resyncs"`
+	// restart); ReplayedEpochs is how many epochs those fast-forwards
+	// actually replayed — tail-only when snapshots are working.
+	Resyncs        int64 `json:"resyncs"`
+	ReplayedEpochs int64 `json:"replayed_epochs"`
+	// SnapshotRestores counts how often this pair's controller resumed
+	// from a persisted snapshot instead of replaying from scratch.
+	SnapshotRestores int64 `json:"snapshot_restores"`
 	// Rounds is the cumulative proposal-round count across sessions.
 	Rounds int64 `json:"rounds"`
 	// GainUs and GainPeer are the cumulative disclosed class gains,
@@ -93,6 +107,9 @@ func (a *Agent) Status() Status {
 		SessionsFailed:    a.sessionsFailed.Value(),
 		Resyncs:           a.resyncs.Value(),
 		DialRetries:       a.dialRetries.Value(),
+		ReplayedEpochs:    a.replayedEpochs.Value(),
+		SnapshotSaves:     a.snapshotSaves.Value(),
+		SnapshotRestores:  a.snapshotRestores.Value(),
 		Wire: WireStatus{
 			FramesSent: a.wireFramesSent.Value(),
 			FramesRecv: a.wireFramesRecv.Value(),
@@ -110,20 +127,22 @@ func (a *Agent) Status() Status {
 		// a snapshot cannot hang behind a stalled peer's session.
 		p.stats.Lock()
 		st.Peers = append(st.Peers, PeerStatus{
-			Name:          p.Name,
-			Initiator:     p.initiate,
-			Metric:        string(p.Ctl.Metric),
-			Epochs:        p.stats.epochs,
-			Sessions:      p.stats.sessions,
-			Failures:      p.stats.failures,
-			Resyncs:       p.stats.resyncs,
-			Rounds:        p.stats.rounds,
-			GainUs:        p.stats.gainUs,
-			GainPeer:      p.stats.gainPeer,
-			LedgerBalance: p.stats.ledger,
-			LastStop:      p.stats.lastStop,
-			LastError:     p.stats.lastErr,
-			Latency:       &lat,
+			Name:             p.Name,
+			Initiator:        p.initiate,
+			Metric:           string(p.Ctl.Metric),
+			Epochs:           p.stats.epochs,
+			Sessions:         p.stats.sessions,
+			Failures:         p.stats.failures,
+			Resyncs:          p.stats.resyncs,
+			ReplayedEpochs:   p.stats.replayed,
+			SnapshotRestores: p.stats.snapRestores,
+			Rounds:           p.stats.rounds,
+			GainUs:           p.stats.gainUs,
+			GainPeer:         p.stats.gainPeer,
+			LedgerBalance:    p.stats.ledger,
+			LastStop:         p.stats.lastStop,
+			LastError:        p.stats.lastErr,
+			Latency:          &lat,
 		})
 		p.stats.Unlock()
 	}

@@ -214,6 +214,77 @@ func (r *Registry) Expire(tick int) []Signature {
 	return expired
 }
 
+// FlowRecord is the complete lifecycle state of one tracked flow — the
+// registry's per-flow mutable state, exported for snapshots. Together
+// with the nonce counter (see Export) it is everything a registry
+// accumulates, so Restore(Export()) reconstructs the registry exactly.
+type FlowRecord struct {
+	Sig         Signature
+	Size        float64
+	LastSeen    int
+	AboveSince  int
+	EverStable  bool
+	Negotiable  bool
+	AnnouncedAt int
+}
+
+// sigLess orders signatures canonically (src, dst, ingress).
+func sigLess(a, b Signature) bool {
+	if a.Src.Addr != b.Src.Addr {
+		return a.Src.Addr < b.Src.Addr
+	}
+	if a.Src.Bits != b.Src.Bits {
+		return a.Src.Bits < b.Src.Bits
+	}
+	if a.Dst.Addr != b.Dst.Addr {
+		return a.Dst.Addr < b.Dst.Addr
+	}
+	if a.Dst.Bits != b.Dst.Bits {
+		return a.Dst.Bits < b.Dst.Bits
+	}
+	return a.Ingress < b.Ingress
+}
+
+// Export returns every tracked flow in canonical signature order plus
+// the nonce counter — the registry's complete mutable state (the policy
+// knobs are exported fields already). Deterministic: the same registry
+// always exports the same slice, whatever map iteration order did.
+func (r *Registry) Export() ([]FlowRecord, uint64) {
+	out := make([]FlowRecord, 0, len(r.flows))
+	for sig, st := range r.flows {
+		out = append(out, FlowRecord{
+			Sig:         sig,
+			Size:        st.size,
+			LastSeen:    st.lastSeen,
+			AboveSince:  st.aboveSince,
+			EverStable:  st.everStable,
+			Negotiable:  st.negotiable,
+			AnnouncedAt: st.announcedAt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return sigLess(out[i].Sig, out[j].Sig) })
+	return out, r.nextNonce
+}
+
+// Restore replaces the registry's tracked flows and nonce counter with
+// the given exported state: after Restore(Export()) the registry is
+// observationally identical to the original (snapshot recovery's
+// requirement). Duplicate signatures keep the last record.
+func (r *Registry) Restore(flows []FlowRecord, nonce uint64) {
+	r.flows = make(map[Signature]*flowState, len(flows))
+	for _, f := range flows {
+		r.flows[f.Sig] = &flowState{
+			size:        f.Size,
+			lastSeen:    f.LastSeen,
+			aboveSince:  f.AboveSince,
+			everStable:  f.EverStable,
+			negotiable:  f.Negotiable,
+			announcedAt: f.AnnouncedAt,
+		}
+	}
+	r.nextNonce = nonce
+}
+
 // Negotiable lists the currently negotiable flows, largest first.
 func (r *Registry) Negotiable() []FlowInfo {
 	var out []FlowInfo

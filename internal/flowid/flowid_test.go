@@ -2,6 +2,7 @@ package flowid
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -276,5 +277,43 @@ func TestTopFractionProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRegistryExportRestore: Restore(Export()) reconstructs the
+// registry exactly — same negotiable set, same expiry behavior, same
+// nonce position — and Export is deterministic despite map iteration.
+func TestRegistryExportRestore(t *testing.T) {
+	r := NewRegistry(1.0, 1, 2)
+	sigA := Signature{Src: Prefix{Addr: 0x0A000000, Bits: 16}, Dst: Prefix{Addr: 0x0B000000, Bits: 16}, Ingress: r.NewNonce()}
+	sigB := Signature{Src: Prefix{Addr: 0x0A010000, Bits: 16}, Dst: Prefix{Addr: 0x0B010000, Bits: 16}, Ingress: r.NewNonce()}
+	for tick := 0; tick < 3; tick++ {
+		r.Observe(sigA, 2.0, tick)
+	}
+	r.Observe(sigB, 0.5, 2) // below threshold, tracked but not negotiable
+
+	flows, nonce := r.Export()
+	if len(flows) != 2 || nonce != 2 {
+		t.Fatalf("exported %d flows nonce %d, want 2 flows nonce 2", len(flows), nonce)
+	}
+	if f2, n2 := r.Export(); !reflect.DeepEqual(flows, f2) || n2 != nonce {
+		t.Fatal("Export is not deterministic")
+	}
+
+	fresh := NewRegistry(1.0, 1, 2)
+	fresh.Restore(flows, nonce)
+	if fresh.Len() != r.Len() {
+		t.Fatalf("restored registry tracks %d flows, want %d", fresh.Len(), r.Len())
+	}
+	if got, want := fresh.Negotiable(), r.Negotiable(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("negotiable set after restore = %v, want %v", got, want)
+	}
+	if fresh.NewNonce() != r.NewNonce() {
+		t.Fatal("nonce position diverged after restore")
+	}
+	// Lifecycle continues identically: the idle flow expires at the
+	// same tick in both registries.
+	if got, want := fresh.Expire(5), r.Expire(5); !reflect.DeepEqual(got, want) {
+		t.Fatalf("expiry after restore = %v, want %v", got, want)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/nexit"
 	"repro/internal/pairsim"
+	"repro/internal/snapshot"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -69,6 +71,17 @@ type Options struct {
 	// reference through the epoch-resync handshake. Ignored by
 	// RunSerial.
 	Faults *FaultPlan
+	// StateDir, when non-empty, gives every agent a snapshot store under
+	// <StateDir>/<agent name> (the daemon's -state-dir): controllers
+	// snapshot every SnapshotInterval epochs and a restarted agent
+	// resumes from its persisted snapshots, replaying only the tail
+	// since the newest one instead of its whole lifetime. Ignored by
+	// RunSerial (the reference needs no durability).
+	StateDir string
+	// SnapshotInterval is the epoch distance between snapshot writes
+	// (agentd.DefaultSnapshotInterval when zero; ignored without
+	// StateDir).
+	SnapshotInterval int
 	// Logf, when non-nil, receives agent diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -119,6 +132,16 @@ type Result struct {
 	// Resyncs counts epoch fast-forwards across all agents — how often
 	// the epoch-resync handshake healed a pair (zero on a clean run).
 	Resyncs int64
+	// ReplayedEpochs counts the epochs those fast-forwards actually
+	// replayed. With StateDir set, restarts restore snapshots first, so
+	// this stays bounded by the snapshot interval per resync instead of
+	// growing with the mesh's lifetime.
+	ReplayedEpochs int64
+	// SnapshotSaves and SnapshotRestores count snapshot activity across
+	// all agents (zero without StateDir). Restart counters: like
+	// Sessions, the totals omit agents torn down by a fault plan.
+	SnapshotSaves    int64
+	SnapshotRestores int64
 	// Elapsed and SessionsPerSec measure throughput (wire runs only).
 	Elapsed        time.Duration
 	SessionsPerSec float64
@@ -229,12 +252,24 @@ func Run(opt Options) (*Result, error) {
 	// serving. Used once per agent at startup and again by the restart
 	// fault; a restarted agent rejoins through the resync handshake.
 	startAgent := func(i int) error {
-		a := agentd.New(agentd.Config{
+		cfg := agentd.Config{
 			Name:        agentd.AgentName(i),
 			MaxSessions: opt.Sessions,
 			Timeout:     opt.Timeout,
 			Logf:        opt.Logf,
-		})
+		}
+		if opt.StateDir != "" {
+			// One store per agent, keyed by name, exactly as the daemon's
+			// -state-dir flag wires it: a restarted agent reopens the same
+			// directory and resumes from its snapshots.
+			store, err := snapshot.NewStore(filepath.Join(opt.StateDir, cfg.Name), 0)
+			if err != nil {
+				return err
+			}
+			cfg.Snapshots = store
+			cfg.SnapshotInterval = opt.SnapshotInterval
+		}
+		a := agentd.New(cfg)
 		for pi, mp := range pairs {
 			if mp.i != i && mp.j != i {
 				continue
@@ -389,6 +424,9 @@ func Run(opt Options) (*Result, error) {
 		st := agents[i].Status()
 		res.Sessions += st.SessionsInitiated
 		res.Resyncs += st.Resyncs
+		res.ReplayedEpochs += st.ReplayedEpochs
+		res.SnapshotSaves += st.SnapshotSaves
+		res.SnapshotRestores += st.SnapshotRestores
 		res.Agents = append(res.Agents, st)
 	}
 	if elapsed > 0 {

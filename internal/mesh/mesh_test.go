@@ -148,29 +148,68 @@ func TestMeshRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt.Faults = &FaultPlan{KillConnEpoch: 1, RestartEpoch: 2}
-	wire, err := Run(opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkParity(t, serial, wire)
-	if wire.Resyncs == 0 {
-		t.Error("recovery left no resync trace in the status surface")
-	}
-	restarted := agentdStatusByName(wire, wire.Pairs[0].J)
-	if restarted == nil {
-		t.Fatalf("no status snapshot for the restarted agent %d", wire.Pairs[0].J)
-	}
-	// The restarted responder rebuilt from epoch 0: its fast-forward is
-	// counted against the pair it serves.
-	resynced := false
-	for _, p := range restarted.Peers {
-		if p.Resyncs > 0 {
-			resynced = true
-		}
-	}
-	if !resynced {
-		t.Errorf("restarted agent shows no per-peer resync: %+v", restarted)
+	// The same kill-and-restart schedule twice: once healing by pure
+	// epoch-0 replay, once with a state directory so the cold restart
+	// resumes from persisted snapshots and replays only the tail.
+	for _, mode := range []string{"replay", "snapshots"} {
+		t.Run(mode, func(t *testing.T) {
+			fopt := opt
+			fopt.Faults = &FaultPlan{KillConnEpoch: 1, RestartEpoch: 2}
+			if mode == "snapshots" {
+				fopt.StateDir = t.TempDir()
+				// Interval 2 with the restart after epoch 2 leaves a
+				// snapshot at epoch index 2 on disk: recovery restores it
+				// and replays exactly the remaining tail, so resyncs stay
+				// observable while full replays would be caught below.
+				fopt.SnapshotInterval = 2
+			}
+			wire, err := Run(fopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkParity(t, serial, wire)
+			if wire.Resyncs == 0 {
+				t.Error("recovery left no resync trace in the status surface")
+			}
+			restarted := agentdStatusByName(wire, wire.Pairs[0].J)
+			if restarted == nil {
+				t.Fatalf("no status snapshot for the restarted agent %d", wire.Pairs[0].J)
+			}
+			// The restarted responder's fast-forward is counted against
+			// the pair it serves.
+			resynced := false
+			for _, p := range restarted.Peers {
+				if p.Resyncs > 0 {
+					resynced = true
+				}
+			}
+			if !resynced {
+				t.Errorf("restarted agent shows no per-peer resync: %+v", restarted)
+			}
+			if mode != "snapshots" {
+				return
+			}
+			if wire.SnapshotSaves == 0 {
+				t.Error("no agent ever persisted a snapshot")
+			}
+			if restarted.SnapshotRestores == 0 {
+				t.Errorf("restarted agent never restored a snapshot: %+v", restarted)
+			}
+			// Tail-only recovery: at the restart (after epoch 2, epoch
+			// index 3) a full replay would reconstruct 3 epochs per pair;
+			// with the epoch-2 snapshot restored, each resync replays at
+			// most interval-1 epochs.
+			fullReplay := int64(fopt.Faults.RestartEpoch + 1)
+			for _, p := range restarted.Peers {
+				if p.Resyncs > 0 && p.ReplayedEpochs >= fullReplay*p.Resyncs {
+					t.Errorf("peer %s replayed %d epochs over %d resyncs — a full replay, not tail-only",
+						p.Name, p.ReplayedEpochs, p.Resyncs)
+				}
+				if p.Resyncs > 0 && p.SnapshotRestores == 0 {
+					t.Errorf("peer %s resynced without touching its snapshot: %+v", p.Name, p)
+				}
+			}
+		})
 	}
 }
 
@@ -206,21 +245,46 @@ func TestMeshRecoveryRandomized(t *testing.T) {
 	}
 	for _, seed := range seeds {
 		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			fopt := opt
-			fopt.Faults = RandomFaultPlan(seed, opt.Epochs)
-			t.Logf("schedule: kill pair %d epoch %d, restart pair %d after epoch %d",
-				faultTarget(fopt.Faults.KillPair, len(serial.Pairs)), fopt.Faults.KillConnEpoch,
-				faultTarget(fopt.Faults.RestartPair, len(serial.Pairs)), fopt.Faults.RestartEpoch)
-			wire, err := Run(fopt)
-			if err != nil {
-				t.Fatal(err)
-			}
-			checkParity(t, serial, wire)
-			if wire.Resyncs == 0 {
-				t.Error("randomized faults healed without a single resync — nothing was injected")
-			}
-		})
+		// Every seeded schedule runs twice: pure-replay recovery and
+		// snapshot-backed recovery over a state directory. Both must
+		// converge to the same serial reference.
+		for _, mode := range []string{"replay", "snapshots"} {
+			mode := mode
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, mode), func(t *testing.T) {
+				fopt := opt
+				fopt.Faults = RandomFaultPlan(seed, opt.Epochs)
+				if mode == "snapshots" {
+					fopt.StateDir = t.TempDir()
+					fopt.SnapshotInterval = 2
+				}
+				t.Logf("schedule: kill pair %d epoch %d, restart pair %d after epoch %d",
+					faultTarget(fopt.Faults.KillPair, len(serial.Pairs)), fopt.Faults.KillConnEpoch,
+					faultTarget(fopt.Faults.RestartPair, len(serial.Pairs)), fopt.Faults.RestartEpoch)
+				wire, err := Run(fopt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkParity(t, serial, wire)
+				if mode == "snapshots" {
+					// A snapshot restore can land the restarted agent exactly
+					// on the driven epoch, eliminating the resync entirely —
+					// the recovery trace is then the restore counter.
+					if wire.Resyncs == 0 && wire.SnapshotRestores == 0 {
+						t.Error("randomized faults healed without a resync or a snapshot restore — nothing was injected")
+					}
+					if wire.SnapshotSaves == 0 {
+						t.Error("state-dir run never persisted a snapshot")
+					}
+					// A snapshot exists by the time of any restart at epoch
+					// >= 1 (interval 2), so recovery must have used one.
+					if fopt.Faults.RestartEpoch >= 1 && wire.SnapshotRestores == 0 {
+						t.Error("restart past the first snapshot interval never restored one")
+					}
+				} else if wire.Resyncs == 0 {
+					t.Error("randomized faults healed without a single resync — nothing was injected")
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,72 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode hammers Decode with arbitrary bytes. The contract
+// under fuzzing is exactly the recovery contract: Decode never panics,
+// and it never loads garbage silently — when it does accept input, the
+// decoded state is well-formed (re-encodable) and the input was the
+// canonical encoding of that state, byte for byte. Any truncation, bit
+// flip, lying length, or checksum corruption therefore surfaces as an
+// error the store's fallback ladder can act on.
+func FuzzSnapshotDecode(f *testing.F) {
+	valid, err := Encode(testStateForFuzz())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("NXSNAP"))
+	f.Add(valid[:len(valid)/2])                        // truncated
+	f.Add(append(valid[:len(valid):len(valid)], 0xFF)) // trailing junk
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped) // checksum-corrupted
+	lying := append([]byte(nil), valid...)
+	lying[8] = 0xFF // payload length field
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data) // must not panic, whatever the input
+		if err != nil {
+			return
+		}
+		re, err := Encode(st)
+		if err != nil {
+			t.Fatalf("Decode accepted a state Encode rejects: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("Decode accepted non-canonical bytes: re-encoding %d bytes gave %d different bytes",
+				len(data), len(re))
+		}
+	})
+}
+
+// testStateForFuzz seeds the corpus with a state exercising every field
+// group; kept separate from testState so golden-format updates never
+// silently reshape the fuzz corpus.
+func testStateForFuzz() *State {
+	return &State{
+		Metric: "bandwidth",
+		Epoch:  17,
+		Registry: Registry{
+			SizeThreshold: 0.5,
+			StableTicks:   1,
+			IdleTimeout:   3,
+			Nonce:         9,
+			Flows: []Flow{
+				{SrcAddr: 0x0A000000, SrcBits: 16, DstAddr: 0x0B010000, DstBits: 16, Ingress: 1, Size: 2.5, LastSeen: 16, AboveSince: 12, EverStable: true, Negotiable: true, AnnouncedAt: 13},
+				{SrcAddr: 0x0A010000, SrcBits: 16, DstAddr: 0x0B000000, DstBits: 16, Ingress: 2, Size: 0.25, LastSeen: 17, AboveSince: -1},
+			},
+		},
+		Ledger: Ledger{
+			Balance:   -3,
+			MaxCredit: 20,
+			History:   []LedgerEntry{{Session: 0, GainA: 4, GainB: 7, BalanceAfter: -3}},
+		},
+		Applied: []Assignment{{Dir: 0, Src: 1, Dst: 2, Alt: 1}, {Dir: 1, Src: 0, Dst: 3, Alt: 2}},
+	}
+}

@@ -1,0 +1,219 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot file")
+
+// testState builds a representative state from a fixed seed: varied
+// flows, ledger history, and applied assignments, in canonical order.
+// The same seed always yields the same state, so its encoding pins the
+// v1 format byte for byte.
+func testState(seed int64) *State {
+	rng := rand.New(rand.NewSource(seed))
+	st := &State{
+		Metric: "distance",
+		Epoch:  uint64(rng.Intn(1000)),
+		Registry: Registry{
+			SizeThreshold: 0.5,
+			StableTicks:   1,
+			IdleTimeout:   3,
+			Nonce:         uint64(rng.Intn(100)),
+		},
+		Ledger: Ledger{Balance: int64(rng.Intn(41) - 20), MaxCredit: 20},
+	}
+	for i := 0; i < 5; i++ {
+		st.Registry.Flows = append(st.Registry.Flows, Flow{
+			SrcAddr:     rng.Uint32() &^ 0xFFFF,
+			SrcBits:     16,
+			DstAddr:     0x80000000 | (rng.Uint32() & 0x7FFF0000),
+			DstBits:     16,
+			Ingress:     rng.Uint64(),
+			Size:        rng.Float64() * 10,
+			LastSeen:    int64(rng.Intn(20)),
+			AboveSince:  int64(rng.Intn(20) - 1),
+			EverStable:  rng.Intn(2) == 1,
+			Negotiable:  rng.Intn(2) == 1,
+			AnnouncedAt: int64(rng.Intn(20)),
+		})
+	}
+	sort.Slice(st.Registry.Flows, func(i, j int) bool {
+		return flowLess(st.Registry.Flows[i], st.Registry.Flows[j])
+	})
+	balance := int64(0)
+	for i := 0; i < 3; i++ {
+		ga, gb := int64(rng.Intn(30)), int64(rng.Intn(30))
+		balance += ga - gb
+		st.Ledger.History = append(st.Ledger.History, LedgerEntry{
+			Session: int64(i), GainA: ga, GainB: gb, BalanceAfter: balance,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		st.Applied = append(st.Applied, Assignment{
+			Dir: uint8(i % 2), Src: int64(i * 3), Dst: int64(rng.Intn(8)), Alt: int64(rng.Intn(4)),
+		})
+	}
+	sort.Slice(st.Applied, func(i, j int) bool { return assignLess(st.Applied[i], st.Applied[j]) })
+	return st
+}
+
+func mustEncode(t *testing.T, st *State) []byte {
+	t.Helper()
+	data, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, st := range []*State{testState(42), {Metric: "bandwidth", Epoch: 7, Ledger: Ledger{MaxCredit: 20}}} {
+		data := mustEncode(t, st)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, st) {
+			t.Errorf("round trip diverged:\n got  %+v\n want %+v", got, st)
+		}
+		re := mustEncode(t, got)
+		if !bytes.Equal(re, data) {
+			t.Error("re-encoding a decoded state changed the bytes; the format is not canonical")
+		}
+	}
+}
+
+// TestGoldenV1 pins snapshot format v1 byte for byte: the fixed-seed
+// state must encode to exactly the committed golden bytes. If this test
+// fails, the format changed — that requires a version bump and a new
+// golden file (go test -run TestGoldenV1 -update), never a silent
+// rewrite of v1.
+func TestGoldenV1(t *testing.T) {
+	data := mustEncode(t, testState(42))
+	golden := filepath.Join("testdata", "v1.snap.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("format v1 encoding changed: got %d bytes, golden has %d; a format change needs a version bump",
+			len(data), len(want))
+	}
+	if st, err := Decode(want); err != nil {
+		t.Fatalf("golden bytes no longer decode: %v", err)
+	} else if !reflect.DeepEqual(st, testState(42)) {
+		t.Fatal("golden bytes decode to a different state")
+	}
+}
+
+// reseal recomputes the trailing checksum after a deliberate header or
+// payload edit, so tests exercise the check the edit targets instead of
+// tripping the checksum first.
+func reseal(data []byte) []byte {
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(data[:len(data)-4]))
+	return data
+}
+
+// TestVersionCompatReject is the append-only compat rule: a v2 snapshot
+// — same v1 payload plus trailing fields, bumped version, valid
+// checksum — must be cleanly rejected by name by a v1 reader, never
+// misparsed by trusting the v1 prefix.
+func TestVersionCompatReject(t *testing.T) {
+	data := mustEncode(t, testState(42))
+	// Forge a well-formed v2: append trailing payload fields, bump the
+	// version and length, reseal the checksum.
+	v2 := append(append([]byte(nil), data[:len(data)-4]...), 0xAA, 0xBB, 0xCC, 0xDD)
+	binary.LittleEndian.PutUint16(v2[6:], 2)
+	binary.LittleEndian.PutUint32(v2[8:], uint32(len(v2)-headerSize))
+	v2 = reseal(append(v2, 0, 0, 0, 0))
+	st, err := Decode(v2)
+	if err == nil {
+		t.Fatalf("v1 reader parsed a v2 snapshot silently: %+v", st)
+	}
+	if !errors.Is(err, ErrVersion) {
+		t.Errorf("v2 snapshot rejected as %v, want ErrVersion", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("a well-formed future version is not corruption")
+	}
+}
+
+// TestDecodeRejectsCorruption drives the named corruption classes
+// through Decode: every one must error, none may load silently.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := mustEncode(t, testState(42))
+	cases := map[string][]byte{
+		"empty":        {},
+		"short":        data[:headerSize],
+		"truncated":    data[:len(data)-5],
+		"bad magic":    reseal(append([]byte("XXSNAP"), data[6:]...)),
+		"checksum":     append(data[:len(data)-1], data[len(data)-1]^0xFF),
+		"extra bytes":  append(append([]byte(nil), data...), 0),
+		"lying length": func() []byte { d := append([]byte(nil), data...); d[8] ^= 0xFF; return reseal(d) }(),
+	}
+	// A bit flip in every payload byte: the checksum (or a strict field
+	// check) must catch each one.
+	for i := headerSize; i < len(data)-4; i += 7 {
+		d := append([]byte(nil), data...)
+		d[i] ^= 0x10
+		cases["bitflip"] = d
+		if st, err := Decode(d); err == nil {
+			t.Fatalf("bit flip at offset %d loaded silently: %+v", i, st)
+		}
+	}
+	for name, d := range cases {
+		if st, err := Decode(d); err == nil {
+			t.Errorf("%s: corrupt snapshot loaded silently: %+v", name, st)
+		} else if name != "empty" && !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v is not ErrCorrupt", name, err)
+		}
+	}
+	// A lying count inside the payload (claiming more flows than the
+	// bytes hold) must fail before allocating, even with a valid
+	// checksum over the lie.
+	d := append([]byte(nil), data...)
+	off := headerSize + 2 + len("distance") + 8 + 8 + 8 + 8 + 8 // through nonce
+	binary.LittleEndian.PutUint32(d[off:], 1<<30)
+	if st, err := Decode(reseal(d)); err == nil {
+		t.Errorf("lying flow count loaded silently: %+v", st)
+	}
+}
+
+// TestEncodeRejectsNonCanonical: Encode surfaces out-of-order state
+// instead of persisting something Decode would reject.
+func TestEncodeRejectsNonCanonical(t *testing.T) {
+	st := testState(42)
+	st.Registry.Flows[0], st.Registry.Flows[1] = st.Registry.Flows[1], st.Registry.Flows[0]
+	if _, err := Encode(st); err == nil {
+		t.Error("Encode accepted out-of-order flows")
+	}
+	st = testState(42)
+	st.Applied[0], st.Applied[1] = st.Applied[1], st.Applied[0]
+	if _, err := Encode(st); err == nil {
+		t.Error("Encode accepted out-of-order assignments")
+	}
+	st = testState(42)
+	st.Ledger.History[0].Session = 99
+	if _, err := Encode(st); err == nil {
+		t.Error("Encode accepted decreasing ledger sessions")
+	}
+}
