@@ -362,6 +362,33 @@ func negotiatedGainWithScale(b *testing.B, ds *experiments.Dataset, pair *topolo
 	return metrics.GainPercent(dist(defaults), dist(res.Assign))
 }
 
+// BenchmarkGenerate measures dataset-format-v2 generation throughput
+// (ISPs generated per second) on a 1000-ISP universe at 1, 2, and 8
+// workers. Per-ISP streams make generation embarrassingly parallel:
+// every worker count yields byte-identical output
+// (TestGenerateParallelParity), so the spread between the worker counts
+// is pure sharding speedup — near-linear on multi-core hardware, flat
+// on a single-core runner. Tracked across PRs in BENCH_runner.json.
+func BenchmarkGenerate(b *testing.B) {
+	cfg := gen.DefaultConfig()
+	cfg.NumISPs = 1000
+	for _, w := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				isps, err := gen.GenerateWorkers(cfg, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(isps) != cfg.NumISPs {
+					b.Fatalf("generated %d ISPs, want %d", len(isps), cfg.NumISPs)
+				}
+			}
+			b.ReportMetric(float64(cfg.NumISPs)*float64(b.N)/b.Elapsed().Seconds(), "isps/s")
+		})
+	}
+}
+
 // BenchmarkRunnerWorkers measures the concurrent pair-runner's
 // experiment throughput (ISP pairs negotiated per second) at 1, 2, and
 // GOMAXPROCS workers, so later PRs have a perf trajectory for the

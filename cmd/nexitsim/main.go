@@ -58,7 +58,7 @@ func main() {
 	)
 	flag.Parse()
 
-	ds, err := loadDataset(*dataset, *isps)
+	ds, err := loadDataset(*dataset, *isps, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -478,7 +478,7 @@ func runStreaming(w io.Writer, ds *experiments.Dataset, fig string, opt experime
 	return nil
 }
 
-func loadDataset(path string, isps int) (*experiments.Dataset, error) {
+func loadDataset(path string, isps, workers int) (*experiments.Dataset, error) {
 	if path != "" && isps > 0 {
 		return nil, fmt.Errorf("-isps sizes the generated dataset and conflicts with -dataset %s", path)
 	}
@@ -487,7 +487,10 @@ func loadDataset(path string, isps int) (*experiments.Dataset, error) {
 		if isps > 0 {
 			cfg.NumISPs = isps
 		}
-		return experiments.Load(cfg)
+		// Generation shards per ISP (dataset format v2) over the same
+		// worker pool the experiments use; the dataset is identical at
+		// every -workers value.
+		return experiments.LoadWorkers(cfg, workers)
 	}
 	f, err := os.Open(path)
 	if err != nil {

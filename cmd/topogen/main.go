@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	topogen [-seed N] [-isps N] [-out FILE] [-inventory]
+//	topogen [-seed N] [-isps N] [-workers N] [-out FILE] [-inventory]
 //
 // With -inventory the dataset is summarized (ISP sizes, eligible pair
 // counts) instead of serialized.
@@ -24,6 +24,7 @@ func main() {
 	var (
 		seed      = flag.Int64("seed", 1, "generator seed")
 		isps      = flag.Int("isps", 65, "number of ISPs to generate")
+		workers   = flag.Int("workers", 0, "generation goroutines (0 = GOMAXPROCS; output is identical for any value)")
 		out       = flag.String("out", "", "output file (default stdout)")
 		inventory = flag.Bool("inventory", false, "print dataset inventory instead of topologies")
 	)
@@ -32,7 +33,7 @@ func main() {
 	cfg := gen.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.NumISPs = *isps
-	generated, err := gen.Generate(cfg)
+	generated, err := gen.GenerateWorkers(cfg, *workers)
 	if err != nil {
 		fatal(err)
 	}

@@ -26,9 +26,17 @@ func LoadDefault() (*Dataset, error) {
 	return Load(gen.DefaultConfig())
 }
 
-// Load generates a dataset from the given generator configuration.
+// Load generates a dataset from the given generator configuration,
+// sharding per-ISP generation across GOMAXPROCS cores (dataset format
+// v2; the result is identical at every worker count).
 func Load(cfg gen.Config) (*Dataset, error) {
-	isps, err := gen.Generate(cfg)
+	return LoadWorkers(cfg, 0)
+}
+
+// LoadWorkers is Load with an explicit generation worker count (<=0 =
+// GOMAXPROCS). Workers change wall-clock time only, never the dataset.
+func LoadWorkers(cfg gen.Config, workers int) (*Dataset, error) {
+	isps, err := gen.GenerateWorkers(cfg, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -11,14 +11,25 @@
 // inter-PoP weights of the measured dataset. A small fraction of ISPs are
 // generated as logical meshes, mirroring the eight mesh topologies the
 // paper excludes from distance experiments.
+//
+// Dataset format v2: every ISP draws from a private RNG stream keyed by
+// (Config.Seed, ISP index) — the same splitmix64 derivation the runner's
+// per-pair streams and the experiments' keyed pair selection use — so
+// generateISP is a pure function of (Config, index) and Generate shards
+// across cores with output byte-identical for every worker count. The
+// format bump means v1 seeds are NOT reproducible: the same Seed yields
+// a different (still fully deterministic) dataset than it did before
+// the bump. TestGoldenV2 pins the v2 output per ISP.
 package gen
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/geo"
+	"repro/internal/runner"
 	"repro/internal/topology"
 )
 
@@ -63,6 +74,28 @@ type Config struct {
 	// places a PoP outside its home region (e.g. a European carrier with
 	// a New York PoP).
 	OutOfRegionProb float64
+
+	// HubBias is the per-PoP probability that the city is drawn from the
+	// peering-hub set — the HubCount most-populous cities of the
+	// sampling pool — instead of from the population-biased pool at
+	// large. Concentrating PoPs in shared hub cities is what keeps ISP
+	// pairs meeting in >=2 cities as universes grow past the paper's 65
+	// ISPs: over a large city table, unconcentrated draws spread PoPs so
+	// thin that eligible pair counts collapse. 0 disables the hub draw.
+	// Config v2.
+	HubBias float64
+
+	// HubCount sizes the peering-hub set for HubBias draws (ignored when
+	// HubBias is 0). Config v2.
+	HubCount int
+
+	// TrafficExponent is the exponent applied to metro population when
+	// recording each PoP's gravity weight (topology.PoP.Population),
+	// which the traffic package multiplies pairwise to size flows. 1
+	// records metro populations as-is; >1 makes the resulting gravity
+	// traffic matrices heavy-tailed (a few hub-to-hub elephant flows
+	// dominate); <1 flattens them. Must be positive. Config v2.
+	TrafficExponent float64
 }
 
 // DefaultConfig returns the configuration used by the paper-reproduction
@@ -80,8 +113,22 @@ func DefaultConfig() Config {
 		MeshFraction:     0.12,
 		GlobalFraction:   0.2,
 		OutOfRegionProb:  0.08,
+		// Hub concentration tuned so the 330-city table keeps the
+		// interconnection density (and thus negotiation quality on
+		// failover) of the historical 155-city universe: 0.5/32 yields
+		// ~540 directly-connected pairs at 65 ISPs, and one-shot
+		// negotiated worst-case MEL stays within the stability bound
+		// of converged reactive routing.
+		HubBias:         0.5,
+		HubCount:        32,
+		TrafficExponent: 1,
 	}
 }
+
+// globalSizeBoost is the extra PoPs granted to small global ISPs so a
+// worldwide footprint implies scale (samplePoPs clamps the boosted size
+// to the available city pool).
+const globalSizeBoost = 8
 
 // Validate checks the configuration for obvious mistakes.
 func (c Config) Validate() error {
@@ -100,6 +147,15 @@ func (c Config) Validate() error {
 	if c.MeshFraction < 0 || c.MeshFraction > 1 || c.GlobalFraction < 0 || c.GlobalFraction > 1 {
 		return fmt.Errorf("gen: fractions must be in [0,1]")
 	}
+	if c.HubBias < 0 || c.HubBias > 1 {
+		return fmt.Errorf("gen: HubBias must be in [0,1]")
+	}
+	if c.HubBias > 0 && c.HubCount <= 0 {
+		return fmt.Errorf("gen: HubBias %g needs a positive HubCount", c.HubBias)
+	}
+	if c.TrafficExponent <= 0 {
+		return fmt.Errorf("gen: TrafficExponent must be positive (1 = metro populations as-is)")
+	}
 	return nil
 }
 
@@ -114,25 +170,63 @@ var regionShare = map[Region]float64{
 	Africa:       0.03,
 }
 
-// Generate produces the dataset. The same Config always yields the same
-// dataset, byte for byte. Every generated ISP passes Validate.
+// genDomain separates the dataset-generation RNG domain from the other
+// consumers that derive splitmix64 streams from the same master seed
+// (the runner's per-pair streams, selectPairs' keys, agentd's epoch
+// drift keys): the per-ISP root is split off the master seed first, so
+// an ISP's generation stream never coincides with an experiment pair's
+// even when seeds and indices collide.
+const genDomain = 0x67656e32 // "gen2"
+
+// streamSeed keys ISP index i's private RNG stream off (seed, i) via
+// the runner's splitmix64 derivation. It depends only on (seed, i) —
+// never on worker count or scheduling — which is what makes Generate's
+// output independent of parallelism.
+func streamSeed(seed int64, i int) int64 {
+	return runner.PairSeed(runner.PairSeed(seed, genDomain), i)
+}
+
+// Generate produces the dataset, sharding per-ISP generation across
+// GOMAXPROCS cores (format v2: each ISP draws from its own
+// (Seed, index)-keyed stream, see the package comment). The same Config
+// always yields the same dataset, byte for byte, at every worker
+// count. Every generated ISP passes Validate.
 func Generate(cfg Config) ([]*topology.ISP, error) {
+	return GenerateWorkers(cfg, 0)
+}
+
+// GenerateWorkers is Generate with an explicit worker count (<=0 =
+// GOMAXPROCS). Output is byte-identical for every worker count; workers
+// only change wall-clock time (TestGenerateParallelParity pins this).
+func GenerateWorkers(cfg Config, workers int) ([]*topology.ISP, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	isps := make([]*topology.ISP, 0, cfg.NumISPs)
-	for i := 0; i < cfg.NumISPs; i++ {
-		isp := generateISP(cfg, rng, i)
+	isps := make([]*topology.ISP, cfg.NumISPs)
+	errs := make([]error, cfg.NumISPs)
+	runner.ForEachIndex(cfg.NumISPs, workers, func(i int) {
+		isp := generateISP(cfg, i)
 		if err := isp.Validate(); err != nil {
-			return nil, fmt.Errorf("gen: generated invalid ISP %d: %v", i, err)
+			errs[i] = fmt.Errorf("gen: generated invalid ISP %d: %v", i, err)
+			return
 		}
-		isps = append(isps, isp)
+		isps[i] = isp
+	})
+	// The lowest-index error wins, deterministically, regardless of
+	// which worker hit it.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return isps, nil
 }
 
-func generateISP(cfg Config, rng *rand.Rand, index int) *topology.ISP {
+// generateISP builds ISP number index. It is a pure function of
+// (cfg, index): all randomness comes from the ISP's private stream, so
+// ISPs can generate concurrently in any order.
+func generateISP(cfg Config, index int) *topology.ISP {
+	rng := rand.New(rand.NewSource(streamSeed(cfg.Seed, index)))
 	isp := &topology.ISP{
 		Name: fmt.Sprintf("isp%02d", index),
 		ASN:  7000 + index,
@@ -151,13 +245,16 @@ func generateISP(cfg Config, rng *rand.Rand, index int) *topology.ISP {
 	}
 	// Global ISPs skew larger.
 	if global && n < 12 {
-		n += 8
+		n += globalSizeBoost
 	}
 
 	cities := samplePoPs(cfg, rng, home, global, n)
 	for i, c := range cities {
 		isp.PoPs = append(isp.PoPs, topology.PoP{
-			ID: i, City: c.Name, Loc: c.Loc, Population: c.Population,
+			ID: i, City: c.Name, Loc: c.Loc,
+			// math.Pow(x, 1) == x exactly, so the default exponent
+			// records metro populations unchanged.
+			Population: math.Pow(c.Population, cfg.TrafficExponent),
 		})
 	}
 
@@ -184,7 +281,13 @@ func drawRegion(rng *rand.Rand) Region {
 
 // samplePoPs draws n distinct cities with probability proportional to
 // population^bias, restricted to the home region for continental ISPs
-// (with occasional out-of-region PoPs).
+// (with occasional out-of-region PoPs). With probability HubBias each
+// draw comes from the pool's peering-hub set instead (the HubCount
+// most-populous cities), concentrating interconnection points the way
+// real ISPs concentrate peering in a handful of hub metros. If n
+// exceeds the pool — a boosted global ISP against a small table, or a
+// widened region — it is clamped to the pool size rather than running
+// the without-replacement draw dry.
 func samplePoPs(cfg Config, rng *rand.Rand, home Region, global bool, n int) []City {
 	var pool []City
 	for _, c := range worldCities {
@@ -197,43 +300,53 @@ func samplePoPs(cfg Config, rng *rand.Rand, home Region, global bool, n int) []C
 		// the whole world rather than fail.
 		pool = Cities()
 	}
+	if n > len(pool) {
+		n = len(pool)
+	}
 	weights := make([]float64, len(pool))
 	for i, c := range pool {
 		weights[i] = math.Pow(c.Population, cfg.PopulationBias)
 	}
+	all := newWeightedSampler(weights)
+	hubs := newWeightedSampler(hubWeights(pool, weights, cfg.HubCount))
 	out := make([]City, 0, n)
 	for len(out) < n {
-		i := weightedDraw(rng, weights)
+		var i int
+		if cfg.HubBias > 0 && hubs.Total() > 0 && rng.Float64() < cfg.HubBias {
+			i = hubs.Draw(rng)
+		} else {
+			i = all.Draw(rng)
+		}
 		out = append(out, pool[i])
-		weights[i] = 0 // without replacement
+		all.Zero(i) // without replacement, in both samplers
+		hubs.Zero(i)
 	}
 	return out
 }
 
-// weightedDraw picks an index proportionally to weights. At least one
-// weight must be positive.
-func weightedDraw(rng *rand.Rand, weights []float64) int {
-	var total float64
-	for _, w := range weights {
-		total += w
+// hubWeights restricts a pool's weight vector to its peering-hub set:
+// the count most-populous cities keep their weights, everything else
+// drops to zero. Ties and order are deterministic (stable sort by
+// population, pool order breaking ties).
+func hubWeights(pool []City, weights []float64, count int) []float64 {
+	hw := make([]float64, len(pool))
+	if count <= 0 {
+		return hw
 	}
-	if total <= 0 {
-		panic("gen: weightedDraw with no positive weights")
+	if count > len(pool) {
+		count = len(pool)
 	}
-	x := rng.Float64() * total
-	for i, w := range weights {
-		x -= w
-		if x < 0 && w > 0 {
-			return i
-		}
+	order := make([]int, len(pool))
+	for i := range order {
+		order[i] = i
 	}
-	// Floating point slack: return the last positive-weight index.
-	for i := len(weights) - 1; i >= 0; i-- {
-		if weights[i] > 0 {
-			return i
-		}
+	sort.SliceStable(order, func(a, b int) bool {
+		return pool[order[a]].Population > pool[order[b]].Population
+	})
+	for _, i := range order[:count] {
+		hw[i] = weights[i]
 	}
-	panic("gen: unreachable")
+	return hw
 }
 
 // buildBackbone constructs a geographic MST plus Waxman shortcuts.

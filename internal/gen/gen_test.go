@@ -1,11 +1,22 @@
 package gen
 
 import (
+	"bufio"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/topology"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestDefaultConfigValid(t *testing.T) {
 	if err := DefaultConfig().Validate(); err != nil {
@@ -26,6 +37,11 @@ func TestConfigValidation(t *testing.T) {
 		{"jitter too large", func(c *Config) { c.WeightJitter = 1.5 }},
 		{"bad mesh fraction", func(c *Config) { c.MeshFraction = 2 }},
 		{"bad global fraction", func(c *Config) { c.GlobalFraction = -0.1 }},
+		{"hub bias above one", func(c *Config) { c.HubBias = 1.5 }},
+		{"negative hub bias", func(c *Config) { c.HubBias = -0.1 }},
+		{"hub bias without hubs", func(c *Config) { c.HubBias = 0.5; c.HubCount = 0 }},
+		{"zero traffic exponent", func(c *Config) { c.TrafficExponent = 0 }},
+		{"negative traffic exponent", func(c *Config) { c.TrafficExponent = -2 }},
 	}
 	for _, c := range cases {
 		cfg := DefaultConfig()
@@ -71,6 +87,108 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateParallelParity pins the format-v2 contract: the dataset is
+// byte-identical at every worker count, because each ISP draws from a
+// private (Seed, index)-keyed stream and never observes scheduling.
+func TestGenerateParallelParity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumISPs = 40
+	want, err := GenerateWorkers(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		got, err := GenerateWorkers(cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d produced a different dataset than workers=1", workers)
+		}
+	}
+}
+
+// TestGenerateISPPure pins that generateISP is a pure function of
+// (Config, index): regenerating any single ISP in isolation reproduces
+// the one Generate built, for both the mesh and the backbone branch.
+func TestGenerateISPPure(t *testing.T) {
+	cfg := DefaultConfig()
+	isps, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshChecked, backboneChecked := false, false
+	for i, isp := range isps {
+		if isp.IsMesh() {
+			meshChecked = true
+		} else {
+			backboneChecked = true
+		}
+		if solo := generateISP(cfg, i); !reflect.DeepEqual(isp, solo) {
+			t.Errorf("isp %d: isolated regeneration differs from Generate", i)
+		}
+	}
+	if !meshChecked || !backboneChecked {
+		t.Errorf("dataset exercised mesh=%v backbone=%v; want both branches", meshChecked, backboneChecked)
+	}
+}
+
+// TestGoldenV2 pins the v2 dataset bytes per ISP. A diff here means the
+// dataset format changed: if that is intentional, regenerate with
+//
+//	go test ./internal/gen -run TestGoldenV2 -update
+//
+// and say so in the commit (v1 seeds are already not reproducible after
+// the v2 bump; see the package comment).
+func TestGoldenV2(t *testing.T) {
+	isps, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	for _, isp := range isps {
+		var buf strings.Builder
+		if err := topology.Write(&buf, []*topology.ISP{isp}); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&got, "%s %x\n", isp.Name, sha256.Sum256([]byte(buf.String())))
+	}
+	path := filepath.Join("testdata", "v2_digests.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	defer f.Close()
+	want := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 {
+			want[fields[0]] = fields[1]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(isps) {
+		t.Fatalf("golden has %d ISPs, dataset has %d (run with -update?)", len(want), len(isps))
+	}
+	for _, line := range strings.Split(strings.TrimSpace(got.String()), "\n") {
+		fields := strings.Fields(line)
+		if w := want[fields[0]]; w != fields[1] {
+			t.Errorf("%s: digest %s, golden %s", fields[0], fields[1], w)
+		}
+	}
+}
+
 func TestGenerateAllValid(t *testing.T) {
 	isps, err := Generate(DefaultConfig())
 	if err != nil {
@@ -85,8 +203,8 @@ func TestGenerateAllValid(t *testing.T) {
 		if err := isp.Validate(); err != nil {
 			t.Errorf("%s: %v", isp.Name, err)
 		}
-		if n := isp.NumPoPs(); n < cfg.MinPoPs || n > cfg.MaxPoPs+8 {
-			t.Errorf("%s: %d PoPs outside [%d,%d+8]", isp.Name, n, cfg.MinPoPs, cfg.MaxPoPs)
+		if n := isp.NumPoPs(); n < cfg.MinPoPs || n > cfg.MaxPoPs+globalSizeBoost {
+			t.Errorf("%s: %d PoPs outside [%d,%d+%d]", isp.Name, n, cfg.MinPoPs, cfg.MaxPoPs, globalSizeBoost)
 		}
 		if isp.IsMesh() {
 			meshes++
@@ -97,6 +215,35 @@ func TestGenerateAllValid(t *testing.T) {
 	}
 	if meshes > len(isps)/2 {
 		t.Errorf("too many mesh ISPs: %d", meshes)
+	}
+}
+
+// TestGenerateLargeUniverse checks the scale the format bump exists for:
+// every ISP of a 512-ISP universe still satisfies the full Validate
+// invariant set, and names/ASNs stay unique.
+func TestGenerateLargeUniverse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large universe in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.NumISPs = 512
+	isps, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, isp := range isps {
+		if err := isp.Validate(); err != nil {
+			t.Errorf("%s: %v", isp.Name, err)
+		}
+		if names[isp.Name] {
+			t.Errorf("duplicate ISP name %q", isp.Name)
+		}
+		names[isp.Name] = true
+	}
+	d := topology.AllPairs(isps, 2, true)
+	if len(d) < 500 {
+		t.Errorf("512-ISP universe has only %d eligible pairs; want >=500", len(d))
 	}
 }
 
@@ -166,17 +313,153 @@ func TestRegionString(t *testing.T) {
 	}
 }
 
-func TestWeightedDraw(t *testing.T) {
+// TestSamplePoPsRegionWidening covers the small-region fallback: when the
+// home region has fewer cities than requested, the pool widens to the
+// whole table and still yields n distinct cities.
+func TestSamplePoPsRegionWidening(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.NumISPs = 3
-	cfg.Seed = 99
-	if _, err := Generate(cfg); err != nil {
-		t.Fatal(err)
+	cfg.OutOfRegionProb = 0 // pool is exactly the home region
+	oceania := 0
+	for _, c := range Cities() {
+		if c.Region == Oceania {
+			oceania++
+		}
+	}
+	n := oceania + 10
+	rng := rand.New(rand.NewSource(7))
+	got := samplePoPs(cfg, rng, Oceania, false, n)
+	if len(got) != n {
+		t.Fatalf("widened draw returned %d cities, want %d", len(got), n)
+	}
+	seen := map[string]bool{}
+	for _, c := range got {
+		if seen[c.Name] {
+			t.Errorf("duplicate city %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+// TestSamplePoPsExhaustionClamp is the regression test for the historical
+// weightedDraw panic: asking for more PoPs than the pool holds must clamp
+// to the pool instead of running the without-replacement draw dry.
+func TestSamplePoPsExhaustionClamp(t *testing.T) {
+	cfg := DefaultConfig()
+	world := len(Cities())
+	rng := rand.New(rand.NewSource(11))
+	got := samplePoPs(cfg, rng, NorthAmerica, true, world+50)
+	if len(got) != world {
+		t.Fatalf("exhausting draw returned %d cities, want clamp to %d", len(got), world)
+	}
+	seen := map[string]bool{}
+	for _, c := range got {
+		if seen[c.Name] {
+			t.Errorf("duplicate city %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+// TestWeightedSamplerMatchesLinearScan is the property test for the
+// Fenwick-tree draw: against integer weights (whose partial sums are
+// exact in float64), the tree must pick exactly the index the historical
+// O(n) linear scan would have picked, draw after draw, for the same dart
+// sequence.
+func TestWeightedSamplerMatchesLinearScan(t *testing.T) {
+	linearDraw := func(rng *rand.Rand, weights []float64) int {
+		var total float64
+		for _, w := range weights {
+			total += w
+		}
+		x := rng.Float64() * total
+		var acc float64
+		for i, w := range weights {
+			acc += w
+			if x < acc && w > 0 {
+				return i
+			}
+		}
+		for i := len(weights) - 1; i >= 0; i-- {
+			if weights[i] > 0 {
+				return i
+			}
+		}
+		panic("empty")
+	}
+	for trial := 0; trial < 50; trial++ {
+		setup := rand.New(rand.NewSource(int64(1000 + trial)))
+		n := 1 + setup.Intn(97)
+		weights := make([]float64, n)
+		positive := 0
+		for i := range weights {
+			weights[i] = float64(setup.Intn(9)) // zeros included on purpose
+			if weights[i] > 0 {
+				positive++
+			}
+		}
+		if positive == 0 {
+			weights[setup.Intn(n)] = 3
+			positive = 1
+		}
+		s := newWeightedSampler(weights)
+		ref := append([]float64(nil), weights...)
+		rngA := rand.New(rand.NewSource(int64(2000 + trial)))
+		rngB := rand.New(rand.NewSource(int64(2000 + trial)))
+		for draw := 0; draw < positive; draw++ {
+			got := s.Draw(rngA)
+			want := linearDraw(rngB, ref)
+			if got != want {
+				t.Fatalf("trial %d draw %d: sampler picked %d, linear scan %d", trial, draw, got, want)
+			}
+			s.Zero(got)
+			ref[want] = 0
+		}
+		if s.Total() != 0 {
+			t.Fatalf("trial %d: %g weight left after exhausting", trial, s.Total())
+		}
+	}
+}
+
+func TestWeightedSamplerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Draw should panic with all-zero weights")
+		}
+	}()
+	s := newWeightedSampler([]float64{0, 0})
+	s.Draw(rand.New(rand.NewSource(1)))
+}
+
+// TestWeightedSamplerExhaustionExact pins that Total() reports exactly
+// 0 once every positive entry has been drawn, even though the internal
+// running total is maintained by incremental subtraction of weights
+// (like 0.1) that are not exactly representable and so can leave a tiny
+// floating-point residue. Callers guard hub-pool draws with
+// `Total() > 0`; a residue sneaking through that guard used to reach
+// Draw's "unreachable" panic on large universes with high HubBias.
+func TestWeightedSamplerExhaustionExact(t *testing.T) {
+	weights := []float64{0.1, 0.2, 0.3, 0.7, 0.9, 1.1, 0.1, 0.3}
+	s := newWeightedSampler(weights)
+	rng := rand.New(rand.NewSource(99))
+	for range weights {
+		s.Zero(s.Draw(rng))
+	}
+	if got := s.Total(); got != 0 {
+		t.Fatalf("Total() = %g after exhausting all entries, want exactly 0", got)
 	}
 	defer func() {
 		if recover() == nil {
-			t.Error("weightedDraw should panic with all-zero weights")
+			t.Error("Draw on an exhausted sampler should panic")
 		}
 	}()
-	weightedDraw(nil, []float64{0, 0})
+	s.Draw(rng)
+}
+
+func TestWeightedSamplerRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("newWeightedSampler should panic on negative weight")
+		}
+	}()
+	newWeightedSampler([]float64{1, -1})
 }

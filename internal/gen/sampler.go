@@ -1,0 +1,115 @@
+package gen
+
+import "math/rand"
+
+// weightedSampler draws indices proportionally to a weight vector,
+// without replacement, in O(log n) per draw: a Fenwick (binary indexed)
+// tree over the weights supports prefix sums and point zeroing, and a
+// draw binary-searches the tree for the smallest index whose cumulative
+// weight exceeds the dart. It replaces the historical O(n) linear scan,
+// which cost O(PoPs x cities) per ISP and sat on the sharded generation
+// hot path once the city table and universe sizes grew.
+type weightedSampler struct {
+	tree      []float64 // 1-based Fenwick partial sums
+	weights   []float64 // current weight per index; 0 once drawn
+	total     float64   // sum of weights (kept exact via tree-free adds)
+	remaining int       // count of positive entries; exact, unlike total
+}
+
+// newWeightedSampler builds a sampler over the given weights in O(n).
+// Weights must be non-negative; the caller may pass a vector with any
+// number of zero entries (they are simply never drawn).
+func newWeightedSampler(weights []float64) *weightedSampler {
+	s := &weightedSampler{
+		tree:    make([]float64, len(weights)+1),
+		weights: append([]float64(nil), weights...),
+	}
+	for i, w := range weights {
+		if w < 0 {
+			panic("gen: weightedSampler with negative weight")
+		}
+		s.total += w
+		if w > 0 {
+			s.remaining++
+		}
+		pos := i + 1
+		s.tree[pos] += w
+		if next := pos + (pos & -pos); next < len(s.tree) {
+			s.tree[next] += s.tree[pos]
+		}
+	}
+	return s
+}
+
+// Total reports the remaining weight mass. Because total is maintained
+// by incremental subtraction, it can drift to a tiny nonzero residue
+// once every entry has been drawn; Total reports exactly 0 in that case
+// so callers' `Total() > 0` exhaustion guards stay sound.
+func (s *weightedSampler) Total() float64 {
+	if s.remaining == 0 {
+		return 0
+	}
+	return s.total
+}
+
+// Draw picks an index with probability proportional to its current
+// weight, consuming exactly one rng.Float64(). At least one weight must
+// be positive; Draw panics otherwise (the caller decides when the pool
+// is exhausted, exactly as with the old linear weightedDraw).
+func (s *weightedSampler) Draw(rng *rand.Rand) int {
+	if s.remaining == 0 {
+		panic("gen: weighted draw with no positive weights")
+	}
+	x := rng.Float64() * s.total
+	// Classic Fenwick descend: after the loop, idx counts the longest
+	// prefix with cumulative weight <= x, so item idx (0-based) is the
+	// smallest whose cumulative weight exceeds the dart. Zero-weight
+	// items add no mass, so a dart landing exactly on their boundary
+	// moves past them.
+	idx := 0
+	for bit := highestBit(len(s.tree) - 1); bit > 0; bit >>= 1 {
+		if next := idx + bit; next < len(s.tree) && s.tree[next] <= x {
+			x -= s.tree[next]
+			idx = next
+		}
+	}
+	if idx < len(s.weights) && s.weights[idx] > 0 {
+		return idx
+	}
+	// Floating-point slack (total drifting a hair above the true tree
+	// sum) can land past the end or on a zeroed index: return the last
+	// positive-weight index, as the linear scan did.
+	for i := len(s.weights) - 1; i >= 0; i-- {
+		if s.weights[i] > 0 {
+			return i
+		}
+	}
+	panic("gen: unreachable")
+}
+
+// Zero removes index i from the pool (the without-replacement step).
+// Zeroing an already-zero index is a no-op.
+func (s *weightedSampler) Zero(i int) {
+	w := s.weights[i]
+	if w == 0 {
+		return
+	}
+	s.weights[i] = 0
+	s.total -= w
+	s.remaining--
+	for pos := i + 1; pos < len(s.tree); pos += pos & -pos {
+		s.tree[pos] -= w
+	}
+}
+
+// highestBit returns the largest power of two <= n (0 for n <= 0).
+func highestBit(n int) int {
+	b := 1
+	if n <= 0 {
+		return 0
+	}
+	for b<<1 <= n {
+		b <<= 1
+	}
+	return b
+}

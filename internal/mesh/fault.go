@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/runner"
 )
@@ -88,6 +89,11 @@ func RandomFaultPlan(seed int64, epochs int) *FaultPlan {
 // before giving up. One retry heals any single injected fault; the
 // headroom covers a kill and a restart landing near each other.
 const faultAttempts = 4
+
+// quiesceWait bounds how long Run waits after the final epoch for
+// responder-side session handlers to finish their bookkeeping before
+// the per-agent statuses are frozen into the Result.
+const quiesceWait = 5 * time.Second
 
 // dialHolder routes dials to an agent's current listener, so a
 // restarted agent (new listener, possibly a new TCP port) is reachable

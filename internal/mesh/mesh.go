@@ -408,6 +408,25 @@ func Run(opt Options) (*Result, error) {
 	}
 	elapsed := time.Since(start)
 
+	// RunEpoch returns when each initiator holds its session's final
+	// frame; the responder's handler can still be an instruction shy of
+	// its own bookkeeping (served counter, latency, active gauge). The
+	// gauge is decremented last on that path, so waiting for every
+	// agent's active count to reach zero freezes statuses only after a
+	// clean run reconciles exactly (served == initiated, none active).
+	// The wait is bounded and best-effort: a faulted run may legitimately
+	// leave a session wedged, and its statuses are diagnostic anyway.
+	for deadline := time.Now().Add(quiesceWait); ; {
+		active := int64(0)
+		for i := range agents {
+			active += agents[i].Status().SessionsActive
+		}
+		if active == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
 	res := &Result{ISPs: len(agents), Elapsed: elapsed}
 	for _, mp := range pairs {
 		res.Pairs = append(res.Pairs, PairResult{
