@@ -362,6 +362,64 @@ func negotiatedGainWithScale(b *testing.B, ds *experiments.Dataset, pair *topolo
 	return metrics.GainPercent(dist(defaults), dist(res.Assign))
 }
 
+// BenchmarkEvaluatorPrefs measures the evaluator hot path in isolation:
+// steady-state Prefs calls (full preference-table recomputation for
+// every item on the table) per metric on the dataset's largest pair.
+// prefs/s counts preference rows (items) evaluated per second.
+// ReportAllocs tracks the scratch-reuse contract (DESIGN.md §12): after
+// the first call warms the evaluator's buffers, Prefs must not allocate,
+// so allocs/op stays near zero. Tracked across PRs in BENCH_runner.json.
+func BenchmarkEvaluatorPrefs(b *testing.B) {
+	ds := dataset(b)
+	pairs := ds.DistancePairs()
+	best := pairs[0]
+	bestFlows := 0
+	for _, p := range pairs {
+		if f := p.A.NumPoPs() * p.B.NumPoPs() * 2; f > bestFlows {
+			best, bestFlows = p, f
+		}
+	}
+	s := pairsim.New(best, ds.Cache)
+	rev := s.Reverse()
+	wAB := traffic.New(best.A, best.B, traffic.Identical, nil)
+	wBA := traffic.New(best.B, best.A, traffic.Identical, nil)
+	items := nexit.Items(wAB.Flows, wBA.Flows)
+	defaults := make([]int, len(items))
+	for i, it := range items {
+		if it.Dir == nexit.AtoB {
+			defaults[i] = s.EarlyExit(it.Flow)
+		} else {
+			defaults[i] = rev.EarlyExit(it.Flow)
+		}
+	}
+	nl := len(best.A.Links)
+	ones := make([]float64, nl)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for _, m := range []struct {
+		name string
+		eval nexit.Evaluator
+	}{
+		{"distance", nexit.NewDistanceEvaluator(s, nexit.SideA, 10)},
+		{"bandwidth", nexit.NewBandwidthEvaluator(s, nexit.SideA, 10, make([]float64, nl), ones)},
+		{"fortz-thorup", nexit.NewFortzThorupEvaluator(s, nexit.SideA, 10, make([]float64, nl), ones)},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			m.eval.Prefs(items, defaults) // warm the evaluator scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prefs := m.eval.Prefs(items, defaults)
+				if len(prefs) != len(items) {
+					b.Fatalf("%d pref rows for %d items", len(prefs), len(items))
+				}
+			}
+			b.ReportMetric(float64(len(items))*float64(b.N)/b.Elapsed().Seconds(), "prefs/s")
+		})
+	}
+}
+
 // BenchmarkGenerate measures dataset-format-v2 generation throughput
 // (ISPs generated per second) on a 1000-ISP universe at 1, 2, and 8
 // workers. Per-ISP streams make generation embarrassingly parallel:

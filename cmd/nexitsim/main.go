@@ -8,6 +8,7 @@
 //	         [-max-failures N] [-seed N] [-points N] [-workers N]
 //	         [-dataset FILE] [-isps N] [-inventory]
 //	         [-stream] [-out FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each printed block corresponds to one figure panel of the paper; the
 // x-grid matches the paper's axes. EXPERIMENTS.md records a full run.
@@ -32,6 +33,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/experiments"
@@ -55,8 +57,43 @@ func main() {
 		inventory = flag.Bool("inventory", false, "print dataset inventory and exit")
 		stream    = flag.Bool("stream", false, "emit per-pair results incrementally as NDJSON instead of figure tables")
 		out       = flag.String("out", "", "write streaming NDJSON to FILE (implies -stream; default stdout)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to FILE")
+		memprof   = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// Profiles cover the normal exit paths (including the early
+		// -stream/-inventory returns); fatal() skips defers by design.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // report live objects, not GC-collectible garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	ds, err := loadDataset(*dataset, *isps, *workers)
 	if err != nil {

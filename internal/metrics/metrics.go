@@ -41,6 +41,24 @@ func MaxIncreaseOnPath(load, capv []float64, links []int, delta float64) float64
 	return m
 }
 
+// MaxIncreaseOnPath32 is MaxIncreaseOnPath over an int32 link row — the
+// element type of routing.PathIndex rows, which the evaluator hot loops
+// read without converting. The float operations are identical to the
+// []int variant, so both produce byte-identical results for the same
+// path.
+func MaxIncreaseOnPath32(load, capv []float64, links []int32, delta float64) float64 {
+	var m float64
+	for _, li := range links {
+		if capv[li] <= 0 {
+			continue
+		}
+		if r := (load[li] + delta) / capv[li]; r > m {
+			m = r
+		}
+	}
+	return m
+}
+
 // Fortz–Thorup piecewise-linear cost (Fortz & Thorup, INFOCOM 2000):
 // the cost of a link is phi(u) where u = load/capacity, with slopes that
 // increase sharply as the link approaches and exceeds capacity. The paper

@@ -1,0 +1,54 @@
+package nexit
+
+import (
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// TestEvaluatorSteadyStateDoesNotAllocate pins the scratch-reuse
+// contract (DESIGN.md §12): once an evaluator's buffers are warm, the
+// steady-state negotiation hot path — Prefs over the full table plus a
+// Commit — performs zero heap allocations, for all three load/distance
+// evaluators. The fixture is deliberately small so forEachItem stays on
+// its serial path; the parallel path pays a bounded goroutine fan-out
+// cost by design and is exercised elsewhere.
+//
+// testing.AllocsPerRun is exact under -race too (the race runtime does
+// not add Go-visible allocations to these paths), so the guard holds in
+// both CI modes.
+func TestEvaluatorSteadyStateDoesNotAllocate(t *testing.T) {
+	_, s := linePair(t)
+	nl := 2
+	ones := []float64{1, 1}
+
+	items := []Item{
+		{ID: 0, Flow: traffic.Flow{ID: 0, Src: 0, Dst: 2, Size: 0.3}, Dir: AtoB},
+		{ID: 1, Flow: traffic.Flow{ID: 1, Src: 2, Dst: 0, Size: 0.2}, Dir: BtoA},
+		{ID: 2, Flow: traffic.Flow{ID: 2, Src: 1, Dst: 1, Size: 0.1}, Dir: AtoB},
+	}
+	defaults := []int{2, 0, 1}
+
+	evals := []struct {
+		name string
+		eval Evaluator
+	}{
+		{"distance", NewDistanceEvaluator(s, SideA, 10)},
+		{"bandwidth", NewBandwidthEvaluator(s, SideA, 10, make([]float64, nl), ones)},
+		{"fortz-thorup", NewFortzThorupEvaluator(s, SideA, 10, make([]float64, nl), ones)},
+	}
+	for _, e := range evals {
+		t.Run(e.name, func(t *testing.T) {
+			e.eval.Prefs(items, defaults) // warm the scratch buffers
+			if n := testing.AllocsPerRun(100, func() {
+				prefs := e.eval.Prefs(items, defaults)
+				if len(prefs) != len(items) {
+					t.Fatalf("%d pref rows for %d items", len(prefs), len(items))
+				}
+				e.eval.Commit(items[0], 1)
+			}); n != 0 {
+				t.Errorf("steady-state Prefs+Commit allocated %.1f times per run, want 0", n)
+			}
+		})
+	}
+}

@@ -73,6 +73,11 @@ type view struct {
 	side  Side
 	table *routing.Table
 	ixOwn []int // own PoP of each interconnection
+
+	// idx is the CSR path index over ixOwn, resolved from the table's
+	// memo by the load-based evaluators (distance never needs paths, so
+	// it skips the build). Lookups are zero-allocation subslices.
+	idx *routing.PathIndex
 }
 
 func newView(s *pairsim.System, side Side) view {
@@ -111,29 +116,39 @@ func (v view) distKm(it Item, k int) float64 {
 }
 
 // pathLinks returns the own-network links used by the item via
-// interconnection k.
-func (v view) pathLinks(it Item, k int) []int {
-	from, to := v.endpoints(it, k)
-	return v.table.PathLinks(from, to)
+// interconnection k as a zero-allocation view into the path index
+// (valid for the table's lifetime; callers must not modify it). The
+// caller must have resolved v.idx (load-based evaluators do so at
+// construction).
+func (v view) pathLinks(it Item, k int) []int32 {
+	upstream := (v.side == SideA && it.Dir == AtoB) || (v.side == SideB && it.Dir == BtoA)
+	if upstream {
+		return v.idx.To(k, it.Flow.Src)
+	}
+	return v.idx.From(k, it.Flow.Dst)
 }
 
 // cardinalDenominator picks the normalization unit for cardinal classes.
 // ScaleGlobal uses the 90th percentile of the non-zero absolute deltas
 // (outliers saturate at +/-P) so the bulk of flows retain resolution;
 // ScalePerFlow is handled by the caller contract but falls back to the
-// same table-wide unit when a flow has no non-zero delta.
-func cardinalDenominator(deltas [][]float64, scale Scale) float64 {
-	total := 0
-	for _, ds := range deltas {
-		total += len(ds)
+// same table-wide unit when a flow has no non-zero delta. buf, when
+// non-nil, is the reusable sort buffer (its backing array is grown once
+// and then reused across calls).
+func cardinalDenominator(deltas [][]float64, scale Scale, buf *[]float64) float64 {
+	var mags []float64
+	if buf != nil {
+		mags = (*buf)[:0]
 	}
-	mags := make([]float64, 0, total)
 	for _, ds := range deltas {
 		for _, d := range ds {
 			if a := math.Abs(d); a > 0 {
 				mags = append(mags, a)
 			}
 		}
+	}
+	if buf != nil {
+		*buf = mags
 	}
 	if len(mags) == 0 {
 		return 0
@@ -160,9 +175,16 @@ func cardinalDenominator(deltas [][]float64, scale Scale) float64 {
 }
 
 // mapDeltas converts per-item, per-alternative metric deltas (positive =
-// better than default) to preference classes.
-func mapDeltas(deltas [][]float64, p int, mapping Mapping, scale Scale) [][]int {
-	out := makeIntRows(deltas)
+// better than default) to preference classes. When s is non-nil the
+// returned rows live on the scratch and are valid only until the next
+// mapDeltas call with the same scratch.
+func mapDeltas(deltas [][]float64, p int, mapping Mapping, scale Scale, s *evalScratch) [][]int {
+	var out [][]int
+	if s != nil {
+		out = s.intRows(deltas)
+	} else {
+		out = makeIntRows(deltas)
+	}
 	switch mapping {
 	case Ordinal:
 		for i, ds := range deltas {
@@ -193,7 +215,11 @@ func mapDeltas(deltas [][]float64, p int, mapping Mapping, scale Scale) [][]int 
 		}
 		return out
 	default: // Cardinal
-		denom := cardinalDenominator(deltas, scale)
+		var buf *[]float64
+		if s != nil {
+			buf = &s.mags
+		}
+		denom := cardinalDenominator(deltas, scale, buf)
 		if denom == 0 {
 			return out
 		}
@@ -231,41 +257,53 @@ type DistanceEvaluator struct {
 	P       int
 	Mapping Mapping
 	Scale   Scale
+	scratch evalScratch
+	fn      func(i int)
 }
 
 // NewDistanceEvaluator builds the evaluator for the given side of the
 // (A->B oriented) system.
 func NewDistanceEvaluator(s *pairsim.System, side Side, p int) *DistanceEvaluator {
-	return &DistanceEvaluator{view: newView(s, side), P: p}
+	e := &DistanceEvaluator{view: newView(s, side), P: p}
+	// One closure for the evaluator's lifetime; per-call state flows
+	// through the scratch so steady-state Prefs allocates nothing.
+	e.fn = func(i int) {
+		it := e.scratch.items[i]
+		row := e.scratch.deltaRows[i]
+		base := e.view.distKm(it, e.scratch.defaults[i])
+		for k := range row {
+			row[k] = base - e.view.distKm(it, k)
+		}
+	}
+	return e
 }
 
-// Prefs implements Evaluator.
+// Prefs implements Evaluator. The returned rows live on the evaluator's
+// scratch: they are valid until the next Prefs or RawDeltas call on this
+// evaluator (see evalScratch).
 func (e *DistanceEvaluator) Prefs(items []Item, defaults []int) [][]int {
-	return mapDeltas(e.RawDeltas(items, defaults), e.P, e.Mapping, e.Scale)
+	return mapDeltas(e.RawDeltas(items, defaults), e.P, e.Mapping, e.Scale, &e.scratch)
 }
 
 // RawDeltas returns the unquantized per-alternative distance
 // improvements over each item's default (positive = shorter own-network
 // path). Aggregating evaluators (e.g. destination-based routing) sum
-// these before quantizing.
+// these before quantizing. The rows live on the evaluator's scratch and
+// are valid until the next Prefs or RawDeltas call.
 func (e *DistanceEvaluator) RawDeltas(items []Item, defaults []int) [][]float64 {
 	na := len(e.view.ixOwn)
-	deltas := makeDeltaRows(len(items), na)
-	forEachItem(len(items), na, func(i int) {
-		it := items[i]
-		base := e.view.distKm(it, defaults[i])
-		for k := 0; k < na; k++ {
-			deltas[i][k] = base - e.view.distKm(it, k)
-		}
-	})
+	deltas := e.scratch.deltas(len(items), na)
+	e.scratch.items, e.scratch.defaults = items, defaults
+	forEachItem(len(items), na, e.fn)
 	return deltas
 }
 
 // MapDeltas quantizes raw metric deltas to preference classes with the
 // default cardinal mapping (floor rounding, q90 scaling). It is exported
-// for evaluators composed outside this package.
+// for evaluators composed outside this package and returns freshly
+// allocated rows (no scratch, so no ownership caveats).
 func MapDeltas(deltas [][]float64, p int) [][]int {
-	return mapDeltas(deltas, p, Cardinal, ScaleGlobal)
+	return mapDeltas(deltas, p, Cardinal, ScaleGlobal, nil)
 }
 
 // Commit implements Evaluator (distance preferences are independent
@@ -286,6 +324,8 @@ type BandwidthEvaluator struct {
 	Scale   Scale
 	Load    []float64 // current per-link load in the own network
 	Cap     []float64 // per-link capacity
+	scratch evalScratch
+	fn      func(i int)
 }
 
 // NewBandwidthEvaluator builds the evaluator; load is the ISP's current
@@ -296,11 +336,23 @@ func NewBandwidthEvaluator(s *pairsim.System, side Side, p int, load, capv []flo
 		panic(fmt.Sprintf("nexit: load/cap vectors (%d/%d) do not match %d links",
 			len(load), len(capv), len(v.table.ISP.Links)))
 	}
-	return &BandwidthEvaluator{
+	v.idx = v.table.PathIndexFor(v.ixOwn)
+	e := &BandwidthEvaluator{
 		view: v, P: p,
 		Load: append([]float64(nil), load...),
 		Cap:  append([]float64(nil), capv...),
 	}
+	// One closure for the evaluator's lifetime; per-call state flows
+	// through the scratch so steady-state Prefs allocates nothing.
+	e.fn = func(i int) {
+		it := e.scratch.items[i]
+		row := e.scratch.deltaRows[i]
+		base := e.alternativeCost(it, e.scratch.defaults[i])
+		for k := range row {
+			row[k] = base - e.alternativeCost(it, k)
+		}
+	}
+	return e
 }
 
 // alternativeCost is the worst post-placement load ratio on the item's
@@ -311,22 +363,18 @@ func (e *BandwidthEvaluator) alternativeCost(it Item, k int) float64 {
 	if len(links) == 0 {
 		return 0
 	}
-	return metrics.MaxIncreaseOnPath(e.Load, e.Cap, links, it.Flow.Size)
+	return metrics.MaxIncreaseOnPath32(e.Load, e.Cap, links, it.Flow.Size)
 }
 
 // Prefs implements Evaluator. Link loads are only read here, so the
-// per-item loop is sharded by forEachItem when large.
+// per-item loop is sharded by forEachItem when large. The returned rows
+// live on the evaluator's scratch: valid until the next Prefs call.
 func (e *BandwidthEvaluator) Prefs(items []Item, defaults []int) [][]int {
 	na := len(e.view.ixOwn)
-	deltas := makeDeltaRows(len(items), na)
-	forEachItem(len(items), na, func(i int) {
-		it := items[i]
-		base := e.alternativeCost(it, defaults[i])
-		for k := 0; k < na; k++ {
-			deltas[i][k] = base - e.alternativeCost(it, k)
-		}
-	})
-	return mapDeltas(deltas, e.P, e.Mapping, e.Scale)
+	deltas := e.scratch.deltas(len(items), na)
+	e.scratch.items, e.scratch.defaults = items, defaults
+	forEachItem(len(items), na, e.fn)
+	return mapDeltas(deltas, e.P, e.Mapping, e.Scale, &e.scratch)
 }
 
 // Reset restores the evaluator to the given pre-session link loads (or
@@ -367,6 +415,8 @@ type FortzThorupEvaluator struct {
 	Scale   Scale
 	Load    []float64
 	Cap     []float64
+	scratch evalScratch
+	fn      func(i int)
 }
 
 // NewFortzThorupEvaluator builds the evaluator.
@@ -375,11 +425,23 @@ func NewFortzThorupEvaluator(s *pairsim.System, side Side, p int, load, capv []f
 	if len(load) != len(v.table.ISP.Links) || len(capv) != len(v.table.ISP.Links) {
 		panic("nexit: load/cap vectors do not match link count")
 	}
-	return &FortzThorupEvaluator{
+	v.idx = v.table.PathIndexFor(v.ixOwn)
+	e := &FortzThorupEvaluator{
 		view: v, P: p,
 		Load: append([]float64(nil), load...),
 		Cap:  append([]float64(nil), capv...),
 	}
+	// One closure for the evaluator's lifetime; per-call state flows
+	// through the scratch so steady-state Prefs allocates nothing.
+	e.fn = func(i int) {
+		it := e.scratch.items[i]
+		row := e.scratch.deltaRows[i]
+		base := e.alternativeCost(it, e.scratch.defaults[i])
+		for k := range row {
+			row[k] = base - e.alternativeCost(it, k)
+		}
+	}
+	return e
 }
 
 // alternativeCost is the marginal Fortz–Thorup cost of placing the flow
@@ -394,18 +456,14 @@ func (e *FortzThorupEvaluator) alternativeCost(it Item, k int) float64 {
 }
 
 // Prefs implements Evaluator. Link loads are only read here, so the
-// per-item loop is sharded by forEachItem when large.
+// per-item loop is sharded by forEachItem when large. The returned rows
+// live on the evaluator's scratch: valid until the next Prefs call.
 func (e *FortzThorupEvaluator) Prefs(items []Item, defaults []int) [][]int {
 	na := len(e.view.ixOwn)
-	deltas := makeDeltaRows(len(items), na)
-	forEachItem(len(items), na, func(i int) {
-		it := items[i]
-		base := e.alternativeCost(it, defaults[i])
-		for k := 0; k < na; k++ {
-			deltas[i][k] = base - e.alternativeCost(it, k)
-		}
-	})
-	return mapDeltas(deltas, e.P, e.Mapping, e.Scale)
+	deltas := e.scratch.deltas(len(items), na)
+	e.scratch.items, e.scratch.defaults = items, defaults
+	forEachItem(len(items), na, e.fn)
+	return mapDeltas(deltas, e.P, e.Mapping, e.Scale, &e.scratch)
 }
 
 // Reset restores the evaluator to the given pre-session link loads (or

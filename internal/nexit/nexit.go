@@ -244,6 +244,12 @@ type Evaluator interface {
 	// Prefs returns, for each item, the preference class of every
 	// alternative, relative to the item's default alternative (which
 	// must map to class 0). Preferences must lie in [-P, P].
+	//
+	// Ownership contract: the returned rows may live on evaluator-owned
+	// scratch buffers and are only guaranteed valid until the next Prefs
+	// (or RawDeltas) call on the same evaluator. Callers that retain
+	// preferences across calls must copy them — the engine copies every
+	// row via clampPrefsInto before the counterpart evaluator runs.
 	Prefs(items []Item, defaults []int) [][]int
 	// Commit informs the evaluator that an item was agreed to use alt.
 	Commit(item Item, alt int)
@@ -281,6 +287,24 @@ type negotiation struct {
 	// change on reassignment or veto, so entries survive whole runs of
 	// commits. Invalidated per ID on veto, wholesale on refreshPrefs.
 	bestCache []bestEntry
+
+	// scanCache memoizes, per item, the gain-independent outcome of the
+	// propose scan's inner alternative loop (see scanEntry); zeroPaBuf/
+	// zeroKBuf hold each item's sum-zero candidates in segment
+	// [id*numAlts, id*numAlts+zeroLen). Invalidated like bestCache.
+	scanCache []scanEntry
+	zeroPaBuf []int32
+	zeroKBuf  []int32
+
+	// Selected-class histograms back maxSelectedPref: selA/selB record
+	// each remaining item's class at its currently selected (bestAlt)
+	// alternative, histA/histB count them per class (index p+PrefBound),
+	// and selCount tracks how many items are in. Maintained across
+	// commits so the per-round stop check is O(P) instead of O(items).
+	selA, selB   []int
+	selIn        []bool
+	histA, histB []int32
+	selCount     int
 	// orderSums is rebuildOrder's per-ID sort-key scratch.
 	orderSums []int
 	// remScratch and defScratch are refreshPrefs' working sets.
@@ -304,6 +328,123 @@ type negotiation struct {
 type bestEntry struct {
 	alt, sum int
 	ok       bool
+}
+
+// scanEntry caches the gain-independent part of one item's inner loop in
+// scanMaxSum. The admissible alternatives split into:
+//
+//   - the strict set — the default alternative plus every k with
+//     combined sum > 0. Its best (sum, own-pref) under the scan's
+//     selection rule depends only on prefs and vetoes, never on the
+//     cumulative gains, so it is cached per proposer side (the own-pref
+//     tie-break differs between sides).
+//   - the zero set — non-default alternatives with combined sum == 0.
+//     Their admissibility DOES depend on the gains (both cumulative
+//     gains must stay non-negative), but with prefA + prefB == 0 the
+//     condition collapses to -GainA <= prefA <= GainB, so the scan
+//     evaluates the cached (prefA, k) list against the current gains in
+//     O(list) with no prefs-table loads.
+//
+// The deficit-recovery scan (propose's filtered pass when one side's
+// cumulative gain is negative) gets its own cached strict sets dA/dB:
+// the best strict candidate restricted to alternatives the deficit side
+// strictly gains on (prefsA[k] > 0 for dA, prefsB[k] > 0 for dB). The
+// zero list is shared — when the deficit side's gain is negative, the
+// sum-zero admission window -GainA <= prefA <= GainB already implies the
+// deficit side's preference is positive, so no filtered copy is needed.
+//
+// Entries are exact only in the regimes scanFastEligible (or the
+// deficit-scan eligibility in scanMaxSumDeficit) admits; any other state
+// falls back to the reference loop.
+type scanEntry struct {
+	ok       bool
+	strictOK bool
+	strictS  int
+	ownA     int
+	ownB     int
+	kA, kB   int32
+	zeroLen  int32
+
+	dAOK, dBOK     bool
+	dAS, dBS       int
+	dAOwnA, dAOwnB int
+	dBOwnA, dBOwnB int
+	dAKA, dAKB     int32
+	dBKA, dBKB     int32
+}
+
+// buildScanEntry fills the cache entry for one item from the current
+// preference tables and veto set.
+func (n *negotiation) buildScanEntry(id int) *scanEntry {
+	e := &n.scanCache[id]
+	def := n.defaults[id]
+	pa, pb := n.prefsA[id], n.prefsB[id]
+	e.strictOK, e.dAOK, e.dBOK = false, false, false
+	e.strictS, e.dAS, e.dBS = -1<<30, -1<<30, -1<<30
+	zo := id * n.numAlts
+	zl := 0
+	for k := 0; k < n.numAlts; k++ {
+		if n.nVetoed > 0 && n.vetoed[[2]int{id, k}] {
+			continue
+		}
+		s := pa[k] + pb[k]
+		switch {
+		case k == def || s > 0:
+			if !e.strictOK || s > e.strictS {
+				e.strictOK = true
+				e.strictS = s
+				e.ownA, e.kA = pa[k], int32(k)
+				e.ownB, e.kB = pb[k], int32(k)
+			} else if s == e.strictS {
+				// Ascending k with strictly-greater updates keeps the
+				// first alternative attaining the per-side maximum —
+				// the reference loop's tie-break.
+				if pa[k] > e.ownA {
+					e.ownA, e.kA = pa[k], int32(k)
+				}
+				if pb[k] > e.ownB {
+					e.ownB, e.kB = pb[k], int32(k)
+				}
+			}
+			if pa[k] > 0 {
+				if !e.dAOK || s > e.dAS {
+					e.dAOK = true
+					e.dAS = s
+					e.dAOwnA, e.dAKA = pa[k], int32(k)
+					e.dAOwnB, e.dAKB = pb[k], int32(k)
+				} else if s == e.dAS {
+					if pa[k] > e.dAOwnA {
+						e.dAOwnA, e.dAKA = pa[k], int32(k)
+					}
+					if pb[k] > e.dAOwnB {
+						e.dAOwnB, e.dAKB = pb[k], int32(k)
+					}
+				}
+			}
+			if pb[k] > 0 {
+				if !e.dBOK || s > e.dBS {
+					e.dBOK = true
+					e.dBS = s
+					e.dBOwnA, e.dBKA = pa[k], int32(k)
+					e.dBOwnB, e.dBKB = pb[k], int32(k)
+				} else if s == e.dBS {
+					if pa[k] > e.dBOwnA {
+						e.dBOwnA, e.dBKA = pa[k], int32(k)
+					}
+					if pb[k] > e.dBOwnB {
+						e.dBOwnB, e.dBKB = pb[k], int32(k)
+					}
+				}
+			}
+		case s == 0:
+			n.zeroPaBuf[zo+zl] = int32(pa[k])
+			n.zeroKBuf[zo+zl] = int32(k)
+			zl++
+		}
+	}
+	e.zeroLen = int32(zl)
+	e.ok = true
+	return e
 }
 
 // Negotiate runs the protocol and returns the result. numAlts is the
@@ -343,6 +484,14 @@ func Negotiate(cfg Config, evalA, evalB Evaluator, items []Item, defaults []int,
 		n.remaining[i] = true
 	}
 	n.bestCache = make([]bestEntry, len(items))
+	n.scanCache = make([]scanEntry, len(items))
+	n.zeroPaBuf = make([]int32, len(items)*numAlts)
+	n.zeroKBuf = make([]int32, len(items)*numAlts)
+	n.selA = make([]int, len(items))
+	n.selB = make([]int, len(items))
+	n.selIn = make([]bool, len(items))
+	n.histA = make([]int32, 2*cfg.PrefBound+1)
+	n.histB = make([]int32, 2*cfg.PrefBound+1)
 	for _, it := range items {
 		n.totalSize += it.Flow.Size
 	}
@@ -446,23 +595,70 @@ func (n *negotiation) refreshPrefs() {
 		defaults = append(defaults, n.defaults[it.ID])
 	}
 	n.remScratch, n.defScratch = rem, defaults
-	pa := n.evalA.Prefs(rem, defaults)
-	pb := n.evalB.Prefs(rem, defaults)
 	if n.prefsA == nil {
 		n.prefsA = make([][]int, len(n.items))
 		n.prefsB = make([][]int, len(n.items))
 	}
+	// Clamp each side's rows into negotiation-owned storage before the
+	// counterpart evaluator runs: evaluators hand out views of reusable
+	// scratch (see the Evaluator ownership contract), so the returned
+	// slices are never adopted directly and never read after another
+	// Prefs call that might share their backing.
+	pa := n.evalA.Prefs(rem, defaults)
 	for i, it := range rem {
-		// Clamp into rows owned by the negotiation: evaluators may hand
-		// out views of internal tables, so the returned slices are never
-		// adopted directly.
 		n.prefsA[it.ID] = clampPrefsInto(n.prefsA[it.ID], pa[i], n.cfg.PrefBound)
+	}
+	pb := n.evalB.Prefs(rem, defaults)
+	for i, it := range rem {
 		n.prefsB[it.ID] = clampPrefsInto(n.prefsB[it.ID], pb[i], n.cfg.PrefBound)
 	}
 	for i := range n.bestCache {
 		n.bestCache[i].ok = false
+		n.scanCache[i].ok = false
 	}
+	n.selRebuild()
 	n.rebuildOrder()
+}
+
+// selRebuild repopulates the selected-class histograms for the remaining
+// items from scratch (after a wholesale preference refresh).
+func (n *negotiation) selRebuild() {
+	for i := range n.histA {
+		n.histA[i] = 0
+		n.histB[i] = 0
+	}
+	for i := range n.selIn {
+		n.selIn[i] = false
+	}
+	n.selCount = 0
+	for id := range n.items {
+		if n.remaining[id] {
+			n.selAdd(id)
+		}
+	}
+}
+
+// selAdd counts item id into the selected-class histograms at its
+// current bestAlt classes.
+func (n *negotiation) selAdd(id int) {
+	alt, _ := n.bestAlt(id)
+	a, b := n.prefsA[id][alt], n.prefsB[id][alt]
+	n.selA[id], n.selB[id] = a, b
+	n.histA[a+n.cfg.PrefBound]++
+	n.histB[b+n.cfg.PrefBound]++
+	n.selIn[id] = true
+	n.selCount++
+}
+
+// selRemove removes item id from the histograms (no-op if absent).
+func (n *negotiation) selRemove(id int) {
+	if !n.selIn[id] {
+		return
+	}
+	n.histA[n.selA[id]+n.cfg.PrefBound]--
+	n.histB[n.selB[id]+n.cfg.PrefBound]--
+	n.selIn[id] = false
+	n.selCount--
 }
 
 func clampPrefsInto(dst, p []int, bound int) []int {
@@ -574,7 +770,10 @@ func (n *negotiation) run() {
 func (n *negotiation) veto(id, alt int) {
 	n.vetoed[[2]int{id, alt}] = true
 	n.nVetoed++
+	n.selRemove(id)
 	n.bestCache[id].ok = false
+	n.scanCache[id].ok = false
+	n.selAdd(id) // re-count at the post-veto selected alternative
 	n.rebuildOrder()
 }
 
@@ -602,6 +801,9 @@ func (n *negotiation) restore(s engineSnap, committed, orderSnap []int) {
 	n.lastTurn, n.haveTurn = s.lastTurn, s.haveTurn
 	for _, id := range committed {
 		n.remaining[id] = true
+		// Prefs, vetoes, and bestAlt are untouched by planning, so
+		// re-counting restores the histograms to the pre-plan state.
+		n.selAdd(id)
 	}
 	n.order = append(n.order[:0], orderSnap...)
 }
@@ -715,6 +917,7 @@ func (n *negotiation) planBatch(batch *[]Proposal, committed *[]int, maxBatch in
 		})
 		n.result.Rounds++
 		n.remaining[id] = false
+		n.selRemove(id)
 		*committed = append(*committed, id)
 		n.result.GainA += pA
 		n.result.GainB += pB
@@ -753,7 +956,43 @@ func (n *negotiation) compactOrder() {
 // still on the table but the distorted sums ensure they are never
 // selected (paper §5.4: "the negotiation terminates prematurely as the
 // truthful ISP stops when it sees no benefit for itself").
+// The histograms are maintained incrementally over exactly the items in
+// n.order (order is compacted to the remaining set before every caller),
+// so the scan is O(P) per round instead of O(remaining items).
 func (n *negotiation) maxSelectedPref() (maxA, maxB int) {
+	maxA, maxB = n.maxSelectedPrefHist()
+	if debugScanChecks {
+		wantA, wantB := n.maxSelectedPrefRef()
+		if maxA != wantA || maxB != wantB {
+			panic(fmt.Sprintf("nexit: maxSelectedPref mismatch: hist (%d,%d) ref (%d,%d)", maxA, maxB, wantA, wantB))
+		}
+	}
+	return maxA, maxB
+}
+
+func (n *negotiation) maxSelectedPrefHist() (maxA, maxB int) {
+	maxA, maxB = -1<<30, -1<<30
+	if n.selCount == 0 {
+		return maxA, maxB
+	}
+	for p := len(n.histA) - 1; p >= 0; p-- {
+		if n.histA[p] > 0 {
+			maxA = p - n.cfg.PrefBound
+			break
+		}
+	}
+	for p := len(n.histB) - 1; p >= 0; p-- {
+		if n.histB[p] > 0 {
+			maxB = p - n.cfg.PrefBound
+			break
+		}
+	}
+	return maxA, maxB
+}
+
+// maxSelectedPrefRef is the direct reference implementation, retained
+// for the debugScanChecks cross-verification.
+func (n *negotiation) maxSelectedPrefRef() (maxA, maxB int) {
 	maxA, maxB = -1<<30, -1<<30
 	for _, id := range n.order {
 		alt, _ := n.bestAlt(id)
@@ -827,6 +1066,7 @@ func (n *negotiation) shouldStop(id, alt int) (StopReason, bool) {
 func (n *negotiation) commit(id, alt, pA, pB int) {
 	n.commits = append(n.commits, commitRecord{id: id, alt: alt, pA: pA, pB: pB})
 	n.remaining[id] = false
+	n.selRemove(id)
 	n.result.Assign[id] = alt
 	n.result.GainA += pA
 	n.result.GainB += pB

@@ -34,14 +34,88 @@ func forEachItem(n, perItem int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func(start int) {
+		// stride is passed, not captured: capturing workers would move it
+		// to the heap at function entry, costing the serial fast path an
+		// allocation per call.
+		go func(start, stride int) {
 			defer wg.Done()
-			for i := start; i < n; i += workers {
+			for i := start; i < n; i += stride {
 				fn(i)
 			}
-		}(w)
+		}(w, workers)
 	}
 	wg.Wait()
+}
+
+// evalScratch is the per-evaluator buffer set reused across Prefs and
+// RawDeltas calls: the delta matrix, the class matrix, and the
+// cardinalDenominator sort buffer. Backing arrays grow to the largest
+// shape seen and are then reused, so steady-state preference evaluation
+// allocates nothing.
+//
+// Ownership contract: rows handed out by Prefs/RawDeltas point into the
+// scratch and stay valid only until the NEXT Prefs or RawDeltas call on
+// the same evaluator. Callers that retain preferences across calls must
+// copy (the engine does, via clampPrefsInto; the wire responder copies
+// into its own per-item buffer).
+type evalScratch struct {
+	deltaFlat []float64
+	deltaRows [][]float64
+	intFlat   []int
+	intRows_  [][]int
+	mags      []float64
+
+	// items/defaults are the per-call view read by the evaluators'
+	// construction-time item closures (see e.g. NewDistanceEvaluator):
+	// allocating the closure once and passing call state through the
+	// scratch keeps steady-state Prefs free of the per-call capture
+	// allocation a fresh closure would cost. Set before the item loop,
+	// read (never written) by its shards.
+	items    []Item
+	defaults []int
+}
+
+// deltas returns the items x alts delta matrix, zeroed.
+func (s *evalScratch) deltas(items, alts int) [][]float64 {
+	need := items * alts
+	if cap(s.deltaFlat) < need {
+		s.deltaFlat = make([]float64, need)
+	}
+	flat := s.deltaFlat[:need]
+	for i := range flat {
+		flat[i] = 0
+	}
+	if cap(s.deltaRows) < items {
+		s.deltaRows = make([][]float64, items)
+	}
+	rows := s.deltaRows[:items]
+	for i := range rows {
+		rows[i], flat = flat[:alts:alts], flat[alts:]
+	}
+	return rows
+}
+
+// intRows returns a zeroed class matrix matching the shape of deltas.
+func (s *evalScratch) intRows(deltas [][]float64) [][]int {
+	total := 0
+	for _, ds := range deltas {
+		total += len(ds)
+	}
+	if cap(s.intFlat) < total {
+		s.intFlat = make([]int, total)
+	}
+	flat := s.intFlat[:total]
+	for i := range flat {
+		flat[i] = 0
+	}
+	if cap(s.intRows_) < len(deltas) {
+		s.intRows_ = make([][]int, len(deltas))
+	}
+	rows := s.intRows_[:len(deltas)]
+	for i, ds := range deltas {
+		rows[i], flat = flat[:len(ds):len(ds)], flat[len(ds):]
+	}
+	return rows
 }
 
 // makeDeltaRows carves an items x alts delta matrix out of one backing

@@ -219,16 +219,12 @@ func (n *negotiation) propose(proposer Side) (id, alt int, ok bool) {
 		// is repaired before further trades. Fall back to the normal
 		// scan if no recovery candidate is proposable.
 		if n.cfg.Stop == StopEarly {
-			var deficit [][]int
 			if n.result.GainA < 0 {
-				deficit = n.prefsA
+				if id, alt, ok := n.scanMaxSumDeficit(proposer, own, other, SideA); ok {
+					return id, alt, true
+				}
 			} else if n.result.GainB < 0 {
-				deficit = n.prefsB
-			}
-			if deficit != nil {
-				if id, alt, ok := n.scanMaxSum(proposer, own, other, func(cand, k int) bool {
-					return deficit[cand][k] > 0
-				}); ok {
+				if id, alt, ok := n.scanMaxSumDeficit(proposer, own, other, SideB); ok {
 					return id, alt, true
 				}
 			}
@@ -237,46 +233,273 @@ func (n *negotiation) propose(proposer Side) (id, alt int, ok bool) {
 	}
 }
 
+// debugScanChecks enables cross-verification of the cached fast scan and
+// the histogram-backed stop check against their direct reference loops,
+// panicking on any divergence. Tests flip it on; it stays false in
+// normal runs.
+var debugScanChecks = false
+
+// scanFastEligible reports whether the cached fast scan is exact in the
+// current gain state. With both cumulative gains non-negative, clamped
+// preferences (|p| <= P) can never trip the StopEarly deficit bounds in
+// affordable, and under VetoIfLoss gains of at least P make the
+// proposer's self-censoring vacuous — so affordability holds for every
+// candidate and the scan outcome depends on the gains only through the
+// sum-zero admission rule, which the cache evaluates exactly. Outside
+// these regimes scanMaxSum falls back to the reference loop.
+func (n *negotiation) scanFastEligible() bool {
+	if n.result.GainA < 0 || n.result.GainB < 0 {
+		return false
+	}
+	if n.cfg.Accept == VetoIfLoss &&
+		(n.result.GainA < n.cfg.PrefBound || n.result.GainB < n.cfg.PrefBound) {
+		return false
+	}
+	return true
+}
+
 // scanMaxSum finds the affordable, non-vetoed candidate maximizing the
 // combined preference sum, breaking ties with the proposer's own
 // preference, then the lowest item/alternative index. An optional extra
 // filter restricts the candidate set.
+//
+// The unfiltered scan in the common gain regimes dispatches to the
+// cached fast path; anything else runs the direct reference loop.
 func (n *negotiation) scanMaxSum(proposer Side, own, other [][]int, filter func(cand, k int) bool) (id, alt int, ok bool) {
-	// The order slice is sorted by best combined gain; once a candidate
-	// group can no longer match the best affordable sum found, stop
-	// scanning.
+	if filter == nil && n.scanFastEligible() {
+		id, alt, ok = n.scanMaxSumFast(proposer)
+		if debugScanChecks {
+			wantID, wantAlt, wantOK := n.scanMaxSumRef(proposer, own, other, nil)
+			if id != wantID || alt != wantAlt || ok != wantOK {
+				panic(fmt.Sprintf("nexit: scanMaxSum mismatch: fast (%d,%d,%v) ref (%d,%d,%v)",
+					id, alt, ok, wantID, wantAlt, wantOK))
+			}
+		}
+		return id, alt, ok
+	}
+	return n.scanMaxSumRef(proposer, own, other, filter)
+}
+
+// scanMaxSumFast evaluates each candidate from its scanEntry: an O(1)
+// lookup of the cached strict-set best plus a walk of the (typically
+// empty) sum-zero list against the current gains, instead of an
+// O(numAlts) pass over both preference tables. Selection rule and
+// tie-breaks replicate the reference loop exactly; see scanEntry for the
+// argument.
+func (n *negotiation) scanMaxSumFast(proposer Side) (id, alt int, ok bool) {
 	id, alt = -1, -1
 	bestSum, bestOwn := -1<<30, -1<<30
+	ga, gb := n.result.GainA, n.result.GainB
 	for _, cand := range n.order {
 		if id >= 0 {
 			if _, s := n.bestAlt(cand); s < bestSum {
 				break
 			}
 		}
+		e := &n.scanCache[cand]
+		if !e.ok {
+			e = n.buildScanEntry(cand)
+		}
+		cOK, cs, cOwn, ck := e.strictOK, e.strictS, e.ownA, e.kA
+		if proposer == SideB {
+			cOwn, ck = e.ownB, e.kB
+		}
+		// Sum-zero candidates only matter while the strict best is not
+		// strictly positive. With prefA + prefB == 0 the both-gains-stay-
+		// non-negative admission collapses to -GainA <= prefA <= GainB.
+		if e.zeroLen > 0 && cs <= 0 {
+			zo := cand * n.numAlts
+			for i := 0; i < int(e.zeroLen); i++ {
+				pa := int(n.zeroPaBuf[zo+i])
+				if pa < -ga || pa > gb {
+					continue
+				}
+				zOwn, zk := pa, n.zeroKBuf[zo+i]
+				if proposer == SideB {
+					zOwn = -pa
+				}
+				switch {
+				case !cOK || cs < 0:
+					cOK, cs, cOwn, ck = true, 0, zOwn, zk
+				case zOwn > cOwn || (zOwn == cOwn && zk < ck):
+					// Equal (sum, own) resolves to the lowest k, matching
+					// the reference loop's first-wins updates.
+					cOwn, ck = zOwn, zk
+				}
+			}
+		}
+		if cOK && (cs > bestSum || (cs == bestSum && cOwn > bestOwn)) {
+			bestSum, bestOwn, id, alt = cs, cOwn, cand, int(ck)
+		}
+	}
+	return id, alt, id >= 0
+}
+
+// scanMaxSumDeficit is the recovery pass of propose: the max-sum scan
+// restricted to candidates the deficit side (dside, whose cumulative
+// gain is negative) strictly gains on. It dispatches to a cached fast
+// path when that is exact:
+//
+//   - the filter p_deficit > 0 plus the invariant that the deficit
+//     side's gain never fell below its own bound make the StopEarly
+//     affordability check vacuous for the deficit side;
+//   - the OTHER side's bound is vacuous whenever its gain is
+//     non-negative (clamped preferences cannot dip it past -P);
+//   - sum-zero candidates are admitted by the same gain window as the
+//     unfiltered scan, and with the deficit gain negative that window
+//     already forces the deficit side's preference positive — so the
+//     shared zero list applies unchanged.
+//
+// VetoIfLoss self-censoring and a doubly-negative gain state are not
+// covered by the cache; those run the reference loop.
+func (n *negotiation) scanMaxSumDeficit(proposer Side, own, other [][]int, dside Side) (id, alt int, ok bool) {
+	deficit := n.prefsA
+	otherGain := n.result.GainB
+	if dside == SideB {
+		deficit = n.prefsB
+		otherGain = n.result.GainA
+	}
+	if n.cfg.Accept == VetoIfLoss || otherGain < 0 {
+		return n.scanMaxSumRef(proposer, own, other, func(cand, k int) bool {
+			return deficit[cand][k] > 0
+		})
+	}
+	id, alt, ok = n.scanMaxSumDeficitFast(proposer, dside)
+	if debugScanChecks {
+		wantID, wantAlt, wantOK := n.scanMaxSumRef(proposer, own, other, func(cand, k int) bool {
+			return deficit[cand][k] > 0
+		})
+		if id != wantID || alt != wantAlt || ok != wantOK {
+			panic(fmt.Sprintf("nexit: scanMaxSumDeficit mismatch: fast (%d,%d,%v) ref (%d,%d,%v)",
+				id, alt, ok, wantID, wantAlt, wantOK))
+		}
+	}
+	return id, alt, ok
+}
+
+// scanMaxSumDeficitFast is scanMaxSumFast for the deficit-filtered scan,
+// reading the dA/dB strict tuples of the cache instead of the unfiltered
+// ones.
+func (n *negotiation) scanMaxSumDeficitFast(proposer Side, dside Side) (id, alt int, ok bool) {
+	id, alt = -1, -1
+	bestSum, bestOwn := -1<<30, -1<<30
+	ga, gb := n.result.GainA, n.result.GainB
+	for _, cand := range n.order {
+		if id >= 0 {
+			if _, s := n.bestAlt(cand); s < bestSum {
+				break
+			}
+		}
+		e := &n.scanCache[cand]
+		if !e.ok {
+			e = n.buildScanEntry(cand)
+		}
+		var (
+			cOK      bool
+			cs, cOwn int
+			ck       int32
+		)
+		if dside == SideA {
+			cOK, cs, cOwn, ck = e.dAOK, e.dAS, e.dAOwnA, e.dAKA
+			if proposer == SideB {
+				cOwn, ck = e.dAOwnB, e.dAKB
+			}
+		} else {
+			cOK, cs, cOwn, ck = e.dBOK, e.dBS, e.dBOwnA, e.dBKA
+			if proposer == SideB {
+				cOwn, ck = e.dBOwnB, e.dBKB
+			}
+		}
+		if e.zeroLen > 0 && cs <= 0 {
+			zo := cand * n.numAlts
+			for i := 0; i < int(e.zeroLen); i++ {
+				pa := int(n.zeroPaBuf[zo+i])
+				if pa < -ga || pa > gb {
+					continue
+				}
+				zOwn, zk := pa, n.zeroKBuf[zo+i]
+				if proposer == SideB {
+					zOwn = -pa
+				}
+				switch {
+				case !cOK || cs < 0:
+					cOK, cs, cOwn, ck = true, 0, zOwn, zk
+				case zOwn > cOwn || (zOwn == cOwn && zk < ck):
+					cOwn, ck = zOwn, zk
+				}
+			}
+		}
+		if cOK && (cs > bestSum || (cs == bestSum && cOwn > bestOwn)) {
+			bestSum, bestOwn, id, alt = cs, cOwn, cand, int(ck)
+		}
+	}
+	return id, alt, id >= 0
+}
+
+// scanMaxSumRef is the direct scan over the preference tables — the
+// reference semantics for scanMaxSumFast and the fallback for filtered
+// scans and uncommon gain regimes. The affordability conditions (see
+// affordable) are inlined with their gain- and config-derived bounds
+// hoisted out of the loop; the per-candidate preference rows are loaded
+// once. Check order within an iteration is immaterial — every clause is
+// a pure filter — so this computes exactly what the method-call form
+// did, just without re-deriving invariants per (candidate, alternative).
+func (n *negotiation) scanMaxSumRef(proposer Side, own, other [][]int, filter func(cand, k int) bool) (id, alt int, ok bool) {
+	// The order slice is sorted by best combined gain; once a candidate
+	// group can no longer match the best affordable sum found, stop
+	// scanning.
+	id, alt = -1, -1
+	bestSum, bestOwn := -1<<30, -1<<30
+	gA, gB := n.result.GainA, n.result.GainB
+	stopEarly := n.cfg.Stop == StopEarly
+	boundA := -n.cfg.PrefBound - n.cfg.ExtraDeficitA
+	boundB := -n.cfg.PrefBound - n.cfg.ExtraDeficitB
+	vetoIfLoss := n.cfg.Accept == VetoIfLoss
+	for _, cand := range n.order {
+		if id >= 0 {
+			if _, s := n.bestAlt(cand); s < bestSum {
+				break
+			}
+		}
+		pa, pb, po := n.prefsA[cand], n.prefsB[cand], own[cand]
+		def := n.defaults[cand]
 		for k := 0; k < n.numAlts; k++ {
-			if (n.nVetoed > 0 && n.vetoed[[2]int{cand, k}]) || !n.affordable(proposer, cand, k) {
+			if n.nVetoed > 0 && n.vetoed[[2]int{cand, k}] {
 				continue
+			}
+			pak, pbk := pa[k], pb[k]
+			if stopEarly && (gA+pak < boundA || gB+pbk < boundB) {
+				continue
+			}
+			if vetoIfLoss {
+				// The proposer self-censors candidates it cannot afford.
+				if proposer == SideA {
+					if gA+pak < 0 {
+						continue
+					}
+				} else if gB+pbk < 0 {
+					continue
+				}
 			}
 			if filter != nil && !filter(cand, k) {
 				continue
 			}
-			s := own[cand][k] + other[cand][k]
+			s := pak + pbk
 			// Moving a flow off its default requires non-negative joint
 			// gain. (With the asymmetric cardinal rounding, a class is
 			// never an underestimate of a loss, so a sum-zero move is
 			// at worst marginally harmful and usually beneficial.)
-			if k != n.defaults[cand] && s < 0 {
+			if k != def && s < 0 {
 				continue
 			}
 			// Sum-zero trades bring no joint class gain, so unlike
 			// positive-sum trades they may not dip either side into a
 			// deficit: both cumulative gains must stay non-negative.
-			if k != n.defaults[cand] && s == 0 &&
-				(n.result.GainA+n.prefsA[cand][k] < 0 || n.result.GainB+n.prefsB[cand][k] < 0) {
+			if k != def && s == 0 && (gA+pak < 0 || gB+pbk < 0) {
 				continue
 			}
-			if s > bestSum || (s == bestSum && own[cand][k] > bestOwn) {
-				bestSum, bestOwn, id, alt = s, own[cand][k], cand, k
+			if s > bestSum || (s == bestSum && po[k] > bestOwn) {
+				bestSum, bestOwn, id, alt = s, po[k], cand, k
 			}
 		}
 	}

@@ -1,0 +1,100 @@
+package nexit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// TestScanFastMatchesReference drives the engine across randomized
+// preference tables and every policy combination with debugScanChecks
+// enabled, so every propose scan cross-checks the cached fast path
+// against the direct reference loop and every stop check cross-checks
+// the histogram against the O(items) scan. Any divergence panics inside
+// the engine, failing the test.
+//
+// The trials deliberately cover the regimes the cache must survive:
+// vetoes (via AcceptHook and VetoIfLoss), batched planning with partial
+// accepts, preference reassignment, extra deficit allowances, and
+// preference tables whose default class is nonzero (the engine clamps
+// but does not normalize evaluator output).
+func TestScanFastMatchesReference(t *testing.T) {
+	debugScanChecks = true
+	defer func() { debugScanChecks = false }()
+
+	turns := []TurnPolicy{Alternate, LowerGain, CoinToss}
+	proposes := []ProposePolicy{MaxSum, BestLocal}
+	accepts := []AcceptPolicy{AlwaysAccept, VetoIfLoss}
+	stops := []StopPolicy{StopEarly, StopWhilePositive, StopNever}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 400; trial++ {
+		na := 1 + rng.Intn(5)
+		n := 1 + rng.Intn(40)
+		p := 10
+		if trial%3 == 0 {
+			p = 3
+		}
+		mk := func() *StaticEvaluator {
+			ev := &StaticEvaluator{NumAlts: na, Table: map[int][]int{}}
+			for i := 0; i < n; i++ {
+				prefs := make([]int, na)
+				for k := range prefs {
+					prefs[k] = rng.Intn(2*p+1) - p
+				}
+				if trial%5 != 0 {
+					prefs[i%na] = 0 // honest default; every 5th trial leaves it random
+				}
+				ev.Table[i] = prefs
+			}
+			return ev
+		}
+		items := make([]Item, n)
+		defaults := make([]int, n)
+		for i := 0; i < n; i++ {
+			items[i] = Item{ID: i, Flow: traffic.Flow{ID: i, Size: 1 + rng.Float64()}, Dir: Direction(i % 2)}
+			defaults[i] = i % na
+		}
+		cfg := Config{
+			PrefBound: p,
+			Turn:      turns[trial%len(turns)],
+			Propose:   proposes[(trial/2)%len(proposes)],
+			Accept:    accepts[(trial/3)%len(accepts)],
+			Stop:      stops[(trial/4)%len(stops)],
+			Rng:       rand.New(rand.NewSource(int64(trial))),
+		}
+		switch trial % 4 {
+		case 0:
+			cfg.ReassignFraction = 0.25
+		case 1:
+			cfg.ExtraDeficitA = rng.Intn(2 * p)
+			cfg.ExtraDeficitB = rng.Intn(2 * p)
+		}
+		switch trial % 7 {
+		case 2:
+			// Deterministic vetoes exercise scanCache invalidation.
+			cfg.AcceptHook = func(acceptor Side, pr Proposal) bool {
+				return (pr.ItemID+pr.Alt)%3 != 0
+			}
+		case 3:
+			// Random accepted prefixes exercise planBatch's simulated
+			// commits and the histogram restore path.
+			hookRng := rand.New(rand.NewSource(int64(trial) * 31))
+			cfg.BatchAcceptHook = func(batch []Proposal) int {
+				return hookRng.Intn(len(batch) + 1)
+			}
+		}
+		res, err := Negotiate(cfg, mk(), mk(), items, defaults, na)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, a := range res.Assign {
+			if a < 0 || a >= na {
+				t.Fatalf("trial %d: item %d assigned %d (na=%d)", trial, i, a, na)
+			}
+		}
+		if res.Rounds > n*na*6+32 {
+			t.Fatalf("trial %d: %d rounds for %d items (runaway)", trial, res.Rounds, n)
+		}
+	}
+}

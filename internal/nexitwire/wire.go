@@ -536,14 +536,21 @@ func (r *Responder) ServeSessionConn(c *Conn, hello *Hello) (*SessionResult, err
 	assign := append([]int(nil), r.Defaults...)
 	gainB := 0
 	// lastPrefs remembers the classes most recently disclosed per item,
-	// for accounting the cumulative gain as commits arrive.
-	lastPrefs := make(map[int][]int, len(r.Items))
+	// for accounting the cumulative gain as commits arrive. Evaluator
+	// Prefs rows live on reusable scratch (see the nexit.Evaluator
+	// ownership contract), so the classes are COPIED into this flat
+	// session-owned buffer — a retained row pointer would be clobbered
+	// by the next reassignment's Prefs call. Undisclosed or
+	// out-of-range entries stay zero, matching the old map's "missing
+	// row contributes nothing" accounting.
+	lastPrefs := make([]int, len(r.Items)*r.NumAlts)
+	lastSeen := make([]bool, len(r.Items))
 	// commit fuses the bookkeeping a Commit frame (or an accepted
 	// batched proposal) triggers.
 	commit := func(itemID, alt int) {
 		assign[itemID] = alt
-		if row, ok := lastPrefs[itemID]; ok && alt < len(row) {
-			gainB += row[alt]
+		if lastSeen[itemID] && alt < r.NumAlts {
+			gainB += lastPrefs[itemID*r.NumAlts+alt]
 		}
 		r.Eval.Commit(r.Items[itemID], alt)
 	}
@@ -596,7 +603,13 @@ func (r *Responder) ServeSessionConn(c *Conn, hello *Hello) (*SessionResult, err
 					out[k] = int8(p)
 				}
 				resp.Prefs = append(resp.Prefs, out)
-				lastPrefs[items[i].ID] = row
+				id := items[i].ID
+				keep := lastPrefs[id*r.NumAlts : (id+1)*r.NumAlts]
+				for k := range keep {
+					keep[k] = 0
+				}
+				copy(keep, row)
+				lastSeen[id] = true
 			}
 			if err := s.sendEnc(MsgPrefsResponse, appendPrefsResponse(s.enc[:0], &resp)); err != nil {
 				return nil, err
@@ -658,8 +671,8 @@ func (r *Responder) ServeSessionConn(c *Conn, hello *Hello) (*SessionResult, err
 				return nil, s.abort(fmt.Errorf("nexitwire: revert of item %d does not match committed alternative", c.ItemID))
 			}
 			assign[c.ItemID] = int(c.Def)
-			if row, ok := lastPrefs[int(c.ItemID)]; ok && int(c.Alt) < len(row) {
-				gainB -= row[c.Alt]
+			if lastSeen[c.ItemID] {
+				gainB -= lastPrefs[int(c.ItemID)*r.NumAlts+int(c.Alt)]
 			}
 			if rev, ok := r.Eval.(nexit.Reverter); ok {
 				rev.Revert(r.Items[c.ItemID], int(c.Alt), int(c.Def))

@@ -78,29 +78,36 @@ func Bandwidth(s *pairsim.System, flows []traffic.Flow, fixedUp, fixedDown, capU
 	fixedAll = append(fixedAll, fixedDown...)
 
 	// coef[l][i*na+k]: load placed on link l when flow i fully uses
-	// interconnection k. Stored sparsely per (flow, alt).
-	type flowAlt struct{ links []int }
+	// interconnection k. Stored sparsely per (flow, alt) as subslice
+	// views into the tables' CSR path indexes — the same memoized
+	// indexes the nexit evaluators resolve for these interconnection
+	// sets, so across a whole experiment the path structure is built
+	// once per (table, endpoint set) and shared.
+	apops := make([]int, na)
+	bpops := make([]int, na)
+	for k, ix := range s.Pair.Interconnections {
+		apops[k] = ix.APoP
+		bpops[k] = ix.BPoP
+	}
+	ixUp := s.Up.PathIndexFor(apops)
+	ixDown := s.Down.PathIndexFor(bpops)
+	type flowAlt struct{ up, down []int32 } // down links are offset by nUp in the joint link space
 	fa := make([][]flowAlt, nf)
 	for i, f := range flows {
 		fa[i] = make([]flowAlt, na)
 		for k := 0; k < na; k++ {
-			ix := s.Pair.Interconnections[k]
-			var links []int
-			for _, li := range s.Up.PathLinks(f.Src, ix.APoP) {
-				links = append(links, li)
-			}
-			for _, li := range s.Down.PathLinks(ix.BPoP, f.Dst) {
-				links = append(links, nUp+li)
-			}
-			fa[i][k] = flowAlt{links: links}
+			fa[i][k] = flowAlt{up: ixUp.To(k, f.Src), down: ixDown.From(k, f.Dst)}
 		}
 	}
 
 	// Baseline: every flow fully on alternative 0.
 	load0 := make([]float64, nLinks)
 	for i, f := range flows {
-		for _, l := range fa[i][0].links {
+		for _, l := range fa[i][0].up {
 			load0[l] += f.Size
+		}
+		for _, l := range fa[i][0].down {
+			load0[nUp+int(l)] += f.Size
 		}
 	}
 	t0 := 0.0
@@ -135,9 +142,9 @@ func Bandwidth(s *pairsim.System, flows []traffic.Flow, fixedUp, fixedDown, capU
 		row := make([]float64, nv)
 		touched := false
 		for i, f := range flows {
-			on0 := contains(fa[i][0].links, l)
+			on0 := onLink(fa[i][0].up, fa[i][0].down, l, nUp)
 			for k := 1; k < na; k++ {
-				onK := contains(fa[i][k].links, l)
+				onK := onLink(fa[i][k].up, fa[i][k].down, l, nUp)
 				switch {
 				case onK && !on0:
 					row[xCol(i, k)] += f.Size
@@ -208,12 +215,11 @@ func Bandwidth(s *pairsim.System, flows []traffic.Flow, fixedUp, fixedDown, capU
 			if frac == 0 {
 				continue
 			}
-			for _, l := range fa[i][k].links {
-				if l < nUp {
-					loadUp[l] += frac * f.Size
-				} else {
-					loadDown[l-nUp] += frac * f.Size
-				}
+			for _, l := range fa[i][k].up {
+				loadUp[l] += frac * f.Size
+			}
+			for _, l := range fa[i][k].down {
+				loadDown[l] += frac * f.Size
 			}
 		}
 	}
@@ -222,9 +228,20 @@ func Bandwidth(s *pairsim.System, flows []traffic.Flow, fixedUp, fixedDown, capU
 	return res, nil
 }
 
-func contains(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
+// onLink reports whether joint-space link l (down links offset by nUp)
+// lies on the path described by the up/down index rows.
+func onLink(up, down []int32, l, nUp int) bool {
+	if l < nUp {
+		for _, v := range up {
+			if int(v) == l {
+				return true
+			}
+		}
+		return false
+	}
+	l -= nUp
+	for _, v := range down {
+		if int(v) == l {
 			return true
 		}
 	}

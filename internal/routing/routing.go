@@ -12,10 +12,11 @@
 package routing
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/topology"
 )
 
@@ -23,13 +24,26 @@ import (
 // minimize the sum of link weights; ties are broken deterministically
 // (prefer the path whose previous hop has the smaller PoP ID) so the
 // entire simulator is reproducible.
+//
+// All four per-pair matrices live in single contiguous n*n backing
+// arrays (row src at [src*n : (src+1)*n]) rather than per-source row
+// allocations: the evaluator hot loops walk rows for many (src, dst)
+// pairs in sequence, and one flat allocation keeps them on adjacent
+// cache lines and off the allocator entirely.
 type Table struct {
 	ISP *topology.ISP
 
-	dist   [][]float64 // dist[src][dst]: sum of link weights
-	length [][]float64 // length[src][dst]: geographic km along the chosen path
-	parent [][]int32   // parent[src][dst]: previous hop on the path from src, -1 at src/unreachable
-	plink  [][]int32   // plink[src][dst]: link index used to reach dst from parent
+	n      int
+	dist   []float64 // dist[src*n+dst]: sum of link weights
+	length []float64 // length[src*n+dst]: geographic km along the chosen path
+	parent []int32   // parent[src*n+dst]: previous hop on the path from src, -1 at src/unreachable
+	plink  []int32   // plink[src*n+dst]: link index used to reach dst from parent
+
+	// pathIndexes memoizes PathIndexFor results keyed by the encoded
+	// endpoint list. Tables are shared across pairs and worker
+	// goroutines (pairsim.TableCache), so the memo must be safe for
+	// concurrent first use.
+	pathIndexes sync.Map // string -> *PathIndex
 }
 
 // New builds the routing table by running Dijkstra from every PoP.
@@ -37,37 +51,53 @@ func New(isp *topology.ISP) *Table {
 	n := len(isp.PoPs)
 	t := &Table{
 		ISP:    isp,
-		dist:   make([][]float64, n),
-		length: make([][]float64, n),
-		parent: make([][]int32, n),
-		plink:  make([][]int32, n),
+		n:      n,
+		dist:   make([]float64, n*n),
+		length: make([]float64, n*n),
+		parent: make([]int32, n*n),
+		plink:  make([]int32, n*n),
 	}
 	adj := isp.Adjacency()
+	var s dijkstraScratch
+	s.init(n)
 	for src := 0; src < n; src++ {
-		t.dist[src], t.length[src], t.parent[src], t.plink[src] = dijkstra(isp, adj, src)
+		r := src * n
+		dijkstra(isp, adj, src, t.dist[r:r+n], t.length[r:r+n], t.parent[r:r+n], t.plink[r:r+n], &s)
 	}
 	return t
 }
 
+// dijkstraScratch is the per-source working set, reused across the n
+// single-source runs of one table build.
+type dijkstraScratch struct {
+	done []bool
+	pq   popHeap
+}
+
+func (s *dijkstraScratch) init(n int) {
+	s.done = make([]bool, n)
+	s.pq = make(popHeap, 0, n)
+}
+
 // dijkstra computes single-source shortest paths with deterministic
-// tie-breaking on (distance, previous-hop ID).
-func dijkstra(isp *topology.ISP, adj [][]topology.Edge, src int) ([]float64, []float64, []int32, []int32) {
+// tie-breaking on (distance, previous-hop ID), writing into the caller's
+// row views.
+func dijkstra(isp *topology.ISP, adj [][]topology.Edge, src int, dist, length []float64, parent, plink []int32, s *dijkstraScratch) {
 	n := len(isp.PoPs)
-	dist := make([]float64, n)
-	length := make([]float64, n)
-	parent := make([]int32, n)
-	plink := make([]int32, n)
-	done := make([]bool, n)
-	for i := range dist {
+	done := s.done
+	for i := 0; i < n; i++ {
 		dist[i] = math.Inf(1)
+		length[i] = 0
 		parent[i] = -1
 		plink[i] = -1
+		done[i] = false
 	}
 	dist[src] = 0
-	pq := &popHeap{{dist: 0, pop: src}}
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(popItem)
-		u := item.pop
+	pq := s.pq[:0]
+	pq.push(popItem{dist: 0, pop: int32(src)})
+	for len(pq) > 0 {
+		item := pq.pop()
+		u := int(item.pop)
 		if done[u] {
 			continue
 		}
@@ -89,48 +119,84 @@ func dijkstra(isp *topology.ISP, adj [][]topology.Edge, src int) ([]float64, []f
 				length[v] = length[u] + l.LengthKm
 				parent[v] = int32(u)
 				plink[v] = int32(e.Link)
-				heap.Push(pq, popItem{dist: nd, pop: v})
+				pq.push(popItem{dist: nd, pop: int32(v)})
 			}
 		}
 	}
-	return dist, length, parent, plink
+	s.pq = pq[:0]
 }
 
 type popItem struct {
 	dist float64
-	pop  int
+	pop  int32
 }
 
+// popHeap is a typed binary min-heap ordered by (dist, pop). The order
+// is total, so the pop sequence — and with it every tie-break — is
+// identical to the previous container/heap implementation, without the
+// interface{} boxing per push/pop. Entries with equal keys are duplicate
+// relaxations of the same PoP and are interchangeable (the done flag
+// skips all but the first).
 type popHeap []popItem
 
-func (h popHeap) Len() int { return len(h) }
-func (h popHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist < h[j].dist
+func itemLess(a, b popItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
 	}
-	return h[i].pop < h[j].pop
+	return a.pop < b.pop
 }
-func (h popHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *popHeap) Push(x interface{}) { *h = append(*h, x.(popItem)) }
-func (h *popHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *popHeap) push(it popItem) {
+	a := append(*h, it)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !itemLess(a[i], a[p]) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+	*h = a
+}
+
+func (h *popHeap) pop() popItem {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(a) {
+			break
+		}
+		m := l
+		if r := l + 1; r < len(a) && itemLess(a[r], a[l]) {
+			m = r
+		}
+		if !itemLess(a[m], a[i]) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	*h = a
+	return top
 }
 
 // Dist returns the shortest-path weight between src and dst.
 // It is +Inf if dst is unreachable.
-func (t *Table) Dist(src, dst int) float64 { return t.dist[src][dst] }
+func (t *Table) Dist(src, dst int) float64 { return t.dist[src*t.n+dst] }
 
 // LengthKm returns the geographic length in kilometers of the chosen
 // shortest (by weight) path between src and dst. This is the paper's
 // distance metric for the portion of a flow inside one ISP (§5.1).
-func (t *Table) LengthKm(src, dst int) float64 { return t.length[src][dst] }
+func (t *Table) LengthKm(src, dst int) float64 { return t.length[src*t.n+dst] }
 
 // Reachable reports whether dst is reachable from src.
-func (t *Table) Reachable(src, dst int) bool { return !math.IsInf(t.dist[src][dst], 1) }
+func (t *Table) Reachable(src, dst int) bool { return !math.IsInf(t.dist[src*t.n+dst], 1) }
 
 // Path returns the PoP sequence of the shortest path from src to dst,
 // inclusive of both endpoints. It returns nil if dst is unreachable.
@@ -138,15 +204,17 @@ func (t *Table) Path(src, dst int) []int {
 	if !t.Reachable(src, dst) {
 		return nil
 	}
-	var rev []int
-	for v := dst; v != src; {
-		rev = append(rev, v)
-		v = int(t.parent[src][v])
+	parent := t.parent[src*t.n:]
+	hops := 0
+	for v := dst; v != src; v = int(parent[v]) {
+		hops++
 	}
-	out := make([]int, 0, len(rev)+1)
-	out = append(out, src)
-	for i := len(rev) - 1; i >= 0; i-- {
-		out = append(out, rev[i])
+	out := make([]int, hops+1)
+	out[0] = src
+	i := hops
+	for v := dst; v != src; v = int(parent[v]) {
+		out[i] = v
+		i--
 	}
 	return out
 }
@@ -158,40 +226,41 @@ func (t *Table) PathLinks(src, dst int) []int {
 	if src == dst || !t.Reachable(src, dst) {
 		return nil
 	}
-	var rev []int
-	for v := dst; v != src; {
-		rev = append(rev, int(t.plink[src][v]))
-		v = int(t.parent[src][v])
+	parent := t.parent[src*t.n:]
+	plink := t.plink[src*t.n:]
+	hops := 0
+	for v := dst; v != src; v = int(parent[v]) {
+		hops++
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	out := make([]int, hops)
+	i := hops
+	for v := dst; v != src; v = int(parent[v]) {
+		i--
+		out[i] = int(plink[v])
 	}
-	return rev
+	return out
 }
 
 // AddLoad adds amount to every link on the shortest path from src to dst
-// in the per-link load vector (indexed like ISP.Links).
+// in the per-link load vector (indexed like ISP.Links). The parent chain
+// is walked directly — no intermediate path slice is built.
 func (t *Table) AddLoad(load []float64, src, dst int, amount float64) {
 	if len(load) != len(t.ISP.Links) {
 		panic(fmt.Sprintf("routing: load vector has %d entries for %d links", len(load), len(t.ISP.Links)))
 	}
-	for _, li := range t.PathLinks(src, dst) {
-		load[li] += amount
+	if src == dst || !t.Reachable(src, dst) {
+		return
+	}
+	parent := t.parent[src*t.n:]
+	plink := t.plink[src*t.n:]
+	for v := dst; v != src; v = int(parent[v]) {
+		load[plink[v]] += amount
 	}
 }
 
 // MaxLinkRatio returns the maximum over links of load[i]/cap[i], skipping
 // links with non-positive capacity. It is the building block for the MEL
-// metric (§5.2).
+// metric (§5.2) and delegates to metrics.MEL, the single implementation.
 func MaxLinkRatio(load, capacity []float64) float64 {
-	var maxRatio float64
-	for i := range load {
-		if capacity[i] <= 0 {
-			continue
-		}
-		if r := load[i] / capacity[i]; r > maxRatio {
-			maxRatio = r
-		}
-	}
-	return maxRatio
+	return metrics.MEL(load, capacity)
 }

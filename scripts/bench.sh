@@ -21,7 +21,7 @@ pr="${1:?usage: scripts/bench.sh <pr-number>}"
 bench_json="BENCH_runner.json"
 [ -f "$bench_json" ] || { echo "bench.sh: $bench_json not found (run from the repo root)" >&2; exit 1; }
 
-out=$(go test -run '^$' -bench 'BenchmarkGenerate|BenchmarkRunnerWorkers|BenchmarkRunnerStream|BenchmarkMeshSessions|BenchmarkWireSession|BenchmarkSeekEpochFromSnapshot' -benchtime 3x .)
+out=$(go test -run '^$' -bench 'BenchmarkGenerate|BenchmarkEvaluatorPrefs|BenchmarkRunnerWorkers|BenchmarkRunnerStream|BenchmarkMeshSessions|BenchmarkWireSession|BenchmarkSeekEpochFromSnapshot' -benchtime 3x .)
 printf '%s\n' "$out"
 
 # Benchmark lines look like:
@@ -36,7 +36,7 @@ rows=$(printf '%s\n' "$out" | awk '
 		name = parts[1]; sub(/-[0-9]+$/, "", name)
 		key = parts[2] == "" ? "single" : parts[2]; sub(/-[0-9]+$/, "", key)
 		for (i = 2; i < NF; i++)
-			if ($(i + 1) == "pairs/s" || $(i + 1) == "sessions/s" || $(i + 1) == "seeks/s" || $(i + 1) == "isps/s" || $(i + 1) == "allocs/op")
+			if ($(i + 1) == "pairs/s" || $(i + 1) == "sessions/s" || $(i + 1) == "seeks/s" || $(i + 1) == "isps/s" || $(i + 1) == "prefs/s" || $(i + 1) == "allocs/op")
 				print name, key, $(i + 1), $i
 	}')
 [ -n "$rows" ] || { echo "bench.sh: no benchmark metrics parsed" >&2; exit 1; }
